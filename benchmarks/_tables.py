@@ -1,0 +1,34 @@
+"""Shared table rendering for the benchmark harness.
+
+Every benchmark prints a paper-vs-measured table through
+:func:`render_table`; run ``pytest benchmarks/ --benchmark-only -s`` to
+see them inline.  The assertions in the benchmarks check the *shape* of
+each claim (who wins, monotonicity, crossovers), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned text table with a title banner."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in header]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(name.ljust(width) for name, width in zip(header, widths))
+    separator = "-" * len(line)
+    body = [
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in materialised
+    ]
+    return "\n".join(["", "=" * len(line), title, "=" * len(line), line, separator, *body, ""])
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    """Compact float formatting for table cells."""
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.{digits}f}"

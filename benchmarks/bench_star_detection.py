@@ -1,0 +1,118 @@
+"""E4 — Lemma 3.3 / Corollary 3.4: Star Detection via FEwW.
+
+Power-law-ish social graphs with a planted influencer; the wrapper runs
+FEwW for every geometric degree guess.  Shape checks: the reported star
+centre is the true maximum-degree vertex, the neighbourhood size meets
+the ``Delta / ((1+eps) alpha)`` guarantee, and the semi-streaming
+configuration (``alpha = log n``) stays within its budget too.
+"""
+
+import math
+
+from repro.core.star_detection import StarDetection
+from repro.streams.adapters import bipartite_double_cover
+from repro.streams.generators import social_network_stream
+
+from _tables import fmt, render_table
+
+
+def test_e4_star_detection_quality(benchmark):
+    rows = []
+    for n_users, followers, alpha in [
+        (128, 40, 2),
+        (256, 64, 2),
+        (256, 64, 4),
+        (128, 40, round(math.log2(128))),  # Corollary 3.4 parameters
+    ]:
+        edges, _ = social_network_stream(
+            n_users=n_users,
+            n_followers=followers,
+            n_background=2 * n_users,
+            seed=n_users + alpha,
+        )
+        stream = bipartite_double_cover(edges, n_users)
+        delta = stream.max_degree()
+        detector = StarDetection(n_users, alpha=alpha, eps=0.5, seed=alpha)
+        detector.process(stream)
+        result = detector.result()
+        guarantee = delta / detector.approximation_ratio()
+        rows.append(
+            (
+                n_users,
+                alpha,
+                delta,
+                result.vertex,
+                result.size,
+                fmt(guarantee, 1),
+                "yes" if result.size >= guarantee else "NO",
+            )
+        )
+    print(
+        render_table(
+            "E4 / Lemma 3.3 — Star Detection ((1+eps)alpha-approx, eps=0.5)",
+            ("n", "alpha", "Delta", "centre", "|S|", "Delta/((1+eps)a)", "meets"),
+            rows,
+        )
+    )
+    for row in rows:
+        assert row[3] == 0  # the planted influencer
+        assert row[6] == "yes"
+
+    edges, n_users = social_network_stream(
+        n_users=128, n_followers=40, n_background=256, seed=5
+    )
+
+    def run_once():
+        StarDetection(n_users, alpha=2, eps=0.5, seed=1).process_undirected(edges)
+
+    benchmark(run_once)
+
+
+def test_e4b_turnstile_star_detection(benchmark):
+    """Corollary 5.5's model: Star Detection over insertion-deletion
+    streams (friendships form and dissolve).  The planted influencer
+    must be recovered from the surviving graph."""
+    rows = []
+    for n_users, followers in ((32, 12), (48, 16)):
+        edges, _ = social_network_stream(
+            n_users=n_users, n_followers=followers,
+            n_background=n_users, seed=n_users,
+        )
+        background = [(u, v) for u, v in edges if 0 not in (u, v)]
+        all_edges = edges + background
+        signs = [1] * len(edges) + [-1] * len(background)
+        detector = StarDetection(
+            n_users, alpha=2, eps=1.0, model="insertion-deletion",
+            seed=7, scale=0.15,
+        )
+        detector.process_undirected(all_edges, signs)
+        result = detector.result()
+        guarantee = followers / detector.approximation_ratio()
+        rows.append(
+            (n_users, followers, result.vertex, result.size,
+             fmt(guarantee, 1), "yes" if result.size >= guarantee else "NO")
+        )
+    print(
+        render_table(
+            "E4b / Corollary 5.5 — turnstile Star Detection "
+            "(all background friendships dissolved)",
+            ("n", "Delta", "centre", "|S|", "guarantee", "meets"),
+            rows,
+        )
+    )
+    for row in rows:
+        assert row[2] == 0
+        assert row[5] == "yes"
+
+    edges, n_users = social_network_stream(
+        n_users=32, n_followers=12, n_background=32, seed=32
+    )
+
+    def run_once():
+        detector = StarDetection(
+            n_users, alpha=2, eps=1.0, model="insertion-deletion",
+            seed=1, scale=0.1,
+        )
+        detector.process_undirected(edges)
+
+    benchmark(run_once)

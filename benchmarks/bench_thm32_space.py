@@ -1,0 +1,91 @@
+"""E3 — Theorem 3.2 (space): measured words track
+``O(n log n + n^{1/alpha} d log^2 n)``.
+
+Two sweeps on planted-star inputs: (i) fix d, alpha and grow n — the
+degree-table term ``n`` must dominate asymptotically; (ii) fix n, d and
+grow alpha — the witness term must shrink like ``n^{1/alpha} d``.  The
+table prints measured retained words next to the paper's formula
+(:func:`repro.theory.bounds.insertion_only_space_words`); the shape
+checks assert the measured/predicted ratio stays within a constant band
+across the sweep (same growth rate).
+"""
+
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.streams.generators import GeneratorConfig, planted_star_graph
+from repro.theory.bounds import insertion_only_space_words
+
+from _tables import fmt, render_table
+
+
+def measure(n: int, d: int, alpha: int, seed: int) -> int:
+    config = GeneratorConfig(n=n, m=4 * d, seed=seed)
+    stream = planted_star_graph(config, star_degree=d, background_degree=min(4, d - 1))
+    algorithm = InsertionOnlyFEwW(n, d, alpha, seed=seed).process(stream)
+    return algorithm.space_words()
+
+
+def test_e3_space_scaling_in_n(benchmark):
+    d, alpha = 32, 2
+    rows, ratios = [], []
+    for n in (256, 512, 1024, 2048, 4096):
+        measured = measure(n, d, alpha, seed=1)
+        predicted = insertion_only_space_words(n, d, alpha)
+        ratios.append(measured / predicted)
+        rows.append((n, d, alpha, predicted, measured, fmt(measured / predicted)))
+    print(
+        render_table(
+            "E3a / Theorem 3.2 — space vs n (d=32, alpha=2)",
+            ("n", "d", "alpha", "paper words", "measured words", "ratio"),
+            rows,
+        )
+    )
+    # Same growth rate: ratio varies by at most ~3x across a 16x n sweep.
+    assert max(ratios) / min(ratios) < 3.0
+
+    benchmark(lambda: measure(1024, d, alpha, seed=1))
+
+
+def test_e3_space_scaling_in_alpha(benchmark):
+    n, d = 2048, 64
+    rows = []
+    measured_words = []
+    for alpha in (1, 2, 3, 4):
+        measured = measure(n, d, alpha, seed=2)
+        predicted = insertion_only_space_words(n, d, alpha)
+        measured_words.append(measured)
+        rows.append((alpha, predicted, measured, fmt(measured / predicted)))
+    print(
+        render_table(
+            "E3b / Theorem 3.2 — space vs alpha (n=2048, d=64)",
+            ("alpha", "paper words", "measured words", "ratio"),
+            rows,
+        )
+    )
+    # The witness term n^{1/alpha} d shrinks with alpha; alpha=1 pays the
+    # full n*d-ish reservoir, alpha=4 is close to the n-word floor.
+    assert measured_words[0] > 2 * measured_words[1]
+    assert measured_words == sorted(measured_words, reverse=True)
+
+    benchmark(lambda: measure(n, d, 2, seed=2))
+
+
+def test_e3_space_scaling_in_d(benchmark):
+    n, alpha = 1024, 2
+    rows = []
+    measured_words = []
+    for d in (16, 32, 64, 128):
+        measured = measure(n, d, alpha, seed=3)
+        predicted = insertion_only_space_words(n, d, alpha)
+        measured_words.append(measured)
+        rows.append((d, predicted, measured, fmt(measured / predicted)))
+    print(
+        render_table(
+            "E3c / Theorem 3.2 — space vs d (n=1024, alpha=2): witness "
+            "space grows with d (inverse of classical FE, paper §1.3)",
+            ("d", "paper words", "measured words", "ratio"),
+            rows,
+        )
+    )
+    assert measured_words == sorted(measured_words)
+
+    benchmark(lambda: measure(n, 64, alpha, seed=3))

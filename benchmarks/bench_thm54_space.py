@@ -1,0 +1,77 @@
+"""E8 — Theorem 5.4 (space): ``O~(dn/alpha^2)`` for alpha <= sqrt(n),
+``O~(sqrt(n) d / alpha)`` beyond, with the crossover at alpha = sqrt(n).
+
+The accounted sampler space (paper formula per sampler x the algorithm's
+actual sampler counts) is swept across alpha through the crossover, and
+across n and d.  Shape checks: monotone decay in alpha, super-linear
+decay below the crossover, ~linear decay above it, and linear growth in
+both d and n.
+"""
+
+import math
+
+from repro.core.insertion_deletion import InsertionDeletionFEwW
+from repro.theory.bounds import (
+    insertion_deletion_lower_bound_words,
+    insertion_deletion_space_words,
+)
+
+from _tables import fmt, render_table
+
+
+def measured_words(n, m, d, alpha) -> int:
+    return InsertionDeletionFEwW(n, m, d, alpha, seed=0).space_words()
+
+
+def test_e8_space_vs_alpha_crossover(benchmark):
+    n = m = 256  # sqrt(n) = 16
+    d = 16
+    alphas = (1, 2, 4, 8, 16, 32, 64)
+    rows, words = [], []
+    for alpha in alphas:
+        measured = measured_words(n, m, d, alpha)
+        predicted = insertion_deletion_space_words(n, m, d, alpha)
+        lower = insertion_deletion_lower_bound_words(n, d, alpha)
+        regime = "a<=sqrt(n)" if alpha <= math.sqrt(n) else "a>sqrt(n)"
+        words.append(measured)
+        rows.append((alpha, regime, predicted, measured, fmt(lower, 1)))
+    print(
+        render_table(
+            "E8a / Theorem 5.4 — accounted space vs alpha (n=m=256, d=16)",
+            ("alpha", "regime", "paper formula", "measured words", "Omega(nd/a^2)"),
+            rows,
+        )
+    )
+    assert words == sorted(words, reverse=True)
+    # below the crossover: super-linear decay per alpha doubling
+    assert words[0] / words[2] > 4  # alpha 1 -> 4 shrinks > 4x
+    # above the crossover: decay flattens to ~1/alpha
+    assert words[4] / words[6] < 8  # alpha 16 -> 64 shrinks < 8x
+
+    benchmark(lambda: measured_words(n, m, d, 4))
+
+
+def test_e8_space_vs_n_and_d(benchmark):
+    rows = []
+    n_words, d_words = [], []
+    for n in (64, 128, 256, 512):
+        measured = measured_words(n, n, 8, 4)
+        n_words.append(measured)
+        rows.append(("n sweep", n, 8, 4, measured))
+    for d in (4, 8, 16, 32):
+        measured = measured_words(128, 128, d, 4)
+        d_words.append(measured)
+        rows.append(("d sweep", 128, d, 4, measured))
+    print(
+        render_table(
+            "E8b / Theorem 5.4 — accounted space vs n and d (alpha=4)",
+            ("sweep", "n", "d", "alpha", "measured words"),
+            rows,
+        )
+    )
+    assert n_words == sorted(n_words)
+    assert d_words == sorted(d_words)
+    # ~linear in d: 8x d gives ~8x words (within 2x band)
+    assert 4 < d_words[-1] / d_words[0] < 16
+
+    benchmark(lambda: measured_words(128, 128, 8, 4))

@@ -1,0 +1,93 @@
+"""E9 — Lemma 6.3 / Theorem 6.4 and Figure 3: Augmented-Matrix-Row-Index.
+
+Runs the full Lemma 6.3 protocol (random column permutations, Bob's
+deletions, Theta(alpha log n) repetitions, bit-inversion fallback) on
+the Figure-3 instance and on random instances, and compares the
+protocol's message volume against the Theorem 6.2 bound
+``(n-1)(k-1-eps*m)``.
+"""
+
+import random
+
+from repro.comm.matrix_row_index import (
+    figure3_instance,
+    random_instance,
+    solve_amri_via_feww,
+)
+
+from _tables import fmt, render_table
+
+TRIALS = 10
+
+
+def test_e9_figure3_instance(benchmark):
+    instance = figure3_instance()
+    result = solve_amri_via_feww(
+        instance, alpha=1.0, seed=1, repetition_constant=4, scale=0.3
+    )
+    print(
+        render_table(
+            "E9a / Figure 3 — Augmented-Matrix-Row-Index(4, 6, 2)",
+            ("target row", "truth", "recovered", "correct", "reps", "via"),
+            [
+                (
+                    instance.target_row + 1,  # paper is 1-indexed
+                    "".join(map(str, instance.target_row_bits())),
+                    "".join(map(str, result.recovered_row)),
+                    result.correct,
+                    result.repetitions,
+                    "inverted" if result.used_inverted else "direct",
+                )
+            ],
+        )
+    )
+    assert result.correct
+
+    benchmark(
+        lambda: solve_amri_via_feww(
+            figure3_instance(), alpha=1.0, seed=1,
+            repetition_constant=2, scale=0.2,
+        )
+    )
+
+
+def test_e9_random_instances(benchmark):
+    rows = []
+    for n, m, k, alpha in [(4, 8, 1, 2.0), (6, 8, 1, 2.0), (4, 12, 2, 2.0)]:
+        correct, message = 0, 0
+        for seed in range(TRIALS):
+            instance = random_instance(n, m, k, random.Random(seed))
+            result = solve_amri_via_feww(
+                instance, alpha=alpha, seed=seed + 900,
+                repetition_constant=6, scale=0.25,
+            )
+            correct += result.correct
+            message = max(message, result.log.max_message_words())
+        epsilon = 0.1
+        lower_bits = (n - 1) * (k - 1 - epsilon * m)
+        rows.append(
+            (
+                n, m, k, alpha,
+                fmt(correct / TRIALS),
+                message,
+                fmt(max(lower_bits, 0), 1),
+            )
+        )
+    print(
+        render_table(
+            f"E9b / Theorem 6.2 — AMRI via FEwW over random instances "
+            f"({TRIALS} trials)",
+            ("n", "m", "k", "alpha", "accuracy", "msg (words)",
+             "Thm6.2 bits (eps=.1)"),
+            rows,
+        )
+    )
+    for row in rows:
+        assert float(row[4]) >= 0.9
+
+    instance = random_instance(4, 8, 1, random.Random(0))
+    benchmark(
+        lambda: solve_amri_via_feww(
+            instance, alpha=2.0, seed=7, repetition_constant=3, scale=0.2
+        )
+    )

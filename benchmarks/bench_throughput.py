@@ -1,0 +1,82 @@
+"""E17 — update throughput of every streaming structure.
+
+Not a paper claim, but the number downstream users ask first: how many
+stream updates per second does each structure sustain?  One common
+Zipf stream is pushed through each algorithm/baseline; pytest-benchmark
+reports wall-clock per full pass, and the analysis table derives
+updates/second.
+
+Shape check (loose, machine-independent): the classical counter
+summaries are at least as fast as the witness-collecting algorithms,
+which do strictly more work per update.
+"""
+
+import time
+
+from repro.baselines import (
+    CountMinSketch,
+    CountSketch,
+    FullStorage,
+    MisraGries,
+    SpaceSaving,
+)
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.core.insertion_deletion import InsertionDeletionFEwW
+from repro.streams.generators import GeneratorConfig, zipf_frequency_stream
+
+from _tables import fmt, render_table
+
+N, RECORDS = 256, 6000
+D, ALPHA = 200, 2
+
+
+def make_stream():
+    config = GeneratorConfig(n=N, m=RECORDS, seed=61)
+    return zipf_frequency_stream(config, n_records=RECORDS, exponent=1.4)
+
+
+def contenders():
+    return [
+        ("Misra-Gries", lambda: MisraGries(64)),
+        ("SpaceSaving", lambda: SpaceSaving(64)),
+        ("CountMin", lambda: CountMinSketch(0.01, 0.01, seed=1)),
+        ("CountSketch", lambda: CountSketch(256, rows=5, seed=2)),
+        ("FullStorage", lambda: FullStorage(N, RECORDS)),
+        ("Algorithm 2 (FEwW)", lambda: InsertionOnlyFEwW(N, D, ALPHA, seed=3)),
+        (
+            "Algorithm 3 (FEwW, fast bank)",
+            lambda: InsertionDeletionFEwW(N, RECORDS, D, ALPHA, seed=4, scale=0.1),
+        ),
+    ]
+
+
+def test_e17_throughput(benchmark):
+    stream = make_stream()
+    rows = []
+    rates = {}
+    for name, factory in contenders():
+        algorithm = factory()
+        start = time.perf_counter()
+        for item in stream:
+            algorithm.process_item(item)
+        elapsed = time.perf_counter() - start
+        rate = len(stream) / elapsed
+        rates[name] = rate
+        rows.append((name, len(stream), fmt(elapsed * 1000, 1), fmt(rate / 1000, 1)))
+    print(
+        render_table(
+            f"E17 / throughput — one pass over a {RECORDS}-update Zipf stream",
+            ("structure", "updates", "time (ms)", "k-updates/s"),
+            rows,
+        )
+    )
+    assert rates["Misra-Gries"] > rates["Algorithm 2 (FEwW)"] * 0.5
+
+    algorithm = InsertionOnlyFEwW(N, D, ALPHA, seed=3)
+
+    def run_once():
+        fresh = InsertionOnlyFEwW(N, D, ALPHA, seed=3)
+        for item in stream:
+            fresh.process_item(item)
+
+    benchmark(run_once)

@@ -1,0 +1,45 @@
+"""Star Detection: find the influencer AND their followers.
+
+The paper's second motivating example: in a stream of friendship
+updates, a frequent-elements algorithm can spot a high-degree node but
+not its neighbours.  Star Detection (Lemma 3.3) reports the node of
+(approximately) maximum degree together with a proportional share of
+its neighbourhood, by running FEwW for geometric guesses of the unknown
+maximum degree.
+
+Run:  python examples/social_influencer.py
+"""
+
+from repro import StarDetection, bipartite_double_cover, social_network_stream
+
+
+def main() -> None:
+    edges, n_users = social_network_stream(
+        n_users=500, influencer=17, n_followers=120, n_background=1500, seed=5
+    )
+    print(f"friendship stream: {len(edges)} edges over {n_users} users")
+
+    detector = StarDetection(n_users, alpha=2, eps=0.5, seed=6)
+    detector.process_undirected(edges)
+    result = detector.result()
+
+    cover = bipartite_double_cover(edges, n_users)
+    true_degree = cover.degree_of(result.vertex)
+    print(f"\ndetected influencer: user {result.vertex} "
+          f"(true degree {true_degree})")
+    print(f"followers reported: {result.size} "
+          f"(guarantee: >= Delta/{detector.approximation_ratio():.1f} "
+          f"= {true_degree / detector.approximation_ratio():.0f})")
+    print(f"winning degree guess: {result.winning_guess} "
+          f"(out of ladder {detector.guesses[:8]}...)")
+    print(f"sample followers: {sorted(result.neighbourhood.witnesses)[:12]}")
+    print(f"space: {detector.space_words()} words across "
+          f"{len(detector.guesses)} parallel FEwW runs")
+
+    assert result.vertex == 17
+    assert result.neighbourhood.witnesses <= cover.neighbours_of(17)
+    print("\nverification: centre and all followers confirmed — OK")
+
+
+if __name__ == "__main__":
+    main()

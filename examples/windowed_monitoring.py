@@ -1,0 +1,68 @@
+"""Windowed monitoring: per-hour heavy items with witnesses.
+
+A monitoring deployment wants "which row was hot *this window*, and who
+touched it" — not all-time frequency.  The tumbling-window extension
+restarts FEwW each window and retains each window's verdict.  This
+example also round-trips the workload through the stream file format,
+the way an experiment would archive its input.
+
+Run:  python examples/windowed_monitoring.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.windowed import TumblingWindowFEwW
+from repro.streams import dump_stream, load_stream
+from repro.streams.edge import Edge
+from repro.streams.stream import stream_from_edges
+
+
+def make_shifting_workload():
+    """Three 'hours' of activity; a different row dominates each."""
+    edges = []
+    witness = 0
+    for hour, hot_row in enumerate((3, 7, 11)):
+        # the hot row gets 30 distinct users this hour
+        for _ in range(30):
+            edges.append(Edge(hot_row, witness)); witness += 1
+        # background: 20 rows touched twice each
+        for row in range(20, 40):
+            for _ in range(2):
+                edges.append(Edge(row, witness)); witness += 1
+    return stream_from_edges(edges, n=64, m=witness), 70
+
+
+def main() -> None:
+    stream, window = make_shifting_workload()
+
+    # Archive the workload as a reproducible artifact and reload it.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "workload.feww"
+        dump_stream(stream, path)
+        stream = load_stream(path)
+        print(f"workload archived to and reloaded from {path.name} "
+              f"({len(stream)} updates)")
+
+    monitor = TumblingWindowFEwW(
+        n=stream.n, d=30, alpha=2, window=window, seed=1
+    ).process(stream)
+    monitor.flush()
+
+    print(f"\n{len(monitor.completed_windows())} windows of {window} updates:")
+    for result in monitor.completed_windows():
+        if result.found:
+            neighbourhood = result.neighbourhood
+            print(f"  window {result.window_index}: row {neighbourhood.vertex} "
+                  f"hot with {neighbourhood.size} witnesses "
+                  f"(e.g. users {sorted(neighbourhood.witnesses)[:4]})")
+        else:
+            print(f"  window {result.window_index}: no row reached d=30")
+
+    winners = [r.neighbourhood.vertex for r in monitor.completed_windows() if r.found]
+    assert winners == [3, 7, 11]
+    print("\nverification: each window's hot row detected in order — OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro — Frequent Elements with Witnesses in Data Streams.
+
+A full reproduction of Christian Konrad's PODS 2021 paper: the
+insertion-only and insertion-deletion streaming algorithms for the
+FEwW problem, the Star Detection extension, the sketching substrate
+(l0-samplers, sparse recovery, k-wise hashing), classical
+frequent-elements baselines, and executable versions of every
+lower-bound reduction.
+
+Quickstart::
+
+    from repro import InsertionOnlyFEwW, planted_star_graph, GeneratorConfig
+
+    stream = planted_star_graph(GeneratorConfig(n=1000, m=2000, seed=7),
+                                star_degree=200)
+    algorithm = InsertionOnlyFEwW(n=1000, d=200, alpha=2, seed=1)
+    result = algorithm.process(stream).result()
+    print(result.vertex, result.size)   # the heavy vertex + >=100 witnesses
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced claim.
+"""
+
+from repro.core import (
+    AlgorithmFailed,
+    DegResSampling,
+    InsertionDeletionFEwW,
+    InsertionOnlyFEwW,
+    Neighbourhood,
+    SamplingStrategy,
+    StarDetection,
+    StarDetectionResult,
+    verify_neighbourhood,
+)
+from repro.streams import (
+    DELETE,
+    INSERT,
+    Edge,
+    EdgeStream,
+    GeneratorConfig,
+    LabelCodec,
+    StreamItem,
+    bipartite_double_cover,
+    log_records_to_stream,
+    planted_star_graph,
+    stream_from_edges,
+)
+from repro.streams.generators import (
+    adversarial_interleaved_stream,
+    database_log_stream,
+    degree_cascade_graph,
+    deletion_churn_stream,
+    dos_attack_log,
+    random_bipartite_graph,
+    social_network_stream,
+    zipf_frequency_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmFailed",
+    "DELETE",
+    "DegResSampling",
+    "Edge",
+    "EdgeStream",
+    "GeneratorConfig",
+    "INSERT",
+    "InsertionDeletionFEwW",
+    "InsertionOnlyFEwW",
+    "LabelCodec",
+    "Neighbourhood",
+    "SamplingStrategy",
+    "StarDetection",
+    "StarDetectionResult",
+    "StreamItem",
+    "adversarial_interleaved_stream",
+    "bipartite_double_cover",
+    "database_log_stream",
+    "degree_cascade_graph",
+    "deletion_churn_stream",
+    "dos_attack_log",
+    "log_records_to_stream",
+    "planted_star_graph",
+    "random_bipartite_graph",
+    "social_network_stream",
+    "stream_from_edges",
+    "verify_neighbourhood",
+    "zipf_frequency_stream",
+]

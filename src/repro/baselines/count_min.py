@@ -1,0 +1,98 @@
+"""Count-Min sketch (Cormode, Muthukrishnan 2005) — reference [17].
+
+A ``rows x width`` grid of counters with one pairwise-independent hash
+per row.  Point queries return the minimum over the item's cells:
+an overestimate by at most ``e * L / width`` with probability
+``1 - e^{-rows}``.  Unlike Misra–Gries / SpaceSaving this sketch
+supports deletions (strict turnstile).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.sketch.hashing import KWiseHash, random_kwise
+from repro.streams.edge import StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class CountMinSketch:
+    """Turnstile frequency sketch.
+
+    Args:
+        epsilon: additive error factor (error <= ``e * L * epsilon``).
+        delta: failure probability per query.
+        seed: hash seed.
+    """
+
+    def __init__(self, epsilon: float, delta: float, seed: int | None = None) -> None:
+        if not 0 < epsilon < 1:
+            raise ValueError(f"epsilon must be in (0,1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0,1), got {delta}")
+        self.width = math.ceil(math.e / epsilon)
+        self.rows = math.ceil(math.log(1.0 / delta))
+        rng = random.Random(seed)
+        self._hashes: List[KWiseHash] = [
+            random_kwise(2, self.width, rng) for _ in range(self.rows)
+        ]
+        self._table: List[List[int]] = [[0] * self.width for _ in range(self.rows)]
+
+    def update(self, item: int, delta: int = 1) -> None:
+        """Apply ``count[item] += delta`` (negative deltas allowed)."""
+        for hash_function, row in zip(self._hashes, self._table):
+            row[hash_function(item)] += delta
+
+    def process_item(self, item: StreamItem) -> None:
+        """Adapter: A-vertex is the item, sign is the delta."""
+        self.update(item.edge.a, item.sign)
+
+    def process(self, stream: EdgeStream) -> "CountMinSketch":
+        for item in stream:
+            self.process_item(item)
+        return self
+
+    def estimate(self, item: int) -> int:
+        """Point query: min over the item's cells (overestimates)."""
+        return min(
+            row[hash_function(item)]
+            for hash_function, row in zip(self._hashes, self._table)
+        )
+
+    def shares_hashes_with(self, other: "CountMinSketch") -> bool:
+        """True when both sketches use identical hash functions (a
+        precondition for merging)."""
+        if (self.width, self.rows) != (other.width, other.rows):
+            return False
+        return all(
+            mine.coefficients == theirs.coefficients
+            for mine, theirs in zip(self._hashes, other._hashes)
+        )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Cell-wise sum of two sketches over disjoint sub-streams.
+
+        Valid only when both sketches were built with the same seed
+        (identical hash functions); the merged sketch answers queries
+        for the concatenated stream with the usual guarantee.
+        """
+        if not self.shares_hashes_with(other):
+            raise ValueError(
+                "sketches use different hash functions; construct both "
+                "with the same seed to merge"
+            )
+        merged = CountMinSketch.__new__(CountMinSketch)
+        merged.width = self.width
+        merged.rows = self.rows
+        merged._hashes = self._hashes
+        merged._table = [
+            [mine + theirs for mine, theirs in zip(mine_row, their_row)]
+            for mine_row, their_row in zip(self._table, other._table)
+        ]
+        return merged
+
+    def space_words(self) -> int:
+        """All counters plus one hash per row."""
+        return self.rows * self.width + sum(h.space_words() for h in self._hashes)

@@ -1,0 +1,77 @@
+"""CountSketch (Charikar, Chen, Farach-Colton 2002) — references [14, 15].
+
+A ``rows x width`` grid with a bucket hash and a ±1 sign hash per row.
+Point queries return the *median* over rows of the signed cell values —
+an unbiased estimator with error ``O(L2-norm / sqrt(width))`` per row,
+boosted by the median.  Supports turnstile updates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from typing import List
+
+from repro.sketch.hashing import KWiseHash, random_kwise
+from repro.streams.edge import StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class CountSketch:
+    """Turnstile frequency sketch with unbiased point queries.
+
+    Args:
+        width: buckets per row.
+        rows: number of rows (median boosting); odd values recommended.
+        seed: hash seed.
+    """
+
+    def __init__(self, width: int, rows: int = 5, seed: int | None = None) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        self.width = width
+        self.rows = rows
+        rng = random.Random(seed)
+        self._bucket_hashes: List[KWiseHash] = [
+            random_kwise(2, width, rng) for _ in range(rows)
+        ]
+        self._sign_hashes: List[KWiseHash] = [
+            random_kwise(2, 2, rng) for _ in range(rows)
+        ]
+        self._table: List[List[int]] = [[0] * width for _ in range(rows)]
+
+    def _sign(self, row: int, item: int) -> int:
+        return 1 if self._sign_hashes[row](item) == 1 else -1
+
+    def update(self, item: int, delta: int = 1) -> None:
+        """Apply ``count[item] += delta``."""
+        for row_index in range(self.rows):
+            bucket = self._bucket_hashes[row_index](item)
+            self._table[row_index][bucket] += self._sign(row_index, item) * delta
+
+    def process_item(self, item: StreamItem) -> None:
+        """Adapter: A-vertex is the item, sign is the delta."""
+        self.update(item.edge.a, item.sign)
+
+    def process(self, stream: EdgeStream) -> "CountSketch":
+        for item in stream:
+            self.process_item(item)
+        return self
+
+    def estimate(self, item: int) -> int:
+        """Median-of-rows point query (unbiased, can under- or overshoot)."""
+        values = []
+        for row_index in range(self.rows):
+            bucket = self._bucket_hashes[row_index](item)
+            values.append(self._sign(row_index, item) * self._table[row_index][bucket])
+        return round(statistics.median(values))
+
+    def space_words(self) -> int:
+        """All counters plus two hashes per row."""
+        hash_words = sum(h.space_words() for h in self._bucket_hashes) + sum(
+            h.space_words() for h in self._sign_hashes
+        )
+        return self.rows * self.width + hash_words

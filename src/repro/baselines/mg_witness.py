@@ -1,0 +1,116 @@
+"""A natural-but-flawed heuristic: Misra–Gries with witness lists.
+
+The obvious way to retrofit witnesses onto a classical FE summary is to
+attach a witness list to every Misra–Gries counter.  This fails in a
+specific, instructive way: the decrement step discards counters — and
+with them *all* collected witnesses — so an item that is evicted and
+later re-admitted restarts its witness list from scratch.  On streams
+where the heavy item's occurrences are spread out (so it gets evicted
+between bursts), the heuristic's witness count can stay arbitrarily far
+below the true frequency, even though the plain Misra–Gries frequency
+estimate is fine.
+
+The paper's Algorithm 2 avoids this by decoupling *membership* (the
+degree-triggered reservoir, which is never reset by other items'
+arrivals, only by explicit random eviction) from *counting*.  Benchmark
+E13 quantifies the gap; :class:`MisraGriesWithWitnesses` exists to make
+the comparison honest rather than against a strawman nobody would
+write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
+from repro.spacemeter import edge_words, vertex_words
+from repro.streams.edge import StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class MisraGriesWithWitnesses:
+    """Misra–Gries counters, each carrying up to ``max_witnesses``.
+
+    Args:
+        k: number of counters (the classical summary size).
+        max_witnesses: cap on stored witnesses per tracked item; caps the
+            space at ``O(k * max_witnesses)`` words.
+    """
+
+    def __init__(self, k: int, max_witnesses: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if max_witnesses < 1:
+            raise ValueError(f"max_witnesses must be >= 1, got {max_witnesses}")
+        self.k = k
+        self.max_witnesses = max_witnesses
+        self._counters: Dict[int, int] = {}
+        self._witnesses: Dict[int, List[int]] = {}
+        #: diagnostic: how many witnesses were discarded by decrements
+        self.witnesses_lost = 0
+
+    def process_item(self, item: StreamItem) -> None:
+        """Process one (item, witness) arrival."""
+        if item.is_delete:
+            raise ValueError("Misra-Gries supports insertion-only streams")
+        a, b = item.edge.a, item.edge.b
+        if a in self._counters:
+            self._counters[a] += 1
+            stored = self._witnesses[a]
+            if len(stored) < self.max_witnesses:
+                stored.append(b)
+            return
+        if len(self._counters) < self.k:
+            self._counters[a] = 1
+            self._witnesses[a] = [b]
+            return
+        # Decrement-all: every counter drops by one; zeroed counters are
+        # evicted together with their entire witness lists.
+        survivors_counts: Dict[int, int] = {}
+        survivors_witnesses: Dict[int, List[int]] = {}
+        for key, count in self._counters.items():
+            if count > 1:
+                survivors_counts[key] = count - 1
+                survivors_witnesses[key] = self._witnesses[key]
+            else:
+                self.witnesses_lost += len(self._witnesses[key])
+        self._counters = survivors_counts
+        self._witnesses = survivors_witnesses
+
+    def process(self, stream: EdgeStream) -> "MisraGriesWithWitnesses":
+        for item in stream:
+            self.process_item(item)
+        return self
+
+    def estimate(self, item: int) -> int:
+        """Classical Misra–Gries frequency lower bound."""
+        return self._counters.get(item, 0)
+
+    def witnesses_of(self, item: int) -> List[int]:
+        """Witnesses currently attached to ``item`` (possibly truncated
+        by an earlier eviction)."""
+        return list(self._witnesses.get(item, []))
+
+    def result(self, d: int, alpha: float = 1.0) -> Neighbourhood:
+        """Best-effort FEwW answer: the tracked item with the most
+        witnesses, if it reaches ``d / alpha``.
+
+        Raises:
+            AlgorithmFailed: when no tracked item carries enough
+            witnesses — the failure mode benchmark E13 measures.
+        """
+        best_item, best = None, []
+        for item, stored in self._witnesses.items():
+            if len(stored) > len(best):
+                best_item, best = item, stored
+        if best_item is None or len(best) < d / alpha:
+            raise AlgorithmFailed(
+                f"witness lists hold at most {len(best)} < {d}/{alpha} "
+                f"entries ({self.witnesses_lost} witnesses were lost to "
+                f"decrements)"
+            )
+        return Neighbourhood.of(best_item, best)
+
+    def space_words(self) -> int:
+        stored = sum(len(witnesses) for witnesses in self._witnesses.values())
+        return 2 * vertex_words(len(self._counters)) + edge_words(stored)

@@ -1,0 +1,121 @@
+"""Misra–Gries frequent elements (1982) — the paper's reference [37].
+
+With ``k`` counters over a stream of length ``L``, every item's estimate
+satisfies ``true - L/(k+1) <= estimate <= true``; in particular every
+item of frequency above ``L/(k+1)`` survives in the summary.  Space is
+``O(k)`` words — proportional to ``m/d`` when tuned for threshold ``d``
+over a length-``m`` stream, the inverse behaviour §1.3 contrasts with
+FEwW.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.streams.edge import StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class MisraGries:
+    """Deterministic frequent-elements summary with ``k`` counters.
+
+    Args:
+        k: number of counters; guarantees error at most ``L / (k+1)``
+            on a length-``L`` stream.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._counters: Dict[int, int] = {}
+        self._length = 0
+
+    def update(self, item: int, weight: int = 1) -> None:
+        """Process ``weight`` occurrences of ``item``."""
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        self._length += weight
+        self._apply(item, weight)
+
+    def _apply(self, item: int, weight: int) -> None:
+        """Counter maintenance without length accounting (recursive for
+        weights that span a decrement round)."""
+        if item in self._counters:
+            self._counters[item] += weight
+            return
+        if len(self._counters) < self.k:
+            self._counters[item] = weight
+            return
+        # Decrement-all step; weights > 1 handled by repeated decrement.
+        decrement = min(weight, min(self._counters.values()))
+        survivors = {}
+        for key, count in self._counters.items():
+            if count > decrement:
+                survivors[key] = count - decrement
+        self._counters = survivors
+        leftover = weight - decrement
+        if leftover > 0:
+            self._apply(item, leftover)
+
+    def process_item(self, item: StreamItem) -> None:
+        """Adapter: treat the stream's A-vertex as the item (witness ignored)."""
+        if item.is_delete:
+            raise ValueError("Misra-Gries supports insertion-only streams")
+        self.update(item.edge.a)
+
+    def process(self, stream: EdgeStream) -> "MisraGries":
+        for item in stream:
+            self.process_item(item)
+        return self
+
+    def estimate(self, item: int) -> int:
+        """Lower-bound frequency estimate (0 if not tracked)."""
+        return self._counters.get(item, 0)
+
+    def error_bound(self) -> float:
+        """Maximum undercount: ``L / (k+1)``."""
+        return self._length / (self.k + 1)
+
+    def candidates(self, threshold: int) -> List[Tuple[int, int]]:
+        """Items whose true count may reach ``threshold``, with estimates.
+
+        Includes every item whose estimate plus the error bound reaches
+        the threshold — a superset of the true heavy hitters.
+        """
+        bound = self.error_bound()
+        return sorted(
+            (item, count)
+            for item, count in self._counters.items()
+            if count + bound >= threshold
+        )
+
+    def merge(self, other: "MisraGries") -> "MisraGries":
+        """Combine two summaries of disjoint sub-streams (mergeability).
+
+        Counters are added key-wise; if more than ``k`` survive, the
+        (k+1)-st largest count is subtracted from all (the standard
+        mergeable-summaries construction), preserving the
+        ``error <= L_total / (k+1)`` guarantee for the concatenated
+        stream.  Both summaries must have the same ``k``.
+        """
+        if self.k != other.k:
+            raise ValueError(f"cannot merge k={self.k} with k={other.k}")
+        combined: Dict[int, int] = dict(self._counters)
+        for item, count in other._counters.items():
+            combined[item] = combined.get(item, 0) + count
+        if len(combined) > self.k:
+            cutoff = sorted(combined.values(), reverse=True)[self.k]
+            combined = {
+                item: count - cutoff
+                for item, count in combined.items()
+                if count > cutoff
+            }
+        merged = MisraGries(self.k)
+        merged._counters = combined
+        merged._length = self._length + other._length
+        return merged
+
+    def space_words(self) -> int:
+        """Two words per counter (item id + count) plus the length."""
+        return 2 * len(self._counters) + 1

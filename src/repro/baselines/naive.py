@@ -1,0 +1,114 @@
+"""Naive witness baselines.
+
+Two trivial ways to solve FEwW, bracketing the paper's algorithms:
+
+* :class:`FullStorage` stores *every* edge — always correct, space
+  ``Θ(|E|)``, the upper bracket benchmarks compare against;
+* :class:`FirstKWitnessCollector` keeps the first ``k`` witnesses of
+  every A-vertex — correct whenever ``k >= d/α`` but space ``Θ(n k)``,
+  showing that witness collection without sampling pays a factor ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
+from repro.spacemeter import edge_words, vertex_words
+from repro.streams.edge import StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class FullStorage:
+    """Store the whole graph; answer any FEwW query exactly."""
+
+    def __init__(self, n: int, m: int) -> None:
+        self.n = n
+        self.m = m
+        self._neighbours: Dict[int, Set[int]] = {}
+
+    def process_item(self, item: StreamItem) -> None:
+        witnesses = self._neighbours.setdefault(item.edge.a, set())
+        if item.is_insert:
+            witnesses.add(item.edge.b)
+        else:
+            witnesses.discard(item.edge.b)
+
+    def process(self, stream: EdgeStream) -> "FullStorage":
+        for item in stream:
+            self.process_item(item)
+        return self
+
+    def result(self, d: int, alpha: float = 1.0) -> Neighbourhood:
+        """The maximum-degree vertex with all its witnesses.
+
+        Raises:
+            AlgorithmFailed: if no vertex meets ``d / alpha`` (the
+            promise was violated).
+        """
+        best_vertex, best = None, set()
+        for vertex, witnesses in self._neighbours.items():
+            if len(witnesses) > len(best):
+                best_vertex, best = vertex, witnesses
+        if best_vertex is None or len(best) < d / alpha:
+            raise AlgorithmFailed(f"no vertex of degree >= {d}/{alpha}")
+        return Neighbourhood.of(best_vertex, best)
+
+    def space_words(self) -> int:
+        stored = sum(len(witnesses) for witnesses in self._neighbours.values())
+        return vertex_words(len(self._neighbours)) + edge_words(stored)
+
+
+class FirstKWitnessCollector:
+    """Keep the first ``k`` witnesses of every A-vertex (insertion-only).
+
+    Correct for FEwW whenever ``k >= ceil(d / alpha)``, but stores up to
+    ``n * k`` witnesses — the "no sampling" strawman whose space the
+    benchmarks compare to Algorithm 2's ``n^{1/α} d`` term.
+    """
+
+    def __init__(self, n: int, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.n = n
+        self.k = k
+        self._witnesses: Dict[int, List[int]] = {}
+        self._degrees: Dict[int, int] = {}
+
+    def process_item(self, item: StreamItem) -> None:
+        if item.is_delete:
+            raise ValueError("FirstKWitnessCollector supports insertion-only streams")
+        a, b = item.edge.a, item.edge.b
+        self._degrees[a] = self._degrees.get(a, 0) + 1
+        stored = self._witnesses.setdefault(a, [])
+        if len(stored) < self.k:
+            stored.append(b)
+
+    def process(self, stream: EdgeStream) -> "FirstKWitnessCollector":
+        for item in stream:
+            self.process_item(item)
+        return self
+
+    def result(self, d: int, alpha: float = 1.0) -> Neighbourhood:
+        """Highest-degree vertex with its stored witnesses.
+
+        Raises:
+            AlgorithmFailed: when the stored witnesses fall short of
+            ``d / alpha`` (possible when ``k`` was set too small).
+        """
+        if not self._degrees:
+            raise AlgorithmFailed("empty stream")
+        best_vertex = max(self._degrees, key=self._degrees.__getitem__)
+        witnesses = self._witnesses.get(best_vertex, [])
+        if len(witnesses) < d / alpha:
+            raise AlgorithmFailed(
+                f"stored only {len(witnesses)} witnesses < {d}/{alpha}"
+            )
+        return Neighbourhood.of(best_vertex, witnesses)
+
+    def space_words(self) -> int:
+        stored = sum(len(witnesses) for witnesses in self._witnesses.values())
+        return (
+            vertex_words(len(self._degrees)) * 2  # id + degree per vertex
+            + edge_words(stored)
+        )

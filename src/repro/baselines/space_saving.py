@@ -1,0 +1,79 @@
+"""SpaceSaving (Metwally, Agrawal, El Abbadi 2005) — references [35, 36].
+
+Maintains ``k`` (item, count) pairs; an unseen item replaces the
+current minimum, inheriting its count plus one.  Every estimate
+overcounts by at most the minimum counter, which is at most ``L / k``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.streams.edge import StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class SpaceSaving:
+    """Frequent-elements summary with ``k`` always-full counters.
+
+    Args:
+        k: number of counters; overestimate error is at most ``L/k``.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._counters: Dict[int, int] = {}
+        #: per-item upper bound on the overcount (the evicted count).
+        self._overestimates: Dict[int, int] = {}
+        self._length = 0
+
+    def update(self, item: int) -> None:
+        """Process one occurrence of ``item``."""
+        self._length += 1
+        if item in self._counters:
+            self._counters[item] += 1
+            return
+        if len(self._counters) < self.k:
+            self._counters[item] = 1
+            self._overestimates[item] = 0
+            return
+        victim = min(self._counters, key=self._counters.__getitem__)
+        inherited = self._counters.pop(victim)
+        self._overestimates.pop(victim, None)
+        self._counters[item] = inherited + 1
+        self._overestimates[item] = inherited
+
+    def process_item(self, item: StreamItem) -> None:
+        """Adapter: A-vertex is the item; witnesses are ignored."""
+        if item.is_delete:
+            raise ValueError("SpaceSaving supports insertion-only streams")
+        self.update(item.edge.a)
+
+    def process(self, stream: EdgeStream) -> "SpaceSaving":
+        for item in stream:
+            self.process_item(item)
+        return self
+
+    def estimate(self, item: int) -> int:
+        """Upper-bound frequency estimate (0 if not tracked)."""
+        return self._counters.get(item, 0)
+
+    def guaranteed_count(self, item: int) -> int:
+        """Certified lower bound: estimate minus the inherited overcount."""
+        if item not in self._counters:
+            return 0
+        return self._counters[item] - self._overestimates.get(item, 0)
+
+    def candidates(self, threshold: int) -> List[Tuple[int, int]]:
+        """Tracked items whose estimate reaches ``threshold``."""
+        return sorted(
+            (item, count)
+            for item, count in self._counters.items()
+            if count >= threshold
+        )
+
+    def space_words(self) -> int:
+        """Three words per counter (item, count, overestimate) + length."""
+        return 3 * len(self._counters) + 1

@@ -1,0 +1,161 @@
+"""Command-line interface: run FEwW algorithms on synthetic workloads.
+
+Subcommands:
+
+* ``run`` — generate a workload, run an algorithm, print the verified
+  result and space accounting;
+* ``bounds`` — print the paper's predicted space bounds for given
+  parameters (both models, upper and lower);
+* ``figures`` — print the paper's three figures as executable
+  constructions (delegates to the same code the tests assert on).
+
+Examples::
+
+    python -m repro run --workload star --n 1000 --d 200 --alpha 2
+    python -m repro run --workload churn --algorithm insertion-deletion
+    python -m repro bounds --n 4096 --d 128 --alpha 2
+    python -m repro figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.insertion_deletion import InsertionDeletionFEwW
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.core.neighbourhood import AlgorithmFailed, verify_neighbourhood
+from repro.streams.generators import (
+    GeneratorConfig,
+    adversarial_interleaved_stream,
+    degree_cascade_graph,
+    deletion_churn_stream,
+    planted_star_graph,
+    zipf_frequency_stream,
+)
+from repro.theory.bounds import (
+    insertion_deletion_lower_bound_words,
+    insertion_deletion_space_words,
+    insertion_only_lower_bound_words,
+    insertion_only_space_words,
+)
+
+WORKLOADS = ("star", "cascade", "adversarial", "zipf", "churn")
+ALGORITHMS = ("insertion-only", "insertion-deletion")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Frequent Elements with Witnesses — paper reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run an algorithm on a workload")
+    run.add_argument("--workload", choices=WORKLOADS, default="star")
+    run.add_argument("--algorithm", choices=ALGORITHMS, default="insertion-only")
+    run.add_argument("--n", type=int, default=512, help="number of items (A-vertices)")
+    run.add_argument("--m", type=int, default=4096, help="number of witnesses (B-vertices)")
+    run.add_argument("--d", type=int, default=128, help="degree threshold")
+    run.add_argument("--alpha", type=int, default=2, help="approximation factor")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--scale", type=float, default=0.25,
+                     help="sampler-count scale for insertion-deletion runs")
+
+    bounds = subparsers.add_parser("bounds", help="print the paper's space bounds")
+    bounds.add_argument("--n", type=int, default=4096)
+    bounds.add_argument("--m", type=int, default=4096)
+    bounds.add_argument("--d", type=int, default=128)
+    bounds.add_argument("--alpha", type=int, default=2)
+
+    subparsers.add_parser("figures", help="print the paper's Figures 1-3")
+    return parser
+
+
+def make_workload(args: argparse.Namespace):
+    """Build the stream for the requested workload (ground truth known)."""
+    config = GeneratorConfig(n=args.n, m=args.m, seed=args.seed)
+    if args.workload == "star":
+        return planted_star_graph(config, star_degree=args.d,
+                                  background_degree=min(5, args.d - 1))
+    if args.workload == "cascade":
+        return degree_cascade_graph(config, d=args.d, alpha=max(2, args.alpha))
+    if args.workload == "adversarial":
+        return adversarial_interleaved_stream(
+            config, star_degree=args.d,
+            n_decoys=min(args.n - 1, 30),
+            decoy_degree=max(1, args.d // 2),
+        )
+    if args.workload == "zipf":
+        return zipf_frequency_stream(config, n_records=min(args.m, 8 * args.d))
+    if args.workload == "churn":
+        return deletion_churn_stream(config, star_degree=args.d,
+                                     churn_edges=4 * args.d)
+    raise ValueError(f"unknown workload {args.workload!r}")
+
+
+def command_run(args: argparse.Namespace) -> int:
+    stream = make_workload(args)
+    d = args.d if args.workload != "zipf" else stream.max_degree()
+    print(f"workload '{args.workload}': {stream.stats()}")
+    if args.algorithm == "insertion-only":
+        if not stream.insertion_only:
+            print("error: workload contains deletions; "
+                  "use --algorithm insertion-deletion", file=sys.stderr)
+            return 2
+        algorithm = InsertionOnlyFEwW(stream.n, d, args.alpha, seed=args.seed)
+    else:
+        algorithm = InsertionDeletionFEwW(
+            stream.n, stream.m, d, args.alpha, seed=args.seed, scale=args.scale
+        )
+    algorithm.process(stream)
+    try:
+        result = algorithm.result()
+    except AlgorithmFailed as failure:
+        print(f"algorithm reported fail: {failure}")
+        return 1
+    verify_neighbourhood(result, stream, d, args.alpha)
+    print(f"reported: {result}")
+    print(f"threshold d/alpha = {d / args.alpha:.1f}; verified against "
+          f"ground truth: OK")
+    print(f"space: {algorithm.space_words()} words")
+    print(algorithm.space_breakdown())
+    return 0
+
+
+def command_bounds(args: argparse.Namespace) -> int:
+    n, m, d, alpha = args.n, args.m, args.d, args.alpha
+    print(f"paper bounds for n={n}, m={m}, d={d}, alpha={alpha} (words):")
+    print(f"  insertion-only upper  (Thm 3.2): "
+          f"{insertion_only_space_words(n, d, alpha)}")
+    if alpha >= 2:
+        print(f"  insertion-only lower  (Thm 4.1+4.8): "
+              f"{insertion_only_lower_bound_words(n, d, alpha):.0f}")
+    print(f"  insertion-del. upper  (Thm 5.4): "
+          f"{insertion_deletion_space_words(n, m, d, alpha)}")
+    print(f"  insertion-del. lower  (Thm 6.4): "
+          f"{insertion_deletion_lower_bound_words(n, d, alpha):.0f}")
+    return 0
+
+
+def command_figures(_: argparse.Namespace) -> int:
+    from repro.comm.figures import render_figures
+
+    print(render_figures())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return command_run(args)
+    if args.command == "bounds":
+        return command_bounds(args)
+    if args.command == "figures":
+        return command_figures(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

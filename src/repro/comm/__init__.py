@@ -1,0 +1,71 @@
+"""Executable communication-complexity constructions.
+
+The paper's lower bounds (Sections 4 and 6) are proved by reducing
+communication problems to FEwW: if a small-space streaming algorithm
+existed, the parties could ship its memory state around and solve a
+problem whose communication complexity is known to be large.  This
+package makes those reductions *runnable*: instance generators for each
+communication problem, protocol drivers that really simulate a FEwW
+algorithm across parties with message-size accounting, and the trivial
+baselines the proofs compare against.
+
+* :mod:`repro.comm.protocol` — message-size bookkeeping;
+* :mod:`repro.comm.set_disjointness` — Problem 3 and Theorem 4.1;
+* :mod:`repro.comm.bit_vector_learning` — Problem 4, Figures 1–2, and
+  Theorem 4.8;
+* :mod:`repro.comm.matrix_row_index` — Problem 5, Figure 3, Lemma 6.3
+  and Theorem 6.4.
+"""
+
+from repro.comm.protocol import MessageLog
+from repro.comm.set_disjointness import (
+    SetDisjointnessInstance,
+    disjoint_instance,
+    intersecting_instance,
+    solve_set_disjointness_via_feww,
+)
+from repro.comm.bit_vector_learning import (
+    BitVectorLearningInstance,
+    bvl_graph_stream,
+    decode_witness,
+    figure1_instance,
+    solve_bvl_via_feww,
+    trivial_bvl_protocol,
+)
+from repro.comm.matrix_row_index import (
+    AmriInstance,
+    AmriProtocolResult,
+    figure3_instance,
+    solve_amri_via_feww,
+)
+from repro.comm.figures import (
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figures,
+)
+from repro.comm.simulate import run_streaming_protocol, split_among_parties
+
+__all__ = [
+    "AmriInstance",
+    "AmriProtocolResult",
+    "BitVectorLearningInstance",
+    "MessageLog",
+    "SetDisjointnessInstance",
+    "bvl_graph_stream",
+    "decode_witness",
+    "disjoint_instance",
+    "figure1_instance",
+    "figure3_instance",
+    "intersecting_instance",
+    "render_figure1",
+    "render_figure2",
+    "render_figure3",
+    "render_figures",
+    "run_streaming_protocol",
+    "solve_amri_via_feww",
+    "split_among_parties",
+    "solve_bvl_via_feww",
+    "solve_set_disjointness_via_feww",
+    "trivial_bvl_protocol",
+]

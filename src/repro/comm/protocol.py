@@ -1,0 +1,47 @@
+"""Message-size bookkeeping for one-way protocols.
+
+The communication cost of a one-way protocol (§2) is the size of the
+*longest* message any party sends.  In our executable reductions a
+message is the streaming algorithm's memory state at the moment it is
+handed to the next party, so its size in words is the algorithm's
+``space_words()`` at that point.  :class:`MessageLog` records every
+handoff so benchmarks can report the protocol's cost next to the
+paper's lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.spacemeter import words_to_bits
+
+
+@dataclass
+class MessageLog:
+    """Record of all messages sent during one protocol execution."""
+
+    messages: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def record(self, sender: int, receiver: int, words: int) -> None:
+        """Log a message of ``words`` machine words from sender to receiver."""
+        if words < 0:
+            raise ValueError(f"negative message size {words}")
+        self.messages.append((sender, receiver, words))
+
+    def max_message_words(self) -> int:
+        """The protocol's communication cost in words (0 if no messages)."""
+        if not self.messages:
+            return 0
+        return max(words for _, _, words in self.messages)
+
+    def max_message_bits(self) -> int:
+        """The protocol's communication cost in bits."""
+        return words_to_bits(self.max_message_words())
+
+    def total_words(self) -> int:
+        """Sum of all message sizes (total communication)."""
+        return sum(words for _, _, words in self.messages)
+
+    def __len__(self) -> int:
+        return len(self.messages)

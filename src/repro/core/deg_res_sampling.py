@@ -1,0 +1,169 @@
+"""Algorithm 1: ``Deg-Res-Sampling(d1, d2, s)``.
+
+Degree-based reservoir sampling.  While processing the stream of edges,
+the degree of every A-vertex is maintained.  A reservoir of size ``s``
+holds a uniform random sample of the vertices whose *current* degree is
+at least ``d1``: the moment a vertex's degree reaches ``d1`` it becomes
+a reservoir candidate (inserted with probability ``s / x`` where ``x``
+counts candidates so far, evicting a uniform resident).  While a vertex
+sits in the reservoir, its incident edges are collected until ``d2`` of
+them are stored — so a vertex that stays sampled collects
+``min(d2, deg - d1 + 1)`` witnesses.
+
+The run *succeeds* if at least one stored neighbourhood reaches size
+``d2`` (Lemma 3.1 lower-bounds that probability by
+``1 - exp(-s * n2 / n1)``).
+
+This class supports two usage modes:
+
+* standalone — it maintains its own :class:`DegreeCounter`; feed it
+  whole streams via :meth:`process` or items via :meth:`process_item`;
+* subroutine of Algorithm 2 — the parent owns one shared degree counter
+  and calls :meth:`observe_edge` with the post-increment degree, so the
+  ``O(n log n)``-bit degree table is charged once, not α times
+  (matching Theorem 3.2's accounting).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
+from repro.sketch.exact import DegreeCounter
+from repro.spacemeter import SpaceBreakdown, edge_words, vertex_words
+from repro.streams.edge import StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class DegResSampling:
+    """One run of the paper's Algorithm 1.
+
+    Args:
+        n: number of A-vertices.
+        d1: degree threshold that makes a vertex a reservoir candidate.
+        d2: number of witnesses to collect per sampled vertex; reaching
+            ``d2`` for any vertex means success.
+        s: reservoir size.
+        rng: randomness for the reservoir coin flips.
+        own_degrees: when True (standalone mode) the instance maintains
+            its own degree counter and accepts :meth:`process` /
+            :meth:`process_item`; when False the caller must drive
+            :meth:`observe_edge`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        d1: int,
+        d2: int,
+        s: int,
+        rng: random.Random,
+        own_degrees: bool = True,
+    ) -> None:
+        if d1 < 1:
+            raise ValueError(f"d1 must be >= 1, got {d1}")
+        if d2 < 1:
+            raise ValueError(f"d2 must be >= 1, got {d2}")
+        if s < 1:
+            raise ValueError(f"reservoir size s must be >= 1, got {s}")
+        self.n = n
+        self.d1 = d1
+        self.d2 = d2
+        self.s = s
+        self._rng = rng
+        self._degrees: Optional[DegreeCounter] = DegreeCounter(n) if own_degrees else None
+        #: reservoir contents: vertex -> collected witnesses, in arrival order
+        self._reservoir: Dict[int, List[int]] = {}
+        #: count of vertices whose degree has reached d1 so far (paper's x)
+        self._candidates_seen = 0
+
+    # ------------------------------------------------------------------
+    # Stream processing.
+    # ------------------------------------------------------------------
+
+    def observe_edge(self, a: int, b: int, degree: int) -> None:
+        """Process edge ``ab`` given vertex ``a``'s post-increment degree.
+
+        This is the body of Algorithm 1's loop, lines 4-14: reservoir
+        maintenance when ``degree == d1``, then witness collection when
+        ``a`` is resident.
+        """
+        if degree == self.d1:
+            self._candidates_seen += 1
+            if len(self._reservoir) < self.s:
+                self._reservoir[a] = []
+            elif self._rng.random() < self.s / self._candidates_seen:
+                evicted = self._rng.choice(list(self._reservoir))
+                del self._reservoir[evicted]
+                self._reservoir[a] = []
+        witnesses = self._reservoir.get(a)
+        if witnesses is not None and len(witnesses) < self.d2:
+            witnesses.append(b)
+
+    def process_item(self, item: StreamItem) -> None:
+        """Standalone-mode entry point for a single stream item."""
+        if self._degrees is None:
+            raise RuntimeError(
+                "this instance is driven externally (own_degrees=False); "
+                "use observe_edge"
+            )
+        if item.is_delete:
+            raise ValueError("Deg-Res-Sampling only supports insertion-only streams")
+        degree = self._degrees.increment(item.edge.a)
+        self.observe_edge(item.edge.a, item.edge.b, degree)
+
+    def process(self, stream: EdgeStream) -> "DegResSampling":
+        """Consume an entire insertion-only stream; returns self."""
+        for item in stream:
+            self.process_item(item)
+        return self
+
+    # ------------------------------------------------------------------
+    # Output.
+    # ------------------------------------------------------------------
+
+    @property
+    def successful(self) -> bool:
+        """True when some stored neighbourhood reached size ``d2``."""
+        return any(len(witnesses) >= self.d2 for witnesses in self._reservoir.values())
+
+    def candidates(self) -> List[Neighbourhood]:
+        """All currently stored neighbourhoods (any size), for inspection."""
+        return [
+            Neighbourhood.of(vertex, witnesses)
+            for vertex, witnesses in self._reservoir.items()
+        ]
+
+    def result(self) -> Neighbourhood:
+        """An arbitrary stored neighbourhood of size ``d2`` (line 15).
+
+        Raises:
+            AlgorithmFailed: when no neighbourhood reached size ``d2``.
+        """
+        for vertex, witnesses in self._reservoir.items():
+            if len(witnesses) >= self.d2:
+                return Neighbourhood.of(vertex, witnesses)
+        raise AlgorithmFailed(
+            f"Deg-Res-Sampling(d1={self.d1}, d2={self.d2}, s={self.s}): "
+            f"no neighbourhood of size {self.d2} collected"
+        )
+
+    # ------------------------------------------------------------------
+    # Space accounting.
+    # ------------------------------------------------------------------
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Itemised space; excludes a shared degree counter (charged once
+        by the parent when ``own_degrees=False``)."""
+        breakdown = SpaceBreakdown()
+        breakdown.add("reservoir ids", vertex_words(len(self._reservoir)))
+        stored = sum(len(witnesses) for witnesses in self._reservoir.values())
+        breakdown.add("collected edges", edge_words(stored))
+        breakdown.add("candidate counter", 1)
+        if self._degrees is not None:
+            breakdown.add("degree counts", self._degrees.space_words())
+        return breakdown
+
+    def space_words(self) -> int:
+        return self.space_breakdown().total_words()

@@ -1,0 +1,226 @@
+"""Algorithm 3: the α-approximation for insertion-deletion streams.
+
+The algorithm combines two sampling strategies, both built on
+ℓ₀-samplers (Section 5):
+
+* **vertex sampling** — before the stream, sample a uniform subset
+  ``A'`` of ``10 x ln n`` A-vertices (``x = max(n/α, √n)``); for each
+  sampled vertex run ``10 (d/α) ln n`` ℓ₀-samplers on its incident-edge
+  vector.  Succeeds when the graph has at least ``n/x`` vertices of
+  degree ``>= d/α`` (Lemma 5.2).
+* **edge sampling** — run ``10 (nd/α)(1/x + 1/α) ln(nm)`` ℓ₀-samplers
+  on the full edge vector.  Succeeds when the graph has at most ``n/x``
+  such vertices, so the maximum-degree vertex owns a large fraction of
+  all edges (Lemma 5.3).
+
+Output: any vertex for which the stored sampled edges contain at least
+``d/α`` distinct witnesses; otherwise *fail*.  Theorem 5.4: space
+``Õ(dn/α²)`` for ``α <= √n`` and ``Õ(√n d/α)`` otherwise, success
+w.h.p.
+
+ℓ₀-samplers run with ``δ = 1/(n^10 d)`` as in the paper.  The
+``scale`` parameter multiplies the paper's constant 10 (useful to keep
+pure-Python benchmark runs fast while preserving the formulas' shape);
+``sampler_mode`` selects real sketches (``"exact"``) or the
+distributionally equivalent accelerated bank (``"fast"``, default — see
+:mod:`repro.sketch.l0`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
+from repro.sketch.l0 import L0SamplerBank
+from repro.spacemeter import SpaceBreakdown, vertex_words
+from repro.streams.edge import Edge, StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class SamplingStrategy(Enum):
+    """Which of Algorithm 3's strategies to run (BOTH is the paper's)."""
+
+    VERTEX = "vertex"
+    EDGE = "edge"
+    BOTH = "both"
+
+
+def x_parameter(n: int, alpha: float) -> float:
+    """The split point ``x = max(n/α, √n)`` from Algorithm 3, step 1."""
+    return max(n / alpha, math.sqrt(n))
+
+
+def vertex_sample_size(n: int, alpha: float, scale: float = 1.0) -> int:
+    """``|A'| = 10 x ln n`` (capped at n)."""
+    if n < 2:
+        return n
+    return min(n, math.ceil(scale * 10 * x_parameter(n, alpha) * math.log(n)))
+
+
+def samplers_per_vertex(n: int, d: int, alpha: float, scale: float = 1.0) -> int:
+    """``10 (d/α) ln n`` ℓ₀-samplers per sampled vertex."""
+    base = scale * 10 * (d / alpha) * math.log(max(n, 2))
+    return max(1, math.ceil(base))
+
+
+def edge_sampler_count(n: int, m: int, d: int, alpha: float, scale: float = 1.0) -> int:
+    """``10 (nd/α)(1/x + 1/α) ln(nm)`` ℓ₀-samplers on the edge vector."""
+    x = x_parameter(n, alpha)
+    base = scale * 10 * (n * d / alpha) * (1.0 / x + 1.0 / alpha) * math.log(max(n * m, 2))
+    return max(1, math.ceil(base))
+
+
+class InsertionDeletionFEwW:
+    """The paper's Algorithm 3.
+
+    Args:
+        n: number of A-vertices.
+        m: number of B-vertices.
+        d: degree threshold of the FEwW promise.
+        alpha: approximation factor (any value >= 1; need not be integral).
+        seed: RNG seed for vertex sampling and all ℓ₀-samplers.
+        strategy: run vertex sampling, edge sampling, or both (paper).
+        scale: multiplier on the paper's constant 10 in all sampler
+            counts (1.0 reproduces the paper exactly).
+        sampler_mode: ``"fast"`` or ``"exact"`` ℓ₀-sampler banks.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        d: int,
+        alpha: float,
+        seed: int | None = None,
+        strategy: SamplingStrategy = SamplingStrategy.BOTH,
+        scale: float = 1.0,
+        sampler_mode: str = "fast",
+    ) -> None:
+        if alpha < 1:
+            raise ValueError(f"alpha must be >= 1, got {alpha}")
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        self.n = n
+        self.m = m
+        self.d = d
+        self.alpha = alpha
+        self.strategy = strategy
+        self.scale = scale
+        self.threshold = math.ceil(d / alpha)
+        self.delta = 1.0 / (max(n, 2) ** 10 * d)
+        rng = random.Random(seed)
+
+        self._vertex_banks: Dict[int, L0SamplerBank] = {}
+        if strategy in (SamplingStrategy.VERTEX, SamplingStrategy.BOTH):
+            sample_size = vertex_sample_size(n, alpha, scale)
+            sampled = rng.sample(range(n), sample_size)
+            per_vertex = samplers_per_vertex(n, d, alpha, scale)
+            for a in sampled:
+                self._vertex_banks[a] = L0SamplerBank(
+                    m, per_vertex, self.delta, rng, mode=sampler_mode
+                )
+
+        self._edge_bank: Optional[L0SamplerBank] = None
+        if strategy in (SamplingStrategy.EDGE, SamplingStrategy.BOTH):
+            count = edge_sampler_count(n, m, d, alpha, scale)
+            self._edge_bank = L0SamplerBank(
+                n * m, count, self.delta, rng, mode=sampler_mode
+            )
+
+        self._result_cache: Optional[Dict[int, Set[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Stream processing.
+    # ------------------------------------------------------------------
+
+    def process_item(self, item: StreamItem) -> None:
+        """Route one signed update into both sampling structures."""
+        self._result_cache = None
+        edge = item.edge
+        if edge.a >= self.n or edge.b >= self.m:
+            raise ValueError(f"edge {edge} out of range for ({self.n}, {self.m})")
+        bank = self._vertex_banks.get(edge.a)
+        if bank is not None:
+            bank.update(edge.b, item.sign)
+        if self._edge_bank is not None:
+            self._edge_bank.update(edge.flat_index(self.m), item.sign)
+
+    def process(self, stream: EdgeStream) -> "InsertionDeletionFEwW":
+        """Consume an entire (possibly turnstile) stream; returns self."""
+        for item in stream:
+            self.process_item(item)
+        return self
+
+    # ------------------------------------------------------------------
+    # Output.
+    # ------------------------------------------------------------------
+
+    def _collected(self) -> Dict[int, Set[int]]:
+        """Query every sampler once and group stored edges by A-vertex.
+
+        Sampler queries are randomised, so the outcome is computed once
+        and memoised: repeated calls to :meth:`result` agree.
+        """
+        if self._result_cache is not None:
+            return self._result_cache
+        collected: Dict[int, Set[int]] = {}
+        for a, bank in self._vertex_banks.items():
+            witnesses = {b for b in bank.sample_all() if b is not None}
+            if witnesses:
+                collected.setdefault(a, set()).update(witnesses)
+        if self._edge_bank is not None:
+            for flat in self._edge_bank.sample_all():
+                if flat is None:
+                    continue
+                edge = Edge.from_flat_index(flat, self.m)
+                collected.setdefault(edge.a, set()).add(edge.b)
+        self._result_cache = collected
+        return collected
+
+    @property
+    def successful(self) -> bool:
+        """True when some vertex accumulated >= ceil(d/α) witnesses."""
+        return any(
+            len(witnesses) >= self.threshold
+            for witnesses in self._collected().values()
+        )
+
+    def result(self) -> Neighbourhood:
+        """Any stored neighbourhood of size >= ceil(d/α) (step 4).
+
+        Raises:
+            AlgorithmFailed: when no vertex reached the threshold.
+        """
+        best_vertex, best_witnesses = None, set()
+        for vertex, witnesses in self._collected().items():
+            if len(witnesses) >= self.threshold and len(witnesses) > len(best_witnesses):
+                best_vertex, best_witnesses = vertex, witnesses
+        if best_vertex is None:
+            raise AlgorithmFailed(
+                f"Algorithm 3 failed (n={self.n}, d={self.d}, alpha={self.alpha}, "
+                f"strategy={self.strategy.value})"
+            )
+        return Neighbourhood.of(best_vertex, best_witnesses)
+
+    # ------------------------------------------------------------------
+    # Space accounting.
+    # ------------------------------------------------------------------
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Sampled vertex ids plus every ℓ₀-sampler bank."""
+        breakdown = SpaceBreakdown()
+        if self._vertex_banks:
+            breakdown.add("sampled vertex ids", vertex_words(len(self._vertex_banks)))
+            breakdown.add(
+                "vertex-sampling l0 banks",
+                sum(bank.space_words() for bank in self._vertex_banks.values()),
+            )
+        if self._edge_bank is not None:
+            breakdown.add("edge-sampling l0 bank", self._edge_bank.space_words())
+        return breakdown
+
+    def space_words(self) -> int:
+        return self.space_breakdown().total_words()

@@ -1,0 +1,147 @@
+"""Algorithm 2: the α-approximation for insertion-only streams.
+
+Runs ``Deg-Res-Sampling(max(1, i*d/α), d/α, s)`` in parallel for
+``i = 0 .. α-1`` with reservoir size ``s = ceil(ln(n) * n^{1/α})`` and
+returns any successful run's neighbourhood.  Theorem 3.2: if some
+A-vertex has degree at least ``d``, at least one run succeeds with
+probability at least ``1 - 1/n``, and the total space is
+``O(n log n + n^{1/α} d log² n)`` bits.
+
+Integrality: for non-divisible ``d / α`` we collect
+``d2 = ceil(d / α)`` witnesses per sampled vertex and use thresholds
+``d1_i = max(1, floor(i d / α))``.  These choices preserve the chain
+``d1_{i+1} >= d1_i + d2 - 1`` that the counting argument in the proof of
+Theorem 3.2 needs, and a ``d2``-witness output meets the required
+``d / α`` bound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.core.deg_res_sampling import DegResSampling
+from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
+from repro.sketch.exact import DegreeCounter
+from repro.spacemeter import SpaceBreakdown
+from repro.streams.edge import StreamItem
+from repro.streams.stream import EdgeStream
+
+
+def reservoir_size(n: int, alpha: int) -> int:
+    """Reservoir size ``s = ceil(ln(n) * n^{1/alpha})`` from Algorithm 2."""
+    if n < 2:
+        return 1
+    return math.ceil(math.log(n) * n ** (1.0 / alpha))
+
+
+class InsertionOnlyFEwW:
+    """The paper's Algorithm 2.
+
+    Args:
+        n: number of A-vertices.
+        d: degree threshold (the promise: some A-vertex has degree >= d).
+        alpha: integral approximation factor (>= 1).
+        seed: RNG seed; runs derive independent generators from it.
+        reservoir_override: replace the default ``ceil(ln n * n^{1/α})``
+            reservoir size (used by ablation benchmarks).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        d: int,
+        alpha: int,
+        seed: int | None = None,
+        reservoir_override: int | None = None,
+    ) -> None:
+        if alpha < 1:
+            raise ValueError(f"alpha must be an integer >= 1, got {alpha}")
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        if d > 0 and n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        self.d = d
+        self.alpha = alpha
+        self.s = reservoir_override if reservoir_override is not None else reservoir_size(n, alpha)
+        self.d2 = math.ceil(d / alpha)
+        root = random.Random(seed)
+        self._degrees = DegreeCounter(n)
+        self.runs: List[DegResSampling] = []
+        for i in range(alpha):
+            d1 = max(1, (i * d) // alpha)
+            run_rng = random.Random(root.getrandbits(64))
+            self.runs.append(
+                DegResSampling(n, d1, self.d2, self.s, run_rng, own_degrees=False)
+            )
+
+    # ------------------------------------------------------------------
+    # Stream processing.
+    # ------------------------------------------------------------------
+
+    def process_item(self, item: StreamItem) -> None:
+        """Feed one stream item to every parallel run."""
+        if item.is_delete:
+            raise ValueError(
+                "Algorithm 2 handles insertion-only streams; "
+                "use InsertionDeletionFEwW for turnstile input"
+            )
+        a, b = item.edge.a, item.edge.b
+        degree = self._degrees.increment(a)
+        for run in self.runs:
+            run.observe_edge(a, b, degree)
+
+    def process(self, stream: EdgeStream) -> "InsertionOnlyFEwW":
+        """Consume an entire stream; returns self for chaining."""
+        for item in stream:
+            self.process_item(item)
+        return self
+
+    # ------------------------------------------------------------------
+    # Output.
+    # ------------------------------------------------------------------
+
+    @property
+    def successful(self) -> bool:
+        """True when at least one parallel run succeeded."""
+        return any(run.successful for run in self.runs)
+
+    def successful_runs(self) -> List[int]:
+        """Indices of the successful parallel runs (for diagnostics)."""
+        return [i for i, run in enumerate(self.runs) if run.successful]
+
+    def result(self) -> Neighbourhood:
+        """Any successful run's neighbourhood (size >= ceil(d/α)).
+
+        Raises:
+            AlgorithmFailed: when every run failed (probability <= 1/n
+            under the degree-d promise).
+        """
+        for run in self.runs:
+            if run.successful:
+                return run.result()
+        raise AlgorithmFailed(
+            f"all {self.alpha} parallel runs failed "
+            f"(n={self.n}, d={self.d}, alpha={self.alpha}, s={self.s})"
+        )
+
+    def current_degree(self, a: int) -> int:
+        """Degree of A-vertex ``a`` seen so far (the shared counter)."""
+        return self._degrees.degree(a)
+
+    # ------------------------------------------------------------------
+    # Space accounting.
+    # ------------------------------------------------------------------
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Degree table charged once, plus every run's reservoir state."""
+        breakdown = SpaceBreakdown()
+        breakdown.add("degree counts", self._degrees.space_words())
+        for i, run in enumerate(self.runs):
+            breakdown.merge(run.space_breakdown(), prefix=f"run{i} ")
+        return breakdown
+
+    def space_words(self) -> int:
+        return self.space_breakdown().total_words()

@@ -1,0 +1,86 @@
+"""Output type of FEwW algorithms: a vertex plus a witness set.
+
+A *neighbourhood* ``(a, S)`` (paper §2) is an A-vertex together with a
+subset of its B-side neighbours; its size is ``|S|``.  The objective of
+``FEwW(n, d)`` with approximation factor α is to output a neighbourhood
+of size at least ``d / α``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+from repro.streams.stream import EdgeStream
+
+
+class AlgorithmFailed(RuntimeError):
+    """Raised by ``result()`` when an algorithm reports *fail*.
+
+    The paper's algorithms are allowed to fail with small probability
+    (at most ``1/n`` for Algorithm 2); callers distinguish that outcome
+    from a wrong answer, which would be a bug.
+    """
+
+
+@dataclass(frozen=True)
+class Neighbourhood:
+    """A vertex together with a set of witnesses for its degree.
+
+    Attributes:
+        vertex: the reported A-vertex.
+        witnesses: B-side neighbours certifying the vertex's degree.
+    """
+
+    vertex: int
+    witnesses: FrozenSet[int] = field(default_factory=frozenset)
+
+    @staticmethod
+    def of(vertex: int, witnesses: Iterable[int]) -> "Neighbourhood":
+        """Convenience constructor accepting any witness iterable."""
+        return Neighbourhood(vertex, frozenset(witnesses))
+
+    @property
+    def size(self) -> int:
+        """Neighbourhood size ``|S|`` (paper §2)."""
+        return len(self.witnesses)
+
+    def meets_threshold(self, d: int, alpha: float) -> bool:
+        """True when the neighbourhood has size at least ``d / alpha``."""
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        return self.size >= d / alpha
+
+    def __str__(self) -> str:
+        preview = sorted(self.witnesses)[:8]
+        suffix = ", ..." if self.size > 8 else ""
+        return f"Neighbourhood(a={self.vertex}, |S|={self.size}, S={preview}{suffix})"
+
+
+def verify_neighbourhood(
+    neighbourhood: Neighbourhood,
+    stream: EdgeStream,
+    d: int,
+    alpha: float,
+) -> None:
+    """Check a reported neighbourhood against the stream's final graph.
+
+    Verifies the two soundness conditions every FEwW output must meet:
+    all witnesses are genuine final-graph neighbours of the vertex, and
+    the witness count reaches ``d / alpha``.
+
+    Raises:
+        AssertionError: describing the violated condition.
+    """
+    actual = stream.neighbours_of(neighbourhood.vertex)
+    fake = neighbourhood.witnesses - actual
+    if fake:
+        raise AssertionError(
+            f"vertex {neighbourhood.vertex} reported {len(fake)} non-neighbours: "
+            f"{sorted(fake)[:5]}"
+        )
+    if not neighbourhood.meets_threshold(d, alpha):
+        raise AssertionError(
+            f"neighbourhood size {neighbourhood.size} below threshold "
+            f"d/alpha = {d}/{alpha} = {d / alpha:.2f}"
+        )

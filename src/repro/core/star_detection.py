@@ -1,0 +1,180 @@
+"""Star Detection via FEwW (Lemma 3.3, Corollaries 3.4 and 5.5).
+
+Star Detection asks for a vertex of (approximately) maximum degree in a
+general graph *together with* a proportional share of its neighbours.
+Lemma 3.3 reduces it to FEwW: run the FEwW algorithm for
+``O(log_{1+ε} n)`` geometric guesses ``Δ' ∈ {1, 1+ε, (1+ε)², ...}`` of
+the unknown maximum degree Δ, on the bipartite double cover of the
+input graph.  The run whose guess is the largest ``Δ' <= Δ`` outputs a
+neighbourhood of size ``>= Δ / ((1+ε) α)``, making the whole wrapper a
+``(1+ε)α``-approximation at a ``log_{1+ε} n`` space overhead.
+
+With the insertion-only algorithm and ``α = log n`` this yields the
+semi-streaming ``O(log n)``-approximation of Corollary 3.4; with the
+insertion-deletion algorithm and ``α = √n`` it yields Corollary 5.5.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.insertion_deletion import InsertionDeletionFEwW
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
+from repro.spacemeter import SpaceBreakdown
+from repro.streams.adapters import bipartite_double_cover
+from repro.streams.stream import EdgeStream
+
+
+def degree_guesses(n: int, eps: float) -> List[int]:
+    """The geometric guess ladder ``{1, 1+ε, (1+ε)², ...}`` rounded to ints.
+
+    Duplicate integer guesses (common for small powers) are merged; the
+    ladder always covers ``[1, n]`` so every possible Δ has a guess
+    within factor ``1+ε`` below it.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    guesses = []
+    value = 1.0
+    while value <= n * (1 + eps):
+        guesses.append(max(1, math.floor(value)))
+        value *= 1 + eps
+    return sorted(set(guesses))
+
+
+@dataclass(frozen=True)
+class StarDetectionResult:
+    """Output of Star Detection: the star centre, its witnesses, and the
+    degree guess of the run that produced them."""
+
+    neighbourhood: Neighbourhood
+    winning_guess: int
+
+    @property
+    def vertex(self) -> int:
+        return self.neighbourhood.vertex
+
+    @property
+    def size(self) -> int:
+        return self.neighbourhood.size
+
+
+class StarDetection:
+    """Lemma 3.3's wrapper around a FEwW algorithm.
+
+    Args:
+        n_vertices: number of vertices of the general input graph.
+        alpha: approximation factor passed to each FEwW run.
+        eps: guess-ladder resolution; the wrapper is a ``(1+ε)α``-approx.
+        model: ``"insertion-only"`` (Algorithm 2 per guess) or
+            ``"insertion-deletion"`` (Algorithm 3 per guess).
+        seed: RNG seed shared out to the per-guess runs.
+        scale: forwarded to Algorithm 3 (sampler-count multiplier).
+        sampler_mode: forwarded to Algorithm 3.
+    """
+
+    MODELS = ("insertion-only", "insertion-deletion")
+
+    def __init__(
+        self,
+        n_vertices: int,
+        alpha: int,
+        eps: float = 0.5,
+        model: str = "insertion-only",
+        seed: int | None = None,
+        scale: float = 1.0,
+        sampler_mode: str = "fast",
+    ) -> None:
+        if model not in self.MODELS:
+            raise ValueError(f"model must be one of {self.MODELS}, got {model!r}")
+        self.n_vertices = n_vertices
+        self.alpha = alpha
+        self.eps = eps
+        self.model = model
+        self.guesses = degree_guesses(n_vertices, eps)
+        root = random.Random(seed)
+        self._runs: List[Tuple[int, object]] = []
+        for guess in self.guesses:
+            run_seed = root.getrandbits(64)
+            if model == "insertion-only":
+                algorithm: object = InsertionOnlyFEwW(
+                    n_vertices, guess, alpha, seed=run_seed
+                )
+            else:
+                algorithm = InsertionDeletionFEwW(
+                    n_vertices,
+                    n_vertices,
+                    guess,
+                    alpha,
+                    seed=run_seed,
+                    scale=scale,
+                    sampler_mode=sampler_mode,
+                )
+            self._runs.append((guess, algorithm))
+
+    # ------------------------------------------------------------------
+    # Stream processing.
+    # ------------------------------------------------------------------
+
+    def process_undirected(
+        self,
+        edges: Iterable[Tuple[int, int]],
+        signs: Iterable[int] | None = None,
+    ) -> "StarDetection":
+        """Double-cover an undirected edge stream and feed every run."""
+        stream = bipartite_double_cover(edges, self.n_vertices, signs)
+        return self.process(stream)
+
+    def process(self, stream: EdgeStream) -> "StarDetection":
+        """Feed an already-doubled bipartite stream to every run."""
+        for item in stream:
+            for _, algorithm in self._runs:
+                algorithm.process_item(item)  # type: ignore[attr-defined]
+        return self
+
+    # ------------------------------------------------------------------
+    # Output.
+    # ------------------------------------------------------------------
+
+    def result(self) -> StarDetectionResult:
+        """Largest neighbourhood over all successful guesses.
+
+        Raises:
+            AlgorithmFailed: when every guess's run failed (only possible
+            on an empty graph or with algorithm failure probability).
+        """
+        best: Optional[StarDetectionResult] = None
+        for guess, algorithm in self._runs:
+            try:
+                neighbourhood = algorithm.result()  # type: ignore[attr-defined]
+            except AlgorithmFailed:
+                continue
+            if best is None or neighbourhood.size > best.size:
+                best = StarDetectionResult(neighbourhood, guess)
+        if best is None:
+            raise AlgorithmFailed("Star Detection: every degree-guess run failed")
+        return best
+
+    def approximation_ratio(self) -> float:
+        """The wrapper's guarantee, ``(1+ε) α``."""
+        return (1 + self.eps) * self.alpha
+
+    # ------------------------------------------------------------------
+    # Space accounting.
+    # ------------------------------------------------------------------
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        breakdown = SpaceBreakdown()
+        for guess, algorithm in self._runs:
+            breakdown.merge(
+                algorithm.space_breakdown(),  # type: ignore[attr-defined]
+                prefix=f"guess {guess}: ",
+            )
+        return breakdown
+
+    def space_words(self) -> int:
+        return self.space_breakdown().total_words()

@@ -1,0 +1,40 @@
+"""Sketching substrate: hashing, sparse recovery, and ℓ₀-sampling.
+
+The insertion-deletion algorithm of the paper (Algorithm 3) is built on
+ℓ₀-samplers in the style of Jowhari, Sağlam and Tardos [26]: structures
+that process a stream of signed coordinate updates to a huge implicit
+vector and, at query time, return a uniformly random member of the
+vector's support.  This package implements the full stack from scratch:
+
+* :mod:`repro.sketch.hashing` — k-wise independent hash families over a
+  Mersenne-prime field;
+* :mod:`repro.sketch.onesparse` — 1-sparse recovery cells with a
+  fingerprint test;
+* :mod:`repro.sketch.ssparse` — s-sparse recovery by hashing into
+  1-sparse cells;
+* :mod:`repro.sketch.l0` — the geometric-level ℓ₀-sampler;
+* :mod:`repro.sketch.exact` — exact counters used as oracles by tests.
+"""
+
+from repro.sketch.hashing import KWiseHash, PRIME_61, random_kwise
+from repro.sketch.onesparse import OneSparseCell, OneSparseResult
+from repro.sketch.ssparse import SSparseRecovery
+from repro.sketch.l0 import L0Sampler, L0SamplerBank, l0_sampler_space_words
+from repro.sketch.exact import DegreeCounter, ExactSupport
+from repro.sketch.bloom import BloomFilter, DuplicateFilter
+
+__all__ = [
+    "BloomFilter",
+    "DegreeCounter",
+    "DuplicateFilter",
+    "ExactSupport",
+    "KWiseHash",
+    "L0Sampler",
+    "L0SamplerBank",
+    "OneSparseCell",
+    "OneSparseResult",
+    "PRIME_61",
+    "SSparseRecovery",
+    "l0_sampler_space_words",
+    "random_kwise",
+]

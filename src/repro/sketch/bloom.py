@@ -1,0 +1,104 @@
+"""Bloom filters, and a streaming duplicate filter built on them.
+
+The paper's related work cites multi-stage Bloom filters [11] among the
+classical FE toolkit; here a Bloom filter serves a substrate role: the
+FEwW problem is defined on *simple* graphs, but raw application logs
+(router packets, database updates) repeat (item, witness) pairs.
+:class:`DuplicateFilter` turns a raw pair stream into a near-simple
+edge stream in small space, at the cost of a tunable false-positive
+rate (a duplicate-looking pair is dropped, so a small fraction of
+genuine first arrivals is lost — which only lowers observed degrees,
+never inflates them).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable, List
+
+from repro.sketch.hashing import KWiseHash, random_kwise
+
+
+class BloomFilter:
+    """Standard Bloom filter over integer keys.
+
+    Args:
+        capacity: expected number of distinct insertions.
+        fp_rate: target false-positive probability at capacity.
+        rng: randomness for the hash functions.
+    """
+
+    def __init__(self, capacity: int, fp_rate: float, rng: random.Random) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0 < fp_rate < 1:
+            raise ValueError(f"fp_rate must be in (0,1), got {fp_rate}")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        self.n_bits = max(8, math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        self.n_hashes = max(1, round(self.n_bits / capacity * math.log(2)))
+        self._hashes: List[KWiseHash] = [
+            random_kwise(2, self.n_bits, rng) for _ in range(self.n_hashes)
+        ]
+        self._bits = bytearray((self.n_bits + 7) // 8)
+        self._count = 0
+
+    def _positions(self, key: int) -> List[int]:
+        return [hash_function(key) for hash_function in self._hashes]
+
+    def add(self, key: int) -> None:
+        """Insert a key (idempotent)."""
+        for position in self._positions(key):
+            self._bits[position // 8] |= 1 << (position % 8)
+        self._count += 1
+
+    def __contains__(self, key: int) -> bool:
+        return all(
+            self._bits[position // 8] & (1 << (position % 8))
+            for position in self._positions(key)
+        )
+
+    def expected_fp_rate(self) -> float:
+        """Current false-positive estimate from the standard formula."""
+        if self._count == 0:
+            return 0.0
+        exponent = -self.n_hashes * self._count / self.n_bits
+        return (1.0 - math.exp(exponent)) ** self.n_hashes
+
+    def space_words(self) -> int:
+        """Bit array (packed into words) plus the hash functions."""
+        array_words = math.ceil(self.n_bits / 64)
+        return array_words + sum(h.space_words() for h in self._hashes)
+
+
+class DuplicateFilter:
+    """Drop repeated (item, witness) pairs from a raw stream.
+
+    Wraps a Bloom filter keyed on the pair's flat index.  ``admit``
+    returns True exactly when the pair should be forwarded to the FEwW
+    algorithm: the first arrival of a pair is admitted unless a Bloom
+    false positive (probability ``fp_rate``) suppresses it; later
+    arrivals are always suppressed.  Degrees seen downstream are
+    therefore *under*-estimates by at most an ``fp_rate`` fraction —
+    the safe direction for FEwW's promise.
+    """
+
+    def __init__(self, n: int, m: int, capacity: int, fp_rate: float,
+                 rng: random.Random) -> None:
+        self.n = n
+        self.m = m
+        self._bloom = BloomFilter(capacity, fp_rate, rng)
+
+    def admit(self, a: int, b: int) -> bool:
+        """True when the (a, b) pair is seen for the (apparent) first time."""
+        if not (0 <= a < self.n and 0 <= b < self.m):
+            raise ValueError(f"pair ({a}, {b}) out of range ({self.n}, {self.m})")
+        key = a * self.m + b
+        if key in self._bloom:
+            return False
+        self._bloom.add(key)
+        return True
+
+    def space_words(self) -> int:
+        return self._bloom.space_words()

@@ -1,0 +1,95 @@
+"""Exact counting structures.
+
+:class:`DegreeCounter` is the degree-tracking component both FEwW
+algorithms charge ``O(n log n)`` bits for.  :class:`ExactSupport`
+maintains the exact support of a signed vector; it serves as the ground
+truth oracle in tests and as the backing store of the "fast" ℓ₀-sampler
+bank mode (see :mod:`repro.sketch.l0`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class DegreeCounter:
+    """Exact per-A-vertex degree counts.
+
+    The paper's algorithms maintain the degree of every A-vertex, space
+    ``O(n log n)`` bits.  We charge one word per vertex regardless of how
+    many are non-zero, matching that accounting.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        self._degrees: List[int] = [0] * n
+
+    def increment(self, a: int, delta: int = 1) -> int:
+        """Adjust vertex ``a``'s degree and return the new value."""
+        if not 0 <= a < self.n:
+            raise ValueError(f"vertex {a} out of range [0, {self.n})")
+        self._degrees[a] += delta
+        if self._degrees[a] < 0:
+            raise ValueError(f"degree of vertex {a} went negative")
+        return self._degrees[a]
+
+    def degree(self, a: int) -> int:
+        """Current degree of vertex ``a``."""
+        if not 0 <= a < self.n:
+            raise ValueError(f"vertex {a} out of range [0, {self.n})")
+        return self._degrees[a]
+
+    def vertices_with_degree_at_least(self, threshold: int) -> List[int]:
+        """All vertices of current degree >= threshold (ascending ids)."""
+        return [a for a, degree in enumerate(self._degrees) if degree >= threshold]
+
+    def max_degree(self) -> int:
+        """Largest current degree."""
+        return max(self._degrees)
+
+    def space_words(self) -> int:
+        """One counter word per A-vertex."""
+        return self.n
+
+
+class ExactSupport:
+    """Exact support of a signed integer vector under updates.
+
+    Used as the verification oracle for sketches and as the backing
+    state of the accelerated ℓ₀-sampler bank.  Not space-metered: it is
+    simulator state, never charged to a streaming algorithm.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self._values: Dict[int, int] = {}
+
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``vector[index] += delta``, dropping zeros."""
+        if not 0 <= index < self.dim:
+            raise ValueError(f"index {index} out of range [0, {self.dim})")
+        new_value = self._values.get(index, 0) + delta
+        if new_value == 0:
+            self._values.pop(index, None)
+        else:
+            self._values[index] = new_value
+
+    def support(self) -> List[int]:
+        """Sorted list of non-zero coordinates."""
+        return sorted(self._values)
+
+    def support_size(self) -> int:
+        return len(self._values)
+
+    def value(self, index: int) -> int:
+        return self._values.get(index, 0)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._values.items())
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._values

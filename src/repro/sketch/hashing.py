@@ -1,0 +1,82 @@
+"""k-wise independent hash families over a Mersenne-prime field.
+
+A degree-(k-1) polynomial with uniform random coefficients over
+GF(p) evaluated at distinct points is a k-wise independent family — the
+textbook construction, sufficient for every sketch in this library.
+We use the Mersenne prime ``p = 2**61 - 1`` so all arithmetic fits in
+Python integers comfortably and the modular reduction is cheap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+#: Mersenne prime 2^61 - 1 used as the field size for all hash families.
+PRIME_61 = (1 << 61) - 1
+
+
+class KWiseHash:
+    """A member of a k-wise independent hash family ``[p] -> [range_size]``.
+
+    Evaluates ``h(x) = (poly(x) mod p) mod range_size`` where ``poly`` has
+    ``k`` uniformly random coefficients.  The modular bucketing introduces
+    the usual negligible bias for ``range_size << p``.
+
+    Args:
+        coefficients: the ``k`` polynomial coefficients, constant term
+            last; all must lie in ``[0, p)``.
+        range_size: size of the output range.
+    """
+
+    __slots__ = ("coefficients", "range_size")
+
+    def __init__(self, coefficients: Sequence[int], range_size: int) -> None:
+        if not coefficients:
+            raise ValueError("need at least one coefficient")
+        if range_size <= 0:
+            raise ValueError(f"range_size must be positive, got {range_size}")
+        for coefficient in coefficients:
+            if not 0 <= coefficient < PRIME_61:
+                raise ValueError(f"coefficient {coefficient} out of field range")
+        self.coefficients: List[int] = list(coefficients)
+        self.range_size = range_size
+
+    @property
+    def independence(self) -> int:
+        """The k of the k-wise family (number of coefficients)."""
+        return len(self.coefficients)
+
+    def __call__(self, x: int) -> int:
+        value = 0
+        for coefficient in self.coefficients:
+            value = (value * x + coefficient) % PRIME_61
+        return value % self.range_size
+
+    def field_value(self, x: int) -> int:
+        """Raw polynomial value in GF(p) before bucketing (for fingerprints)."""
+        value = 0
+        for coefficient in self.coefficients:
+            value = (value * x + coefficient) % PRIME_61
+        return value
+
+    def space_words(self) -> int:
+        """One word per coefficient plus the range size."""
+        return len(self.coefficients) + 1
+
+
+def random_kwise(k: int, range_size: int, rng: random.Random) -> KWiseHash:
+    """Draw a uniformly random member of the k-wise family.
+
+    The leading coefficient is drawn from ``[1, p)`` so the polynomial
+    has true degree ``k - 1`` (for ``k >= 2``); this does not affect the
+    independence guarantee and avoids degenerate constant hashes.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k == 1:
+        coefficients = [rng.randrange(PRIME_61)]
+    else:
+        coefficients = [rng.randrange(1, PRIME_61)]
+        coefficients.extend(rng.randrange(PRIME_61) for _ in range(k - 1))
+    return KWiseHash(coefficients, range_size)

@@ -1,0 +1,200 @@
+"""ℓ₀-samplers: uniform sampling from the support of a signed vector.
+
+An ℓ₀-sampler processes a stream of signed coordinate updates to an
+implicit vector of dimension ``dim`` and, at query time, outputs a
+(near-)uniform member of the final support — correct even when updates
+cancel.  The paper's insertion-deletion algorithm (Algorithm 3) consumes
+these as a black box, citing Jowhari–Sağlam–Tardos [26] for the bound
+``O(log²(dim) · log(1/δ))`` bits per sampler.
+
+:class:`L0Sampler` is the real structure: nested geometric subsampling
+levels, an s-sparse recovery per level, and a min-hash tiebreak so that
+the returned coordinate is uniform over the support.
+
+:class:`L0SamplerBank` manages the many independent samplers Algorithm 3
+needs.  It has two modes:
+
+* ``"exact"`` — every sampler is a real :class:`L0Sampler`; updates fan
+  out to each of them.  Faithful but slow; used by tests and small
+  benchmarks.
+* ``"fast"`` — the bank tracks the exact support once (simulator state,
+  not charged) and at query time draws each sampler's output uniformly
+  from the support with an independent seeded RNG.  Distributionally
+  this matches a bank of ideal ℓ₀-samplers; space is *accounted* with
+  the paper's formula via :func:`l0_sampler_space_words`.  This keeps
+  Algorithm 3 runnable at benchmark sizes in pure Python.  The
+  equivalence of the two modes is property-tested in
+  ``tests/sketch/test_l0.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.sketch.exact import ExactSupport
+from repro.sketch.hashing import KWiseHash, random_kwise
+from repro.sketch.ssparse import SSparseRecovery
+
+
+def l0_sampler_space_words(dim: int, delta: float) -> int:
+    """Paper-accounted words for one ℓ₀-sampler.
+
+    Jowhari et al. give ``O(log²(dim) · log(1/δ))`` bits; we account
+    ``ceil(log2(dim))² · ceil(log2(1/δ))`` bits rounded up to words,
+    with constant 1 (the comparisons in the benchmarks are about shape,
+    not constants).
+    """
+    if dim <= 1:
+        log_dim = 1
+    else:
+        log_dim = math.ceil(math.log2(dim))
+    log_delta = max(1, math.ceil(math.log2(1.0 / delta)))
+    bits = log_dim * log_dim * log_delta
+    return max(1, math.ceil(bits / 64))
+
+
+class L0Sampler:
+    """A single ℓ₀-sampler over vectors of dimension ``dim``.
+
+    Args:
+        dim: vector dimension.
+        delta: failure probability target; drives the per-level sparse
+            recovery size.
+        rng: randomness for level hashes, recovery structures and the
+            tiebreak hash.
+    """
+
+    def __init__(self, dim: int, delta: float, rng: random.Random) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must be in (0,1), got {delta}")
+        self.dim = dim
+        self.delta = delta
+        self.n_levels = max(1, math.ceil(math.log2(dim)) + 1)
+        sparsity = max(2, math.ceil(math.log2(2.0 / delta)))
+        self._level_hash: KWiseHash = random_kwise(2, 1 << self.n_levels, rng)
+        self._tiebreak: KWiseHash = random_kwise(2, 1 << 61, rng)
+        self._recoveries: List[SSparseRecovery] = [
+            SSparseRecovery(dim, sparsity, delta / (2 * self.n_levels), rng)
+            for _ in range(self.n_levels)
+        ]
+
+    def _level_of(self, index: int) -> int:
+        """Deepest level at which ``index`` survives nested subsampling.
+
+        Index survives level ``l`` iff the low ``l`` bits of its level
+        hash are zero, so survival probabilities are 1, 1/2, 1/4, ...
+        and levels are nested.
+        """
+        value = self._level_hash(index)
+        level = 0
+        while level + 1 < self.n_levels and value % (1 << (level + 1)) == 0:
+            level += 1
+        return level
+
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``vector[index] += delta``."""
+        deepest = self._level_of(index)
+        for level in range(deepest + 1):
+            self._recoveries[level].update(index, delta)
+
+    def sample(self) -> Optional[int]:
+        """Return a near-uniform support coordinate, or None on failure.
+
+        Scans levels from deepest to shallowest; at the first level whose
+        recovery decodes to a non-empty set, returns the coordinate with
+        the smallest tiebreak hash.  Returns None when every level fails
+        or the vector is empty.
+        """
+        for level in range(self.n_levels - 1, -1, -1):
+            decoded = self._recoveries[level].decode()
+            if decoded is None:
+                continue
+            if decoded:
+                return min(decoded, key=self._tiebreak)
+        return None
+
+    def space_words(self) -> int:
+        """Actual words retained: recoveries plus the two hashes."""
+        return (
+            sum(recovery.space_words() for recovery in self._recoveries)
+            + self._level_hash.space_words()
+            + self._tiebreak.space_words()
+        )
+
+
+class L0SamplerBank:
+    """A bank of ``count`` independent ℓ₀-samplers over one vector.
+
+    Args:
+        dim: vector dimension shared by all samplers.
+        count: number of samplers.
+        delta: per-sampler failure probability.
+        rng: randomness source.
+        mode: ``"exact"`` (real sketches) or ``"fast"`` (support-tracking
+            simulation with analytically accounted space — see module
+            docstring).
+    """
+
+    MODES = ("exact", "fast")
+
+    def __init__(
+        self,
+        dim: int,
+        count: int,
+        delta: float,
+        rng: random.Random,
+        mode: str = "fast",
+    ) -> None:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.dim = dim
+        self.count = count
+        self.delta = delta
+        self.mode = mode
+        if mode == "exact":
+            self._samplers: List[L0Sampler] = [
+                L0Sampler(dim, delta, rng) for _ in range(count)
+            ]
+            self._support: Optional[ExactSupport] = None
+            self._draw_rng: Optional[random.Random] = None
+        else:
+            self._samplers = []
+            self._support = ExactSupport(dim)
+            self._draw_rng = random.Random(rng.getrandbits(64))
+
+    def update(self, index: int, delta: int) -> None:
+        """Fan ``vector[index] += delta`` out to every sampler."""
+        if self.mode == "exact":
+            for sampler in self._samplers:
+                sampler.update(index, delta)
+        else:
+            assert self._support is not None
+            self._support.update(index, delta)
+
+    def sample_all(self) -> List[Optional[int]]:
+        """Query every sampler; entries are None on (simulated) failure."""
+        if self.mode == "exact":
+            return [sampler.sample() for sampler in self._samplers]
+        assert self._support is not None and self._draw_rng is not None
+        support = self._support.support()
+        if not support:
+            return [None] * self.count
+        results: List[Optional[int]] = []
+        for _ in range(self.count):
+            if self._draw_rng.random() < self.delta:
+                results.append(None)
+            else:
+                results.append(self._draw_rng.choice(support))
+        return results
+
+    def space_words(self) -> int:
+        """Exact mode: sum of real structure sizes.  Fast mode: paper formula."""
+        if self.mode == "exact":
+            return sum(sampler.space_words() for sampler in self._samplers)
+        return self.count * l0_sampler_space_words(self.dim, self.delta)

@@ -1,0 +1,98 @@
+"""1-sparse recovery cells.
+
+A 1-sparse recovery cell processes signed updates ``(index, delta)`` to
+an implicit vector and can, at query time, decide whether the vector is
+exactly 1-sparse (support size one) and if so return the index and value
+of the single non-zero coordinate.
+
+The cell stores three accumulators:
+
+* ``weight``  = sum of deltas,
+* ``dot``     = sum of ``index * delta``,
+* ``fingerprint`` = sum of ``delta * r^index`` in GF(p) for a random r.
+
+If the vector is 1-sparse with support ``{i}`` and value ``w``, then
+``weight = w``, ``dot = i * w``, and the fingerprint equals
+``w * r^i``.  The fingerprint test catches vectors that merely *look*
+1-sparse on the first two accumulators; a false positive requires the
+random ``r`` to be a root of a non-zero polynomial of degree <= dim,
+probability <= dim / p (Schwartz–Zippel).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.sketch.hashing import PRIME_61
+
+
+class CellState(Enum):
+    """Decoded state of a 1-sparse cell."""
+
+    ZERO = "zero"
+    ONE_SPARSE = "one-sparse"
+    COLLISION = "collision"
+
+
+@dataclass(frozen=True)
+class OneSparseResult:
+    """Decoded contents of a cell: state and, when 1-sparse, (index, value)."""
+
+    state: CellState
+    index: Optional[int] = None
+    value: Optional[int] = None
+
+
+class OneSparseCell:
+    """A single 1-sparse recovery cell over vectors of dimension ``dim``.
+
+    Args:
+        dim: dimension of the implicit vector; indices must lie in
+            ``[0, dim)``.
+        rng: source of randomness for the fingerprint base.
+    """
+
+    __slots__ = ("dim", "_r", "_weight", "_dot", "_fingerprint")
+
+    def __init__(self, dim: int, rng: random.Random) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self._r = rng.randrange(2, PRIME_61)
+        self._weight = 0
+        self._dot = 0
+        self._fingerprint = 0
+
+    def update(self, index: int, delta: int) -> None:
+        """Apply ``vector[index] += delta``."""
+        if not 0 <= index < self.dim:
+            raise ValueError(f"index {index} out of range [0, {self.dim})")
+        self._weight += delta
+        self._dot += index * delta
+        self._fingerprint = (
+            self._fingerprint + delta * pow(self._r, index, PRIME_61)
+        ) % PRIME_61
+
+    def decode(self) -> OneSparseResult:
+        """Classify the cell and recover the coordinate when 1-sparse."""
+        if self._weight == 0 and self._dot == 0 and self._fingerprint == 0:
+            return OneSparseResult(CellState.ZERO)
+        if self._weight != 0 and self._dot % self._weight == 0:
+            index = self._dot // self._weight
+            if 0 <= index < self.dim:
+                expected = (self._weight * pow(self._r, index, PRIME_61)) % PRIME_61
+                if expected == self._fingerprint:
+                    return OneSparseResult(CellState.ONE_SPARSE, index, self._weight)
+        return OneSparseResult(CellState.COLLISION)
+
+    def is_zero(self) -> bool:
+        """True when every accumulator is zero (vector certainly empty... or
+        an exact cancellation, probability <= dim/p)."""
+        return self._weight == 0 and self._dot == 0 and self._fingerprint == 0
+
+    def space_words(self) -> int:
+        """Three accumulators plus the fingerprint base."""
+        return 4

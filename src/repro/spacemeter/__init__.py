@@ -1,0 +1,35 @@
+"""Uniform space accounting for streaming data structures.
+
+The paper states its results in bits of working memory.  Python object
+sizes say nothing useful about that, so every streaming structure in this
+library implements the :class:`SpaceMetered` protocol and reports the
+number of *machine words* a careful C implementation would retain: one
+word per stored counter, one word per stored vertex identifier, two words
+per stored edge, and so on.  Benchmarks compare these counts against the
+paper's bounds.
+
+The conversion between words and bits uses ``WORD_BITS`` (64) so that the
+poly-logarithmic factors in the paper's bounds (an edge costs
+``O(log n)`` bits) appear as a constant number of words for the problem
+sizes we run.
+"""
+
+from repro.spacemeter.meter import (
+    WORD_BITS,
+    SpaceBreakdown,
+    SpaceMetered,
+    edge_words,
+    vertex_words,
+    words_to_bits,
+)
+from repro.spacemeter.tracker import SpaceTracker
+
+__all__ = [
+    "WORD_BITS",
+    "SpaceBreakdown",
+    "SpaceMetered",
+    "SpaceTracker",
+    "edge_words",
+    "vertex_words",
+    "words_to_bits",
+]

@@ -1,0 +1,88 @@
+"""Word-level space accounting primitives.
+
+Every streaming structure reports its retained state in machine words via
+``space_words()``.  A *word* is a 64-bit quantity able to hold a vertex
+identifier, a counter, or a hash-function coefficient for any problem
+size this library runs (``n, m <= 2**60``).
+
+The accounting rules, used consistently across the library:
+
+* a stored vertex identifier or counter costs :func:`vertex_words` (1),
+* a stored edge costs :func:`edge_words` (2: both endpoints),
+* a hash function of independence ``k`` costs ``k`` words (its
+  coefficients),
+* auxiliary scalars (loop counters, thresholds) owned by a structure cost
+  one word each and are reported in the structure's breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Protocol, runtime_checkable
+
+#: Number of bits in one accounting word.
+WORD_BITS = 64
+
+
+def vertex_words(count: int = 1) -> int:
+    """Words needed to store ``count`` vertex identifiers or counters."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return count
+
+
+def edge_words(count: int = 1) -> int:
+    """Words needed to store ``count`` edges (two endpoints each)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return 2 * count
+
+
+def words_to_bits(words: int) -> int:
+    """Convert an accounting word count to bits."""
+    return words * WORD_BITS
+
+
+@runtime_checkable
+class SpaceMetered(Protocol):
+    """Protocol implemented by every space-accounted structure."""
+
+    def space_words(self) -> int:
+        """Total machine words currently retained by the structure."""
+        ...
+
+
+@dataclass
+class SpaceBreakdown:
+    """Itemised space report for a composite structure.
+
+    Components map a human-readable label (``"reservoir"``,
+    ``"degree counts"``) to a word count.  The breakdown is what the
+    space benchmarks print next to the paper's predicted terms.
+    """
+
+    components: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, label: str, words: int) -> None:
+        """Add ``words`` to component ``label`` (creating it if absent)."""
+        if words < 0:
+            raise ValueError(f"negative space for {label!r}: {words}")
+        self.components[label] = self.components.get(label, 0) + words
+
+    def merge(self, other: "SpaceBreakdown", prefix: str = "") -> None:
+        """Fold ``other`` into this breakdown, optionally prefixing labels."""
+        for label, words in other.components.items():
+            self.add(prefix + label, words)
+
+    def total_words(self) -> int:
+        """Sum of all component word counts."""
+        return sum(self.components.values())
+
+    def total_bits(self) -> int:
+        """Total space in bits."""
+        return words_to_bits(self.total_words())
+
+    def __str__(self) -> str:
+        rows = [f"  {label}: {words} words" for label, words in sorted(self.components.items())]
+        rows.append(f"  TOTAL: {self.total_words()} words ({self.total_bits()} bits)")
+        return "\n".join(rows)

@@ -1,0 +1,63 @@
+"""Peak-space tracking over a stream's lifetime.
+
+``space_words()`` reports *current* retained state, but streaming space
+complexity is about the *maximum* over the run.  :class:`SpaceTracker`
+wraps any algorithm exposing ``process_item`` and ``space_words`` and
+samples the space at a configurable update interval, recording the peak
+and a (time, words) trace for plotting-style analysis in benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.streams.edge import StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class SpaceTracker:
+    """Wrap an algorithm and record its space profile during a stream.
+
+    Args:
+        algorithm: any object with ``process_item(item)`` and
+            ``space_words()``.
+        sample_every: measure space every this many updates (1 = every
+            update; raise it for long streams).
+    """
+
+    def __init__(self, algorithm, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.algorithm = algorithm
+        self.sample_every = sample_every
+        self._updates = 0
+        self.peak_words = algorithm.space_words()
+        self.trace: List[Tuple[int, int]] = [(0, self.peak_words)]
+
+    def process_item(self, item: StreamItem) -> None:
+        """Forward one update, sampling space on the configured cadence."""
+        self.algorithm.process_item(item)
+        self._updates += 1
+        if self._updates % self.sample_every == 0:
+            words = self.algorithm.space_words()
+            self.trace.append((self._updates, words))
+            if words > self.peak_words:
+                self.peak_words = words
+
+    def process(self, stream: EdgeStream) -> "SpaceTracker":
+        """Forward an entire stream; a final sample is always taken."""
+        for item in stream:
+            self.process_item(item)
+        if self._updates % self.sample_every != 0:
+            words = self.algorithm.space_words()
+            self.trace.append((self._updates, words))
+            self.peak_words = max(self.peak_words, words)
+        return self
+
+    @property
+    def updates_seen(self) -> int:
+        return self._updates
+
+    def final_words(self) -> int:
+        """Space retained after the last update."""
+        return self.algorithm.space_words()

@@ -1,0 +1,130 @@
+"""Adapters between application data and the bipartite stream model.
+
+The paper motivates FEwW with three applications (database logs, social
+networks, router traffic logs).  All of them reduce to a bipartite edge
+stream: items become A-vertices and their satellite data (users,
+timestamps, source IPs) become B-vertices.  :class:`LabelCodec` performs
+that mapping for arbitrary hashable labels, and
+:func:`log_records_to_stream` applies it to (item, witness) record logs.
+
+Star Detection on a general graph reduces to FEwW on the *bipartite
+double cover* (proof of Lemma 3.3): every undirected edge ``uv`` becomes
+the two directed edges ``u->v`` and ``v->u``.  :func:`bipartite_double_cover`
+implements that transformation on streams, preserving update order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.streams.edge import Edge, StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class LabelCodec:
+    """Bidirectional mapping from hashable labels to dense integer ids.
+
+    Streaming applications identify items by strings (IP addresses, row
+    keys); the algorithms need dense integers.  The codec assigns ids in
+    first-seen order so that encoding is deterministic given the input
+    order.
+    """
+
+    def __init__(self) -> None:
+        self._to_id: Dict[Hashable, int] = {}
+        self._to_label: List[Hashable] = []
+
+    def encode(self, label: Hashable) -> int:
+        """Return the id for ``label``, assigning a fresh one if new."""
+        existing = self._to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._to_label)
+        self._to_id[label] = new_id
+        self._to_label.append(label)
+        return new_id
+
+    def decode(self, identifier: int) -> Hashable:
+        """Return the label for ``identifier``.
+
+        Raises:
+            KeyError: if the identifier was never assigned.
+        """
+        if not 0 <= identifier < len(self._to_label):
+            raise KeyError(f"unknown identifier {identifier}")
+        return self._to_label[identifier]
+
+    def __len__(self) -> int:
+        return len(self._to_label)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._to_id
+
+
+def log_records_to_stream(
+    records: Sequence[Tuple[Hashable, Hashable]],
+    n: int | None = None,
+    m: int | None = None,
+) -> Tuple[EdgeStream, LabelCodec, LabelCodec]:
+    """Convert an (item, witness) record log into an insertion-only stream.
+
+    Args:
+        records: (item label, witness label) pairs in arrival order, e.g.
+            (destination IP, timestamp) for a router log.  Repeated pairs
+            are dropped (the graph is simple): a witness proves one unit
+            of frequency once.
+        n: number of A-vertices; defaults to the number of distinct items.
+        m: number of B-vertices; defaults to the number of distinct
+            witnesses.
+
+    Returns:
+        The edge stream plus the item codec and the witness codec, so
+        callers can translate an algorithm's output back to labels.
+    """
+    item_codec = LabelCodec()
+    witness_codec = LabelCodec()
+    seen: set = set()
+    items: List[StreamItem] = []
+    for item_label, witness_label in records:
+        pair = (item_codec.encode(item_label), witness_codec.encode(witness_label))
+        if pair in seen:
+            continue
+        seen.add(pair)
+        items.append(StreamItem(Edge(pair[0], pair[1])))
+    final_n = n if n is not None else max(len(item_codec), 1)
+    final_m = m if m is not None else max(len(witness_codec), 1)
+    return EdgeStream(items, final_n, final_m), item_codec, witness_codec
+
+
+def bipartite_double_cover(
+    undirected_edges: Iterable[Tuple[int, int]],
+    n_vertices: int,
+    signs: Iterable[int] | None = None,
+) -> EdgeStream:
+    """Build the doubled bipartite stream used by Star Detection.
+
+    Every undirected edge ``(u, v)`` of a general graph on
+    ``n_vertices`` vertices yields two bipartite edges: A-vertex ``u`` to
+    B-vertex ``v`` and A-vertex ``v`` to B-vertex ``u`` (Lemma 3.3's
+    construction ``H = (V, V, E')``).  The degree of A-vertex ``u`` in
+    the cover equals the degree of ``u`` in the original graph.
+
+    Args:
+        undirected_edges: edges of the general graph, in stream order.
+        n_vertices: number of vertices of the general graph.
+        signs: optional per-edge signs (+1/-1) for insertion-deletion
+            streams; both directed copies inherit the sign.
+    """
+    edge_list = list(undirected_edges)
+    sign_list = list(signs) if signs is not None else [1] * len(edge_list)
+    if len(sign_list) != len(edge_list):
+        raise ValueError(
+            f"got {len(edge_list)} edges but {len(sign_list)} signs"
+        )
+    items: List[StreamItem] = []
+    for (u, v), sign in zip(edge_list, sign_list):
+        if u == v:
+            raise ValueError(f"self-loop {u} not allowed in a simple graph")
+        items.append(StreamItem(Edge(u, v), sign))
+        items.append(StreamItem(Edge(v, u), sign))
+    return EdgeStream(items, n_vertices, n_vertices)

@@ -1,0 +1,72 @@
+"""Edges and signed stream updates.
+
+Vertices are integers: A-vertices live in ``[0, n)`` and B-vertices in
+``[0, m)``.  The two sides are separate identifier spaces — the edge
+``Edge(3, 3)`` connects A-vertex 3 to B-vertex 3, which are different
+vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Sign of an edge insertion in an insertion-deletion stream.
+INSERT = 1
+
+#: Sign of an edge deletion in an insertion-deletion stream.
+DELETE = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """An edge of the bipartite input graph ``G = (A, B, E)``.
+
+    Attributes:
+        a: the A-side endpoint (the *item*, e.g. a destination IP).
+        b: the B-side endpoint (the *witness*, e.g. a timestamp).
+    """
+
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.a < 0 or self.b < 0:
+            raise ValueError(f"vertex identifiers must be non-negative: {self}")
+
+    def flat_index(self, m: int) -> int:
+        """Position of this edge in the flattened ``n x m`` indicator vector.
+
+        Insertion-deletion algorithms treat the edge set as a vector of
+        dimension ``n * m``; this is the coordinate of the edge in that
+        vector.
+        """
+        if self.b >= m:
+            raise ValueError(f"b={self.b} out of range for m={m}")
+        return self.a * m + self.b
+
+    @staticmethod
+    def from_flat_index(index: int, m: int) -> "Edge":
+        """Inverse of :meth:`flat_index`."""
+        if index < 0:
+            raise ValueError(f"index must be non-negative, got {index}")
+        return Edge(index // m, index % m)
+
+
+@dataclass(frozen=True, slots=True)
+class StreamItem:
+    """A signed edge update: ``sign`` is :data:`INSERT` or :data:`DELETE`."""
+
+    edge: Edge
+    sign: int = INSERT
+
+    def __post_init__(self) -> None:
+        if self.sign not in (INSERT, DELETE):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+
+    @property
+    def is_insert(self) -> bool:
+        return self.sign == INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.sign == DELETE

@@ -1,0 +1,186 @@
+"""In-memory edge streams with validity checking and statistics.
+
+:class:`EdgeStream` is the container handed to every streaming algorithm
+in this library.  It stores the full update sequence (the *reference*
+view used by tests and benchmarks to verify algorithm output), while the
+algorithms themselves only ever see it one item at a time via iteration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Set
+
+from repro.streams.edge import DELETE, INSERT, Edge, StreamItem
+
+
+class InvalidStreamError(ValueError):
+    """Raised when a stream violates the simple-graph update rules."""
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Summary statistics of a stream's final graph."""
+
+    n_updates: int
+    n_inserts: int
+    n_deletes: int
+    n_edges_final: int
+    n_a_vertices: int
+    n_b_vertices: int
+    max_degree: int
+    max_degree_vertex: int
+
+    def __str__(self) -> str:
+        return (
+            f"StreamStats(updates={self.n_updates}, inserts={self.n_inserts}, "
+            f"deletes={self.n_deletes}, final_edges={self.n_edges_final}, "
+            f"max_degree={self.max_degree} at a={self.max_degree_vertex})"
+        )
+
+
+class EdgeStream:
+    """A sequence of signed edge updates describing a simple bipartite graph.
+
+    Args:
+        items: the update sequence.
+        n: number of A-vertices (identifiers must lie in ``[0, n)``).
+        m: number of B-vertices (identifiers must lie in ``[0, m)``).
+        validate: when True (default), check identifier ranges and the
+            simple-graph discipline — no duplicate insertion of a live
+            edge, no deletion of an absent edge.
+
+    The class is iterable (yields :class:`StreamItem`) and indexable; its
+    reference helpers (:meth:`final_edges`, :meth:`degree_of`,
+    :meth:`neighbours_of`, :meth:`stats`) compute ground truth for
+    verification and are *not* available to streaming algorithms, which
+    must only iterate.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[StreamItem],
+        n: int,
+        m: int,
+        validate: bool = True,
+    ) -> None:
+        if n <= 0 or m <= 0:
+            raise ValueError(f"n and m must be positive, got n={n}, m={m}")
+        self._items: List[StreamItem] = list(items)
+        self.n = n
+        self.m = m
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        live: Set[Edge] = set()
+        for position, item in enumerate(self._items):
+            edge = item.edge
+            if edge.a >= self.n:
+                raise InvalidStreamError(
+                    f"update {position}: A-vertex {edge.a} out of range [0, {self.n})"
+                )
+            if edge.b >= self.m:
+                raise InvalidStreamError(
+                    f"update {position}: B-vertex {edge.b} out of range [0, {self.m})"
+                )
+            if item.sign == INSERT:
+                if edge in live:
+                    raise InvalidStreamError(
+                        f"update {position}: duplicate insert of live edge {edge}"
+                    )
+                live.add(edge)
+            else:
+                if edge not in live:
+                    raise InvalidStreamError(
+                        f"update {position}: delete of absent edge {edge}"
+                    )
+                live.remove(edge)
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> StreamItem:
+        return self._items[index]
+
+    @property
+    def insertion_only(self) -> bool:
+        """True when the stream contains no deletions."""
+        return all(item.is_insert for item in self._items)
+
+    # ------------------------------------------------------------------
+    # Reference (ground-truth) helpers for verification.
+    # ------------------------------------------------------------------
+
+    def final_edges(self) -> Set[Edge]:
+        """Edges present after all updates are applied."""
+        live: Set[Edge] = set()
+        for item in self._items:
+            if item.sign == INSERT:
+                live.add(item.edge)
+            else:
+                live.discard(item.edge)
+        return live
+
+    def final_degrees(self) -> Dict[int, int]:
+        """Final degree of every A-vertex with at least one edge."""
+        degrees: Counter = Counter()
+        for edge in self.final_edges():
+            degrees[edge.a] += 1
+        return dict(degrees)
+
+    def degree_of(self, a: int) -> int:
+        """Final degree of A-vertex ``a``."""
+        return self.final_degrees().get(a, 0)
+
+    def neighbours_of(self, a: int) -> Set[int]:
+        """Final B-side neighbourhood of A-vertex ``a``."""
+        return {edge.b for edge in self.final_edges() if edge.a == a}
+
+    def max_degree(self) -> int:
+        """Largest final A-vertex degree (0 for the empty graph)."""
+        degrees = self.final_degrees()
+        return max(degrees.values()) if degrees else 0
+
+    def stats(self) -> StreamStats:
+        """Full summary statistics of the final graph."""
+        degrees = self.final_degrees()
+        final = self.final_edges()
+        if degrees:
+            max_vertex = max(degrees, key=lambda a: (degrees[a], -a))
+            max_deg = degrees[max_vertex]
+        else:
+            max_vertex, max_deg = -1, 0
+        return StreamStats(
+            n_updates=len(self._items),
+            n_inserts=sum(1 for item in self._items if item.is_insert),
+            n_deletes=sum(1 for item in self._items if item.is_delete),
+            n_edges_final=len(final),
+            n_a_vertices=len({edge.a for edge in final}),
+            n_b_vertices=len({edge.b for edge in final}),
+            max_degree=max_deg,
+            max_degree_vertex=max_vertex,
+        )
+
+    def concatenate(self, other: "EdgeStream") -> "EdgeStream":
+        """Concatenate two streams over compatible vertex sets."""
+        if (self.n, self.m) != (other.n, other.m):
+            raise ValueError(
+                f"incompatible dimensions: ({self.n},{self.m}) vs ({other.n},{other.m})"
+            )
+        return EdgeStream(self._items + list(other._items), self.n, self.m)
+
+
+def stream_from_edges(
+    edges: Iterable[Edge],
+    n: int,
+    m: int,
+    validate: bool = True,
+) -> EdgeStream:
+    """Build an insertion-only stream from an edge iterable (in order)."""
+    items = [StreamItem(edge, INSERT) for edge in edges]
+    return EdgeStream(items, n, m, validate=validate)

@@ -1,0 +1,105 @@
+"""Stream transformations for experiment construction.
+
+Deterministic, composable operations on :class:`EdgeStream` used when
+building workloads: seeded shuffles, interleavings, reversals,
+duplicate injection (for exercising :class:`DuplicateFilter`), and
+sub-sampling.  All return new streams; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.streams.edge import INSERT, StreamItem
+from repro.streams.stream import EdgeStream
+
+
+def shuffled(stream: EdgeStream, seed: int) -> EdgeStream:
+    """Uniformly permute an insertion-only stream's arrival order.
+
+    Raises:
+        ValueError: for turnstile streams, where reordering can make a
+        deletion precede its insertion.
+    """
+    if not stream.insertion_only:
+        raise ValueError("cannot shuffle a stream with deletions")
+    items = list(stream)
+    random.Random(seed).shuffle(items)
+    return EdgeStream(items, stream.n, stream.m)
+
+
+def reversed_stream(stream: EdgeStream) -> EdgeStream:
+    """Reverse arrival order (insertion-only; same final graph)."""
+    if not stream.insertion_only:
+        raise ValueError("cannot reverse a stream with deletions")
+    return EdgeStream(list(stream)[::-1], stream.n, stream.m)
+
+
+def interleaved(streams: Sequence[EdgeStream], seed: int | None = None) -> EdgeStream:
+    """Merge several streams over the same vertex sets.
+
+    With ``seed`` given, the merge order is a uniformly random
+    interleaving (each stream's internal order preserved); without it,
+    streams are concatenated.  All inputs must share dimensions and be
+    jointly valid (disjoint edge sets for insertion-only inputs).
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    dimensions = {(stream.n, stream.m) for stream in streams}
+    if len(dimensions) != 1:
+        raise ValueError(f"streams have mismatched dimensions: {dimensions}")
+    n, m = dimensions.pop()
+    if seed is None:
+        items = [item for stream in streams for item in stream]
+        return EdgeStream(items, n, m)
+    rng = random.Random(seed)
+    cursors = [list(stream) for stream in streams]
+    positions = [0] * len(cursors)
+    ticket_pool: List[int] = []
+    for index, cursor in enumerate(cursors):
+        ticket_pool.extend([index] * len(cursor))
+    rng.shuffle(ticket_pool)
+    items = []
+    for source in ticket_pool:
+        items.append(cursors[source][positions[source]])
+        positions[source] += 1
+    return EdgeStream(items, n, m)
+
+
+def with_duplicates(
+    stream: EdgeStream, duplication_factor: float, seed: int
+) -> List[StreamItem]:
+    """Inject repeated arrivals of existing pairs into a raw item list.
+
+    Returns a *raw update list* (not an :class:`EdgeStream`, which
+    enforces simplicity) in which each original insert is followed,
+    with probability ``duplication_factor``, by an immediate repeat —
+    the input shape :class:`~repro.sketch.bloom.DuplicateFilter`
+    de-duplicates.
+    """
+    if not stream.insertion_only:
+        raise ValueError("duplicate injection applies to insertion-only streams")
+    if duplication_factor < 0:
+        raise ValueError(f"duplication_factor must be >= 0, got {duplication_factor}")
+    rng = random.Random(seed)
+    raw: List[StreamItem] = []
+    for item in stream:
+        raw.append(item)
+        repeats = int(duplication_factor)
+        if rng.random() < duplication_factor - repeats:
+            repeats += 1
+        raw.extend(StreamItem(item.edge, INSERT) for _ in range(repeats))
+    return raw
+
+
+def subsampled(stream: EdgeStream, keep_probability: float, seed: int) -> EdgeStream:
+    """Keep each insert independently with the given probability
+    (insertion-only streams; used for quick scaled-down pilots)."""
+    if not stream.insertion_only:
+        raise ValueError("subsampling applies to insertion-only streams")
+    if not 0 <= keep_probability <= 1:
+        raise ValueError(f"keep_probability must be in [0,1], got {keep_probability}")
+    rng = random.Random(seed)
+    items = [item for item in stream if rng.random() < keep_probability]
+    return EdgeStream(items, stream.n, stream.m)

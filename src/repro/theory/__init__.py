@@ -1,0 +1,51 @@
+"""Theory utilities: the paper's closed-form bounds, Baranyai partitions,
+and empirical information-theory estimators.
+
+:mod:`repro.theory.bounds` encodes every quantitative claim of the paper
+as a function, so benchmarks can print *paper-predicted vs. measured*
+rows; :mod:`repro.theory.baranyai` constructs the hypergraph
+1-factorisations behind Lemma 4.5; :mod:`repro.theory.information`
+estimates entropies and mutual information on small instances to
+illustrate the lower-bound arguments.
+"""
+
+from repro.theory.bounds import (
+    deg_res_success_lower_bound,
+    insertion_deletion_lower_bound_words,
+    insertion_deletion_space_words,
+    insertion_only_lower_bound_words,
+    insertion_only_space_words,
+    sampling_lemma_draws,
+    set_disjointness_lower_bound_words,
+    trivial_witness_lower_bound_words,
+)
+from repro.theory.stats import (
+    binomial_tail_bound,
+    chi_square_uniformity_pvalue,
+    wilson_interval,
+)
+from repro.theory.baranyai import baranyai_partition, is_baranyai_partition
+from repro.theory.information import (
+    empirical_entropy,
+    empirical_mutual_information,
+    entropy_of_counts,
+)
+
+__all__ = [
+    "baranyai_partition",
+    "binomial_tail_bound",
+    "chi_square_uniformity_pvalue",
+    "trivial_witness_lower_bound_words",
+    "wilson_interval",
+    "deg_res_success_lower_bound",
+    "empirical_entropy",
+    "empirical_mutual_information",
+    "entropy_of_counts",
+    "insertion_deletion_lower_bound_words",
+    "insertion_deletion_space_words",
+    "insertion_only_lower_bound_words",
+    "insertion_only_space_words",
+    "is_baranyai_partition",
+    "sampling_lemma_draws",
+    "set_disjointness_lower_bound_words",
+]

@@ -1,0 +1,168 @@
+"""Constructive Baranyai partitions (Theorem 4.4).
+
+Baranyai's theorem: for ``k | n``, the complete ``k``-uniform hypergraph
+on ``[n]`` is 1-factorisable — the ``C(n, k)`` hyperedges can be
+partitioned into ``C(n-1, k-1)`` *parallel classes*, each consisting of
+``n/k`` pairwise-disjoint ``k``-sets covering ``[n]``.  The paper's
+Lemma 4.5 uses exactly this partition to split the subsets
+``X(x_{i-1})`` so the chain rule telescopes.
+
+We implement the classical inductive flow construction: elements are
+introduced one at a time; at stage ``i`` each class holds ``n/k``
+*partial edges* (subsets of the first ``i`` elements), and the invariant
+is that each subset ``S`` of the first ``i`` elements occurs as a
+partial edge exactly ``C(n-i, k-|S|)`` times across all classes.  The
+stage step assigns element ``i`` to exactly one partial edge per class;
+the assignment exists by integrality of a flow polytope whose fractional
+feasibility is checked in the proof (each class sends ``(k-|S|)/(n-i)``
+fractional units per copy of ``S``).  We find the integral flow with
+:func:`networkx.algorithms.flow.maximum_flow`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, FrozenSet, List, Tuple
+
+import networkx as nx
+
+Factor = List[FrozenSet[int]]
+
+
+def baranyai_partition(n: int, k: int) -> List[Factor]:
+    """Partition all k-subsets of ``range(n)`` into parallel classes.
+
+    Args:
+        n: ground-set size.
+        k: uniformity; must divide ``n``.
+
+    Returns:
+        ``C(n-1, k-1)`` classes, each a list of ``n // k`` disjoint
+        frozensets whose union is ``range(n)``.
+
+    Raises:
+        ValueError: when ``k`` does not divide ``n`` or is out of range.
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if n % k != 0:
+        raise ValueError(f"Baranyai's theorem needs k | n, got n={n}, k={k}")
+    n_classes = math.comb(n - 1, k - 1)
+    per_class = n // k
+    # classes[j] is a list of partial edges (tuples, kept sorted).
+    classes: List[List[Tuple[int, ...]]] = [
+        [() for _ in range(per_class)] for _ in range(n_classes)
+    ]
+    for element in range(n):
+        assignment = _assign_element(classes, element, n, k)
+        for class_index, edge_position in assignment.items():
+            previous = classes[class_index][edge_position]
+            classes[class_index][edge_position] = previous + (element,)
+    return [[frozenset(edge) for edge in cls] for cls in classes]
+
+
+def _assign_element(
+    classes: List[List[Tuple[int, ...]]],
+    element: int,
+    n: int,
+    k: int,
+) -> Dict[int, int]:
+    """Choose, for each class, which partial edge receives ``element``.
+
+    Builds the stage flow network (source -> subset types -> classes ->
+    sink) and extracts an integral assignment from a maximum flow.
+
+    Returns:
+        mapping of class index to the position (within the class's edge
+        list) of the edge receiving the element.
+    """
+    remaining = n - element  # elements not yet placed, including this one
+    # Count how many classes must extend each subset type.
+    type_demand: Dict[Tuple[int, ...], int] = {}
+    type_holders: Dict[Tuple[int, ...], List[Tuple[int, int]]] = {}
+    for class_index, edges in enumerate(classes):
+        for position, edge in enumerate(edges):
+            if len(edge) >= k:
+                continue
+            type_holders.setdefault(edge, []).append((class_index, position))
+    for edge_type in type_holders:
+        type_demand[edge_type] = math.comb(remaining - 1, k - len(edge_type) - 1)
+
+    graph = nx.DiGraph()
+    source, sink = "source", "sink"
+    for edge_type, demand in type_demand.items():
+        if demand <= 0:
+            continue
+        type_node = ("type", edge_type)
+        graph.add_edge(source, type_node, capacity=demand)
+        multiplicity: Counter = Counter()
+        for class_index, _ in type_holders[edge_type]:
+            multiplicity[class_index] += 1
+        for class_index, count in multiplicity.items():
+            graph.add_edge(type_node, ("class", class_index), capacity=count)
+    for class_index in range(len(classes)):
+        graph.add_edge(("class", class_index), sink, capacity=1)
+
+    flow_value, flow = nx.maximum_flow(graph, source, sink)
+    if flow_value != len(classes):
+        raise RuntimeError(
+            f"Baranyai stage flow infeasible at element {element}: "
+            f"flow {flow_value} != classes {len(classes)} (library bug)"
+        )
+
+    assignment: Dict[int, int] = {}
+    for edge_type, holders in type_holders.items():
+        type_node = ("type", edge_type)
+        if type_node not in flow:
+            continue
+        takers = {
+            node[1]: units
+            for node, units in flow[type_node].items()
+            if isinstance(node, tuple) and node[0] == "class" and units > 0
+        }
+        positions: Dict[int, List[int]] = {}
+        for class_index, position in holders:
+            positions.setdefault(class_index, []).append(position)
+        for class_index, units in takers.items():
+            if units != 1:
+                raise RuntimeError(
+                    f"class {class_index} assigned {units} copies of one type"
+                )
+            assignment[class_index] = positions[class_index].pop()
+    if len(assignment) != len(classes):
+        raise RuntimeError(
+            f"element {element}: only {len(assignment)} of {len(classes)} "
+            f"classes received an assignment"
+        )
+    return assignment
+
+
+def is_baranyai_partition(partition: List[Factor], n: int, k: int) -> bool:
+    """Verify the three conditions of Theorem 4.4.
+
+    (1) every class has ``n/k`` edges; (2) classes are edge-disjoint and
+    jointly exhaust all ``C(n, k)`` k-subsets; (3) each class's edges
+    partition ``range(n)``.
+    """
+    if n % k != 0:
+        return False
+    expected_classes = math.comb(n - 1, k - 1)
+    if len(partition) != expected_classes:
+        return False
+    seen: set = set()
+    ground = frozenset(range(n))
+    for cls in partition:
+        if len(cls) != n // k:
+            return False
+        union: set = set()
+        for edge in cls:
+            if len(edge) != k or edge in seen:
+                return False
+            if union & edge:
+                return False
+            seen.add(edge)
+            union |= edge
+        if union != ground:
+            return False
+    return len(seen) == math.comb(n, k)

@@ -1,0 +1,134 @@
+"""Closed-form versions of every quantitative bound in the paper.
+
+Benchmarks use these to print paper-predicted values next to measured
+ones.  All space formulas return *words* (see :mod:`repro.spacemeter`):
+a ``log n``-bit quantity is one word at our problem sizes, so the
+paper's ``log`` factors inside bit-bounds collapse into the word unit,
+while structural factors (counts of stored items) remain.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def deg_res_success_lower_bound(n1: int, n2: int, s: int) -> float:
+    """Lemma 3.1: success probability of ``Deg-Res-Sampling(d1, d2, s)``.
+
+    Given at most ``n1`` A-vertices of degree >= d1 and at least ``n2``
+    of degree >= d1 + d2 - 1, the run succeeds with probability at least
+    ``1 - (1 - s/n1)^{n2} >= 1 - e^{-s n2 / n1}``.  Returns the (tighter)
+    first form, clamped to [0, 1]; returns 1.0 when the reservoir can
+    hold every candidate (``n1 <= s``).
+    """
+    if n1 < 0 or n2 < 0 or s < 1:
+        raise ValueError(f"need n1, n2 >= 0 and s >= 1, got {n1}, {n2}, {s}")
+    if n2 == 0:
+        return 0.0
+    if n1 <= s:
+        return 1.0
+    return 1.0 - (1.0 - s / n1) ** n2
+
+
+def sampling_lemma_draws(n: int, k: int, ell: int, c: float = 4.0) -> int:
+    """Lemma 5.1: draws needed to hit ``ell`` distinct members of a
+    ``k``-subset of an ``n``-universe with probability ``1 - n^{-(c-3)}``.
+
+    Returns ``ceil(c * ln(n) * n * ell / k)``.
+    """
+    if not 1 <= ell <= k <= n:
+        raise ValueError(f"need 1 <= ell <= k <= n, got ell={ell}, k={k}, n={n}")
+    return math.ceil(c * math.log(max(n, 2)) * n * ell / k)
+
+
+# ----------------------------------------------------------------------
+# Upper bounds (space of the paper's algorithms), in words.
+# ----------------------------------------------------------------------
+
+
+def insertion_only_space_words(n: int, d: int, alpha: int) -> int:
+    """Theorem 3.2: ``O(n log n + n^{1/α} d log² n)`` bits.
+
+    In words: ``n`` (degree table) plus ``s * d2 * 2`` per run summed
+    over α runs, where ``s = ceil(ln n * n^{1/α})`` and
+    ``d2 = ceil(d/α)`` — i.e. the worst case of the structure the
+    algorithm actually retains.  One residual ``log n`` factor (the
+    reservoir size's ``ln n``) stays, matching the ``log² n`` in the bit
+    bound (the other log is the per-edge word).
+    """
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    s = math.ceil(math.log(max(n, 2)) * n ** (1.0 / alpha))
+    d2 = math.ceil(d / alpha)
+    per_run = s * d2 * 2 + s + 1
+    return n + alpha * per_run
+
+
+def insertion_deletion_space_words(
+    n: int,
+    m: int,
+    d: int,
+    alpha: float,
+    scale: float = 1.0,
+) -> int:
+    """Theorem 5.4: ``Õ(dn/α²)`` for ``α <= √n``, ``Õ(√n d/α)`` otherwise.
+
+    Computed from the algorithm's actual sampler counts times the paper's
+    per-sampler cost, so the crossover at ``α = √n`` emerges naturally.
+    """
+    from repro.core.insertion_deletion import (
+        edge_sampler_count,
+        samplers_per_vertex,
+        vertex_sample_size,
+    )
+    from repro.sketch.l0 import l0_sampler_space_words
+
+    delta = 1.0 / (max(n, 2) ** 10 * d)
+    vertex_words = (
+        vertex_sample_size(n, alpha, scale)
+        * samplers_per_vertex(n, d, alpha, scale)
+        * l0_sampler_space_words(m, delta)
+    )
+    edge_words = edge_sampler_count(n, m, d, alpha, scale) * l0_sampler_space_words(
+        n * m, delta
+    )
+    return vertex_words + edge_words
+
+
+# ----------------------------------------------------------------------
+# Lower bounds, in words (poly-log factors suppressed as in the paper).
+# ----------------------------------------------------------------------
+
+
+def trivial_witness_lower_bound_words(d: int, alpha: float) -> float:
+    """§1.3's trivial bound: any FEwW output holds >= d/α witnesses, so
+    any correct algorithm retains Ω(d/α) words at output time."""
+    if alpha <= 0 or d < 1:
+        raise ValueError(f"need d >= 1 and alpha > 0, got d={d}, alpha={alpha}")
+    return d / alpha
+
+
+def set_disjointness_lower_bound_words(n: int, alpha: float) -> float:
+    """Theorem 4.1: ``Ω(n / α²)`` for any ``α/1.01``-approximation."""
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    return n / alpha**2
+
+
+def insertion_only_lower_bound_words(n: int, d: int, alpha: int) -> float:
+    """Theorems 4.1 + 4.8 combined: ``Ω(n/α² + n^{1/(α-1)} d / α²)``.
+
+    Stated for integral ``α >= 2`` (Theorem 4.8 uses ``p = 1.01 α``
+    parties; we report the exponent ``1/(α-1)`` form from §1.1).
+    """
+    if alpha < 2:
+        raise ValueError(f"alpha must be >= 2 for this bound, got {alpha}")
+    return n / alpha**2 + (n ** (1.0 / (alpha - 1))) * d / alpha**2
+
+
+def insertion_deletion_lower_bound_words(n: int, d: int, alpha: float) -> float:
+    """Theorem 6.4: ``Ω(nd / (α² log n))`` — returned without the log
+    factor (word accounting already absorbs one log)."""
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    return n * d / alpha**2

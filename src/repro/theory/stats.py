@@ -1,0 +1,70 @@
+"""Statistical test helpers for randomised-structure verification.
+
+The library's correctness claims are probabilistic (uniform reservoir
+samples, uniform ℓ₀-samples, success probabilities).  These helpers
+give the test suite principled acceptance thresholds instead of ad-hoc
+tolerances:
+
+* :func:`chi_square_uniformity_pvalue` — is an observed histogram
+  consistent with the uniform distribution?
+* :func:`binomial_tail_bound` — is an observed success count consistent
+  with a claimed success probability?
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+
+def chi_square_uniformity_pvalue(counts: Sequence[int]) -> float:
+    """P-value of the chi-square test against the uniform distribution.
+
+    Small values (< 0.001, say) indicate the histogram is unlikely to
+    come from uniform sampling.  Requires at least two categories and a
+    positive total.
+    """
+    if len(counts) < 2:
+        raise ValueError(f"need at least 2 categories, got {len(counts)}")
+    total = sum(counts)
+    if total <= 0:
+        raise ValueError("need a positive total count")
+    if any(count < 0 for count in counts):
+        raise ValueError("counts must be non-negative")
+    expected = total / len(counts)
+    statistic = sum((count - expected) ** 2 / expected for count in counts)
+    return float(scipy_stats.chi2.sf(statistic, df=len(counts) - 1))
+
+
+def binomial_tail_bound(successes: int, trials: int, claimed_p: float) -> float:
+    """Probability of seeing <= ``successes`` in ``trials`` draws when
+    each succeeds with probability ``claimed_p``.
+
+    A tiny value means the observation refutes the claimed success
+    probability; tests assert this stays above their significance
+    threshold.
+    """
+    if not 0 <= successes <= trials:
+        raise ValueError(f"need 0 <= successes <= trials, got {successes}/{trials}")
+    if not 0.0 <= claimed_p <= 1.0:
+        raise ValueError(f"claimed_p must be in [0,1], got {claimed_p}")
+    return float(scipy_stats.binom.cdf(successes, trials, claimed_p))
+
+
+def wilson_interval(successes: int, trials: int, z: float = 2.576) -> tuple[float, float]:
+    """Wilson score confidence interval for a success rate (z=2.576 ≈ 99%)."""
+    if trials <= 0:
+        raise ValueError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"need 0 <= successes <= trials, got {successes}/{trials}")
+    p_hat = successes / trials
+    denominator = 1 + z**2 / trials
+    centre = (p_hat + z**2 / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z**2 / (4 * trials**2))
+        / denominator
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)

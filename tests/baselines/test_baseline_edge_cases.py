@@ -1,0 +1,57 @@
+"""Edge cases in the classical baselines' update paths."""
+
+import pytest
+
+from repro.baselines.misra_gries import MisraGries
+from repro.baselines.space_saving import SpaceSaving
+
+
+class TestMisraGriesWeightedEviction:
+    def test_weight_spanning_decrement(self):
+        """A weighted update larger than the minimum counter must apply
+        the leftover after the decrement round (the recursive branch)."""
+        summary = MisraGries(1)
+        summary.update(1, 1)
+        summary.update(2, 5)  # decrement by 1 clears item 1; leftover 4
+        assert summary.estimate(1) == 0
+        assert summary.estimate(2) == 4
+        assert summary._length == 6
+
+    def test_weighted_update_equal_to_minimum(self):
+        summary = MisraGries(1)
+        summary.update(1, 3)
+        summary.update(2, 3)  # decrement 3 clears both; leftover 0
+        assert summary.estimate(1) == 0
+        assert summary.estimate(2) == 0
+        assert summary._length == 6
+
+    def test_guarantee_survives_weighted_updates(self):
+        summary = MisraGries(3)
+        true = {}
+        for item, weight in [(1, 10), (2, 4), (3, 1), (4, 7), (5, 2), (1, 3)]:
+            summary.update(item, weight)
+            true[item] = true.get(item, 0) + weight
+        length = sum(true.values())
+        for item, count in true.items():
+            estimate = summary.estimate(item)
+            assert estimate <= count
+            assert estimate >= count - length / 4 - 1e-9
+
+
+class TestSpaceSavingTies:
+    def test_eviction_breaks_ties_deterministically(self):
+        """With all counters equal, evicting any is valid; the estimate
+        invariant must hold regardless."""
+        summary = SpaceSaving(2)
+        summary.update(1)
+        summary.update(2)
+        summary.update(3)  # evicts one of the two, inherits count 1
+        assert summary.estimate(3) == 2
+        assert summary.guaranteed_count(3) == 1
+
+    def test_repeated_churn_keeps_sum_invariant(self):
+        summary = SpaceSaving(3)
+        for item in range(30):
+            summary.update(item)
+        assert sum(summary._counters.values()) == 30
+        assert len(summary._counters) == 3

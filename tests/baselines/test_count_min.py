@@ -1,0 +1,95 @@
+"""Tests for the Count-Min sketch baseline."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.count_min import CountMinSketch
+from repro.streams.edge import DELETE, Edge, StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class TestBasics:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0.0, 0.1)
+        with pytest.raises(ValueError):
+            CountMinSketch(1.0, 0.1)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0.1, 0.0)
+
+    def test_dimensions(self):
+        sketch = CountMinSketch(0.01, 0.01)
+        assert sketch.width == math.ceil(math.e / 0.01)
+        assert sketch.rows == math.ceil(math.log(100))
+
+    def test_single_item(self):
+        sketch = CountMinSketch(0.1, 0.05, seed=0)
+        sketch.update(42, 3)
+        assert sketch.estimate(42) >= 3
+
+    def test_supports_deletions(self):
+        sketch = CountMinSketch(0.1, 0.05, seed=1)
+        sketch.update(7, 5)
+        sketch.update(7, -5)
+        assert sketch.estimate(7) == 0
+
+    def test_turnstile_stream_adapter(self):
+        items = [
+            StreamItem(Edge(3, 0)),
+            StreamItem(Edge(3, 1)),
+            StreamItem(Edge(3, 0), DELETE),
+        ]
+        sketch = CountMinSketch(0.05, 0.01, seed=2).process(EdgeStream(items, 5, 5))
+        assert sketch.estimate(3) >= 1
+
+    def test_space_words(self):
+        sketch = CountMinSketch(0.1, 0.1, seed=3)
+        expected = sketch.rows * sketch.width + 3 * sketch.rows
+        assert sketch.space_words() == expected
+
+
+class TestGuarantee:
+    def test_never_underestimates_nonnegative_streams(self):
+        rng = random.Random(4)
+        sketch = CountMinSketch(0.02, 0.01, seed=5)
+        true = {}
+        for _ in range(2000):
+            item = rng.randrange(100)
+            sketch.update(item)
+            true[item] = true.get(item, 0) + 1
+        for item, count in true.items():
+            assert sketch.estimate(item) >= count
+
+    def test_error_within_epsilon_bound(self):
+        rng = random.Random(6)
+        epsilon = 0.02
+        sketch = CountMinSketch(epsilon, 0.001, seed=7)
+        length = 3000
+        true = {}
+        for _ in range(length):
+            item = rng.randrange(200)
+            sketch.update(item)
+            true[item] = true.get(item, 0) + 1
+        violations = sum(
+            1
+            for item, count in true.items()
+            if sketch.estimate(item) > count + math.e * epsilon * length
+        )
+        assert violations == 0
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=150))
+    def test_overestimate_only(self, stream):
+        sketch = CountMinSketch(0.05, 0.01, seed=8)
+        true = {}
+        for item in stream:
+            sketch.update(item)
+            true[item] = true.get(item, 0) + 1
+        for item, count in true.items():
+            assert sketch.estimate(item) >= count

@@ -1,0 +1,70 @@
+"""Tests for the CountSketch baseline."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.baselines.count_sketch import CountSketch
+from repro.streams.edge import DELETE, Edge, StreamItem
+from repro.streams.stream import EdgeStream
+
+
+class TestBasics:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            CountSketch(0)
+        with pytest.raises(ValueError):
+            CountSketch(8, rows=0)
+
+    def test_single_item_exact_when_alone(self):
+        sketch = CountSketch(64, rows=5, seed=0)
+        sketch.update(42, 7)
+        assert sketch.estimate(42) == 7
+
+    def test_supports_deletions(self):
+        sketch = CountSketch(64, rows=5, seed=1)
+        sketch.update(3, 5)
+        sketch.update(3, -5)
+        assert sketch.estimate(3) == 0
+
+    def test_turnstile_adapter(self):
+        items = [StreamItem(Edge(2, 0)), StreamItem(Edge(2, 0), DELETE)]
+        sketch = CountSketch(32, seed=2).process(EdgeStream(items, 4, 4))
+        assert sketch.estimate(2) == 0
+
+    def test_space_words(self):
+        sketch = CountSketch(16, rows=3, seed=3)
+        assert sketch.space_words() == 3 * 16 + 6 * 3
+
+
+class TestAccuracy:
+    def test_unbiasedness_over_seeds(self):
+        """Averaged over seeds, the estimate centres on the true count."""
+        estimates = []
+        for seed in range(60):
+            sketch = CountSketch(32, rows=1, seed=seed)
+            sketch.update(0, 50)
+            for item in range(1, 40):
+                sketch.update(item, 1)
+            estimates.append(sketch.estimate(0))
+        mean = statistics.mean(estimates)
+        assert abs(mean - 50) < 6
+
+    def test_heavy_item_recovered_sharply(self):
+        rng = random.Random(4)
+        sketch = CountSketch(128, rows=7, seed=5)
+        sketch.update(999, 300)
+        for _ in range(1000):
+            sketch.update(rng.randrange(500), 1)
+        assert abs(sketch.estimate(999) - 300) < 60
+
+    def test_median_robust_to_one_bad_row(self):
+        """With several rows the median damps collision noise."""
+        few = CountSketch(8, rows=1, seed=6)
+        many = CountSketch(8, rows=9, seed=6)
+        for sketch in (few, many):
+            sketch.update(0, 100)
+            for item in range(1, 30):
+                sketch.update(item, 10)
+        assert abs(many.estimate(0) - 100) <= abs(few.estimate(0) - 100) + 30

@@ -1,0 +1,119 @@
+"""Tests for summary mergeability (distributed-streams support)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.misra_gries import MisraGries
+
+
+class TestMisraGriesMerge:
+    def test_rejects_mismatched_k(self):
+        with pytest.raises(ValueError):
+            MisraGries(4).merge(MisraGries(8))
+
+    def test_merge_of_disjoint_small_streams_exact(self):
+        left, right = MisraGries(10), MisraGries(10)
+        for item in [1, 1, 2]:
+            left.update(item)
+        for item in [1, 3]:
+            right.update(item)
+        merged = left.merge(right)
+        assert merged.estimate(1) == 3
+        assert merged.estimate(2) == 1
+        assert merged.estimate(3) == 1
+
+    def test_merge_respects_counter_budget(self):
+        left, right = MisraGries(3), MisraGries(3)
+        for item in range(3):
+            left.update(item)
+            left.update(item)
+        for item in range(10, 13):
+            right.update(item)
+            right.update(item)
+        merged = left.merge(right)
+        assert len(merged._counters) <= 3
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(0, 7), max_size=150),
+        st.lists(st.integers(0, 7), max_size=150),
+        st.integers(2, 10),
+    )
+    def test_merged_guarantee_on_concatenation(self, left_stream, right_stream, k):
+        """The merged summary obeys the MG guarantee for the full
+        concatenated stream: true - L/(k+1) <= est <= true."""
+        left, right = MisraGries(k), MisraGries(k)
+        true = {}
+        for item in left_stream:
+            left.update(item)
+            true[item] = true.get(item, 0) + 1
+        for item in right_stream:
+            right.update(item)
+            true[item] = true.get(item, 0) + 1
+        merged = left.merge(right)
+        total = len(left_stream) + len(right_stream)
+        assert merged._length == total
+        for item, count in true.items():
+            estimate = merged.estimate(item)
+            assert estimate <= count
+            assert estimate >= count - total / (k + 1) - 1e-9
+
+    def test_merge_is_associative_on_lengths(self):
+        parts = [MisraGries(5) for _ in range(3)]
+        rng = random.Random(0)
+        for part in parts:
+            for _ in range(40):
+                part.update(rng.randrange(6))
+        left_first = parts[0].merge(parts[1]).merge(parts[2])
+        right_first = parts[0].merge(parts[1].merge(parts[2]))
+        assert left_first._length == right_first._length == 120
+
+
+class TestCountMinMerge:
+    def test_same_seed_sketches_merge(self):
+        left = CountMinSketch(0.1, 0.05, seed=7)
+        right = CountMinSketch(0.1, 0.05, seed=7)
+        left.update(3, 5)
+        right.update(3, 2)
+        right.update(9, 1)
+        merged = left.merge(right)
+        assert merged.estimate(3) >= 7
+        assert merged.estimate(9) >= 1
+
+    def test_different_seed_rejected(self):
+        left = CountMinSketch(0.1, 0.05, seed=1)
+        right = CountMinSketch(0.1, 0.05, seed=2)
+        assert not left.shares_hashes_with(right)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_equals_single_sketch_of_union(self):
+        """Merging sketches of two halves gives cell-for-cell the sketch
+        of the whole stream."""
+        rng = random.Random(3)
+        whole = CountMinSketch(0.05, 0.01, seed=11)
+        left = CountMinSketch(0.05, 0.01, seed=11)
+        right = CountMinSketch(0.05, 0.01, seed=11)
+        for index in range(500):
+            item = rng.randrange(50)
+            whole.update(item)
+            (left if index % 2 == 0 else right).update(item)
+        merged = left.merge(right)
+        assert merged._table == whole._table
+
+    def test_merged_never_underestimates(self):
+        rng = random.Random(4)
+        left = CountMinSketch(0.05, 0.01, seed=13)
+        right = CountMinSketch(0.05, 0.01, seed=13)
+        true = {}
+        for _ in range(300):
+            item = rng.randrange(40)
+            (left if rng.random() < 0.5 else right).update(item)
+            true[item] = true.get(item, 0) + 1
+        merged = left.merge(right)
+        for item, count in true.items():
+            assert merged.estimate(item) >= count

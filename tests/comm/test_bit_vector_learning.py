@@ -1,0 +1,158 @@
+"""Tests for Bit-Vector-Learning: instances, graph encoding, protocols."""
+
+import random
+
+import pytest
+
+from repro.comm.bit_vector_learning import (
+    bvl_graph_stream,
+    decode_witness,
+    encode_bit,
+    figure1_instance,
+    party_edges,
+    random_instance,
+    solve_bvl_via_feww,
+    trivial_bvl_protocol,
+)
+
+
+class TestInstanceDistribution:
+    def test_nested_index_sets(self):
+        instance = random_instance(3, 16, 4, random.Random(0))
+        first, second, third = instance.index_sets
+        assert list(first) == list(range(16))
+        assert set(second) <= set(first)
+        assert set(third) <= set(second)
+
+    def test_index_set_sizes(self):
+        """|X_i| = n^{1 - (i-1)/(p-1)}: 16, 4, 1 for (p=3, n=16)."""
+        instance = random_instance(3, 16, 4, random.Random(1))
+        assert [len(s) for s in instance.index_sets] == [16, 4, 1]
+
+    def test_strings_exactly_on_index_sets(self):
+        instance = random_instance(3, 16, 4, random.Random(2))
+        for party in range(3):
+            assert set(instance.strings[party]) == set(instance.index_sets[party])
+            assert all(len(bits) == 4 for bits in instance.strings[party].values())
+
+    def test_rejects_non_power_n(self):
+        with pytest.raises(ValueError):
+            random_instance(3, 15, 4, random.Random(0))
+
+    def test_rejects_single_party(self):
+        with pytest.raises(ValueError):
+            random_instance(1, 4, 2, random.Random(0))
+
+    def test_z_string_concatenation(self):
+        instance = random_instance(3, 16, 4, random.Random(3))
+        deepest = instance.index_sets[2][0]
+        expected = (
+            instance.strings[0][deepest]
+            + instance.strings[1][deepest]
+            + instance.strings[2][deepest]
+        )
+        assert instance.z_string(deepest) == expected
+
+
+class TestFigure1:
+    def test_paper_z_strings(self):
+        """The four concatenations printed in Figure 1's caption."""
+        instance = figure1_instance()
+        assert instance.z_string(0) == tuple(int(c) for c in "1001011011")
+        assert instance.z_string(1) == tuple(int(c) for c in "01000")
+        assert instance.z_string(2) == tuple(int(c) for c in "01011")
+        assert instance.z_string(3) == tuple(int(c) for c in "011110101000011")
+
+    def test_shape(self):
+        instance = figure1_instance()
+        assert (instance.p, instance.n, instance.k) == (3, 4, 5)
+        assert [len(s) for s in instance.index_sets] == [4, 2, 1]
+
+
+class TestGraphEncoding:
+    def test_encode_decode_roundtrip(self):
+        k = 5
+        for party in range(3):
+            for position in range(k):
+                for bit in (0, 1):
+                    b = encode_bit(party, position, bit, k)
+                    assert decode_witness(b, k) == (party, position, bit)
+
+    def test_encode_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            encode_bit(0, 0, 2, 5)
+
+    def test_b_vertices_disjoint_across_parties(self):
+        """Party i's B-block is [2ki, 2k(i+1))."""
+        instance = figure1_instance()
+        for party in range(instance.p):
+            for edge in party_edges(instance, party):
+                assert 2 * instance.k * party <= edge.b < 2 * instance.k * (party + 1)
+
+    def test_deepest_element_has_degree_kp(self):
+        """Δ = kp, achieved by the element of X_p (proof of Thm 4.8)."""
+        instance = figure1_instance()
+        stream = bvl_graph_stream(instance)
+        deepest = instance.index_sets[-1][0]
+        assert stream.degree_of(deepest) == instance.k * instance.p
+        assert stream.max_degree() == instance.k * instance.p
+
+    def test_figure2_example_column(self):
+        """Figure 2: Alice's edges for a4 read left-to-right give 01111."""
+        instance = figure1_instance()
+        alice = [edge for edge in party_edges(instance, 0) if edge.a == 3]
+        bits = [decode_witness(edge.b, instance.k)[2] for edge in alice]
+        assert bits == [0, 1, 1, 1, 1]
+
+    def test_every_witness_decodes_a_true_bit(self):
+        instance = random_instance(3, 16, 4, random.Random(4))
+        for party in range(3):
+            for edge in party_edges(instance, party):
+                decoded_party, position, bit = decode_witness(edge.b, instance.k)
+                assert decoded_party == party
+                assert instance.z_bit(edge.a, party, position) == bit
+
+
+class TestProtocols:
+    def test_trivial_protocol_outputs_exactly_k_bits(self):
+        instance = figure1_instance()
+        index, bits = trivial_bvl_protocol(instance)
+        assert index == 3
+        assert len(bits) == instance.k
+        assert bits == instance.strings[2][3]
+
+    def test_feww_protocol_beats_trivial(self):
+        """The reduction must learn >= 1.01k bits — strictly more than
+        the zero-communication protocol's k."""
+        instance = random_instance(3, 16, 8, random.Random(5))
+        result = solve_bvl_via_feww(instance, seed=6)
+        assert result.correct
+        assert result.n_bits >= 1.01 * instance.k
+        assert result.n_bits > len(trivial_bvl_protocol(instance)[1])
+
+    def test_figure1_instance_end_to_end(self):
+        result = solve_bvl_via_feww(figure1_instance(), seed=7)
+        assert result.correct
+        assert result.n_bits >= 1.01 * 5
+
+    def test_learned_bits_all_verified(self):
+        instance = random_instance(2, 8, 6, random.Random(8))
+        result = solve_bvl_via_feww(instance, seed=9, alpha=1)
+        assert result.correct
+        for party, position, bit in result.learned_bits:
+            assert instance.z_bit(result.index, party, position) == bit
+
+    def test_message_per_handoff(self):
+        instance = random_instance(4, 27, 4, random.Random(10))
+        result = solve_bvl_via_feww(instance, seed=11)
+        assert len(result.log) == 3
+        assert result.log.max_message_words() > 0
+
+    def test_success_rate(self):
+        successes = 0
+        trials = 20
+        for seed in range(trials):
+            instance = random_instance(3, 16, 6, random.Random(seed))
+            result = solve_bvl_via_feww(instance, seed=seed + 100)
+            successes += result.correct and result.n_bits >= 1.01 * 6
+        assert successes >= trials - 2

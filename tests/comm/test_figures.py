@@ -1,0 +1,107 @@
+"""Byte-level reproduction of the paper's three figures as constructions.
+
+Figure 1: the Bit-Vector-Learning(3, 4, 5) example instance;
+Figure 2: the graph encoding of Alice's strings in that instance;
+Figure 3: the Augmented-Matrix-Row-Index(4, 6, 2) example instance.
+"""
+
+from repro.comm.bit_vector_learning import (
+    bvl_graph_stream,
+    decode_witness,
+    figure1_instance,
+    party_edges,
+)
+from repro.comm.matrix_row_index import figure3_instance
+
+
+class TestFigure1:
+    def test_alice_strings(self):
+        instance = figure1_instance()
+        alice = instance.strings[0]
+        assert alice[0] == (1, 0, 0, 1, 0)
+        assert alice[1] == (0, 1, 0, 0, 0)
+        assert alice[2] == (0, 1, 0, 1, 1)
+        assert alice[3] == (0, 1, 1, 1, 1)
+
+    def test_bob_strings(self):
+        instance = figure1_instance()
+        bob = instance.strings[1]
+        assert set(bob) == {0, 3}
+        assert bob[0] == (1, 1, 0, 1, 1)
+        assert bob[3] == (0, 1, 0, 1, 0)
+
+    def test_charlie_strings(self):
+        instance = figure1_instance()
+        charlie = instance.strings[2]
+        assert set(charlie) == {3}
+        assert charlie[3] == (0, 0, 0, 1, 1)
+
+    def test_charlie_must_output_six_positions(self):
+        """Caption: at least 1.01 * 5, i.e. at least 6 positions."""
+        instance = figure1_instance()
+        import math
+
+        assert math.ceil(1.01 * instance.k) == 6
+
+
+class TestFigure2:
+    def test_alice_block_reads_bit_strings_left_to_right(self):
+        """Caption: the labels of the B_1-vertices connected to a_j,
+        read left-to-right, spell Y_1^j."""
+        instance = figure1_instance()
+        alice_edges = party_edges(instance, 0)
+        for vertex in range(4):
+            incident = sorted(
+                edge.b for edge in alice_edges if edge.a == vertex
+            )
+            bits = tuple(decode_witness(b, instance.k)[2] for b in incident)
+            assert bits == instance.strings[0][vertex]
+
+    def test_one_b_vertex_pair_per_bit(self):
+        """Each bit position owns two B-vertices (the 1/0 pair drawn in
+        the figure); exactly one of each pair is used per A-vertex."""
+        instance = figure1_instance()
+        for party in range(instance.p):
+            for edge in party_edges(instance, party):
+                _, position, _ = decode_witness(edge.b, instance.k)
+                assert 0 <= position < instance.k
+
+    def test_total_edge_count(self):
+        """|E_i| = k * |X_i|: 20 + 10 + 5 edges for the example."""
+        instance = figure1_instance()
+        stream = bvl_graph_stream(instance)
+        assert len(stream) == 5 * (4 + 2 + 1)
+
+
+class TestFigure3:
+    def test_alice_matrix_rows(self):
+        instance = figure3_instance()
+        assert instance.matrix == (
+            (0, 1, 1, 1, 0, 0),
+            (1, 1, 0, 0, 1, 0),
+            (0, 0, 0, 0, 1, 0),
+            (1, 0, 1, 0, 1, 0),
+        )
+
+    def test_bob_target_is_row_three(self):
+        """Caption: Bob outputs row 3 (1-indexed), unknown to him."""
+        instance = figure3_instance()
+        assert instance.target_row == 2  # 0-indexed
+        assert instance.target_row not in instance.known_positions
+
+    def test_bob_known_values_match_figure(self):
+        """Bob's displayed partial rows: (0,1,1,_,0,_), (1,1,0,_,1,_),
+        (1,0,1,_,1,_) at known columns {0,1,2,4}."""
+        instance = figure3_instance()
+        values = {
+            row: tuple(instance.known_value(row, c) for c in (0, 1, 2, 4))
+            for row in (0, 1, 3)
+        }
+        assert values[0] == (0, 1, 1, 0)
+        assert values[1] == (1, 1, 0, 1)
+        assert values[3] == (1, 0, 1, 1)
+
+    def test_parameters_match_caption(self):
+        """Caption: Bob knows 6 - 2 = 4 random positions per other row."""
+        instance = figure3_instance()
+        assert instance.m - instance.k == 4

@@ -1,0 +1,88 @@
+"""Property tests over the communication-problem instance generators:
+every sampled instance satisfies its problem's structural invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.bit_vector_learning import (
+    bvl_graph_stream,
+    random_instance as bvl_instance,
+)
+from repro.comm.matrix_row_index import random_instance as amri_instance
+from repro.comm.set_disjointness import disjoint_instance, intersecting_instance
+
+
+class TestBvlInstanceInvariants:
+    @settings(max_examples=40)
+    @given(st.integers(2, 4), st.integers(2, 4), st.integers(1, 6),
+           st.integers(0, 1000))
+    def test_structural_invariants(self, p, base, k, seed):
+        n = base ** (p - 1)
+        instance = bvl_instance(p, n, k, random.Random(seed))
+        # nested sets with the prescribed sizes
+        for i in range(p):
+            expected = round(n ** (1.0 - i / (p - 1)))
+            assert len(instance.index_sets[i]) == expected
+            if i:
+                assert set(instance.index_sets[i]) <= set(
+                    instance.index_sets[i - 1]
+                )
+        # Z-string lengths: k bits per party containing the index
+        for j in range(n):
+            containing = sum(
+                1 for i in range(p) if j in instance.strings[i]
+            )
+            assert len(instance.z_string(j)) == containing * k
+
+    @settings(max_examples=25)
+    @given(st.integers(2, 3), st.integers(2, 4), st.integers(1, 5),
+           st.integers(0, 500))
+    def test_graph_degrees_match_membership(self, p, base, k, seed):
+        """In the Figure-2 graph, vertex j's degree is k times the number
+        of parties whose set contains j; the max is k*p."""
+        n = base ** (p - 1)
+        instance = bvl_instance(p, n, k, random.Random(seed))
+        stream = bvl_graph_stream(instance)
+        degrees = stream.final_degrees()
+        for j in range(n):
+            containing = sum(1 for i in range(p) if j in instance.strings[i])
+            assert degrees.get(j, 0) == containing * k
+        assert stream.max_degree() == k * p
+
+
+class TestAmriInstanceInvariants:
+    @settings(max_examples=40)
+    @given(st.integers(2, 6), st.integers(2, 10), st.integers(0, 1000))
+    def test_structural_invariants(self, n, m, seed):
+        rng = random.Random(seed)
+        k = rng.randint(1, m)
+        instance = amri_instance(n, m, k, rng)
+        assert 0 <= instance.target_row < n
+        assert set(instance.known_positions) == set(range(n)) - {
+            instance.target_row
+        }
+        for row, columns in instance.known_positions.items():
+            assert len(columns) == m - k
+            assert len(set(columns)) == m - k
+            assert all(0 <= column < m for column in columns)
+        assert all(
+            bit in (0, 1) for row in instance.matrix for bit in row
+        )
+
+
+class TestSetDisjointnessInvariants:
+    @settings(max_examples=40)
+    @given(st.integers(2, 6), st.integers(0, 1000))
+    def test_promise_always_holds(self, p, seed):
+        rng = random.Random(seed)
+        n = p * 8
+        disjoint = disjoint_instance(p, n, rng)
+        for i in range(p):
+            for j in range(i + 1, p):
+                assert not (disjoint.sets[i] & disjoint.sets[j])
+        intersecting = intersecting_instance(p, n, rng)
+        common = set.intersection(*map(set, intersecting.sets))
+        assert len(common) == 1

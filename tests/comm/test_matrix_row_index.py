@@ -1,0 +1,133 @@
+"""Tests for Augmented-Matrix-Row-Index and the Lemma 6.3 reduction."""
+
+import random
+
+import pytest
+
+from repro.comm.matrix_row_index import (
+    figure3_instance,
+    random_instance,
+    solve_amri_via_feww,
+)
+
+
+class TestInstanceDistribution:
+    def test_shape(self):
+        instance = random_instance(6, 10, 3, random.Random(0))
+        assert len(instance.matrix) == 6
+        assert all(len(row) == 10 for row in instance.matrix)
+        assert 0 <= instance.target_row < 6
+
+    def test_known_positions_cover_all_other_rows(self):
+        instance = random_instance(6, 10, 3, random.Random(1))
+        assert set(instance.known_positions) == set(range(6)) - {
+            instance.target_row
+        }
+        assert all(
+            len(columns) == 10 - 3
+            for columns in instance.known_positions.values()
+        )
+
+    def test_known_value_lookup(self):
+        instance = random_instance(5, 8, 2, random.Random(2))
+        row = next(iter(instance.known_positions))
+        column = instance.known_positions[row][0]
+        assert instance.known_value(row, column) == instance.matrix[row][column]
+
+    def test_known_value_rejects_target_row(self):
+        instance = random_instance(5, 8, 2, random.Random(3))
+        with pytest.raises(KeyError):
+            instance.known_value(instance.target_row, 0)
+
+    def test_known_value_rejects_unknown_column(self):
+        instance = random_instance(5, 8, 2, random.Random(4))
+        row = next(iter(instance.known_positions))
+        unknown = next(
+            column
+            for column in range(8)
+            if column not in instance.known_positions[row]
+        )
+        with pytest.raises(KeyError):
+            instance.known_value(row, unknown)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            random_instance(5, 8, 0, random.Random(0))
+        with pytest.raises(ValueError):
+            random_instance(5, 8, 9, random.Random(0))
+
+
+class TestFigure3:
+    def test_matches_paper(self):
+        instance = figure3_instance()
+        assert (instance.n, instance.m, instance.k) == (4, 6, 2)
+        assert instance.target_row == 2
+        assert instance.target_row_bits() == (0, 0, 0, 0, 1, 0)
+        assert instance.matrix[0] == (0, 1, 1, 1, 0, 0)
+
+    def test_bob_knows_four_positions_per_other_row(self):
+        instance = figure3_instance()
+        assert set(instance.known_positions) == {0, 1, 3}
+        assert all(len(cols) == 4 for cols in instance.known_positions.values())
+
+
+class TestReduction:
+    def test_figure3_end_to_end(self):
+        instance = figure3_instance()
+        result = solve_amri_via_feww(
+            instance, alpha=1.0, seed=0, repetition_constant=4, scale=0.3
+        )
+        assert result.correct
+        assert result.recovered_row == (0, 0, 0, 0, 1, 0)
+
+    def test_row_with_many_ones_uses_direct_runs(self):
+        """A target row of >= d ones is recovered from the non-inverted
+        runs (first branch of the decision rule)."""
+        rng = random.Random(5)
+        while True:
+            instance = random_instance(5, 8, 1, rng)
+            if sum(instance.target_row_bits()) >= 4:  # d = m/2 = 4
+                break
+        result = solve_amri_via_feww(
+            instance, alpha=2.0, seed=6, repetition_constant=6, scale=0.3
+        )
+        assert result.correct
+        assert not result.used_inverted
+
+    def test_row_with_few_ones_uses_inverted_runs(self):
+        rng = random.Random(7)
+        while True:
+            instance = random_instance(5, 8, 1, rng)
+            if sum(instance.target_row_bits()) < 4:
+                break
+        result = solve_amri_via_feww(
+            instance, alpha=2.0, seed=8, repetition_constant=6, scale=0.3
+        )
+        assert result.correct
+        assert result.used_inverted
+
+    def test_rejects_k_too_large_for_alpha(self):
+        instance = random_instance(4, 8, 3, random.Random(9))
+        # d = 4, alpha = 2 -> threshold 2, need k <= 1 but k = 3
+        with pytest.raises(ValueError):
+            solve_amri_via_feww(instance, alpha=2.0, seed=0)
+
+    def test_success_rate_over_distribution(self):
+        correct = 0
+        trials = 12
+        for seed in range(trials):
+            instance = random_instance(4, 8, 1, random.Random(seed))
+            result = solve_amri_via_feww(
+                instance, alpha=2.0, seed=seed + 50,
+                repetition_constant=6, scale=0.25,
+            )
+            correct += result.correct
+        assert correct >= trials - 1
+
+    def test_messages_logged_per_repetition(self):
+        instance = figure3_instance()
+        result = solve_amri_via_feww(
+            instance, alpha=1.0, seed=1, repetition_constant=2, scale=0.2
+        )
+        # two directions (plain + inverted) per repetition
+        assert len(result.log) == 2 * result.repetitions

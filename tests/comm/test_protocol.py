@@ -1,0 +1,32 @@
+"""Tests for protocol message bookkeeping."""
+
+import pytest
+
+from repro.comm.protocol import MessageLog
+from repro.spacemeter import WORD_BITS
+
+
+class TestMessageLog:
+    def test_empty_log(self):
+        log = MessageLog()
+        assert log.max_message_words() == 0
+        assert log.total_words() == 0
+        assert len(log) == 0
+
+    def test_record_and_max(self):
+        log = MessageLog()
+        log.record(0, 1, 100)
+        log.record(1, 2, 250)
+        log.record(2, 3, 50)
+        assert log.max_message_words() == 250
+        assert log.total_words() == 400
+        assert len(log) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MessageLog().record(0, 1, -1)
+
+    def test_bits_conversion(self):
+        log = MessageLog()
+        log.record(0, 1, 7)
+        assert log.max_message_bits() == 7 * WORD_BITS

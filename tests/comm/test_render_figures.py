@@ -1,0 +1,41 @@
+"""Tests for the figure renderers shared by CLI and examples."""
+
+from repro.comm.figures import (
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figures,
+)
+
+
+class TestRenderers:
+    def test_figure1_contains_all_strings(self):
+        text = render_figure1()
+        for fragment in (
+            "Y^1_1=10010",
+            "Y^4_2=01010",
+            "Y^4_3=00011",
+            "Z_1 = 1001011011",
+            "Z_4 = 011110101000011",
+        ):
+            assert fragment in text
+
+    def test_figure2_reports_correct_protocol(self):
+        text = render_figure2(seed=1)
+        assert "Delta = k*p = 15" in text
+        assert "all correct: True" in text
+        assert "only 5 bits" in text
+
+    def test_figure3_recovers_row(self):
+        text = render_figure3(seed=2)
+        assert "000010" in text
+        assert "correct: True" in text
+        assert "<- row J" in text
+
+    def test_combined_output_has_all_figures(self):
+        text = render_figures()
+        assert text.count("Figure") == 3
+
+    def test_renderers_deterministic_given_seed(self):
+        assert render_figure2(seed=9) == render_figure2(seed=9)
+        assert render_figure3(seed=9) == render_figure3(seed=9)

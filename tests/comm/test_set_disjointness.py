@@ -1,0 +1,85 @@
+"""Tests for the Set-Disjointness instances and the Theorem 4.1 reduction."""
+
+import random
+
+import pytest
+
+from repro.comm.set_disjointness import (
+    disjoint_instance,
+    intersecting_instance,
+    solve_set_disjointness_via_feww,
+)
+
+
+class TestInstances:
+    def test_disjoint_promise(self, rng):
+        instance = disjoint_instance(4, 64, rng)
+        assert not instance.intersecting
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (instance.sets[i] & instance.sets[j])
+
+    def test_intersecting_promise(self, rng):
+        instance = intersecting_instance(4, 64, rng)
+        assert instance.intersecting
+        common = set.intersection(*map(set, instance.sets))
+        assert len(common) == 1
+        # removing the shared element leaves the sets pairwise disjoint
+        (shared,) = common
+        stripped = [s - {shared} for s in instance.sets]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (stripped[i] & stripped[j])
+
+    def test_rejects_single_party(self, rng):
+        with pytest.raises(ValueError):
+            disjoint_instance(1, 10, rng)
+
+    def test_rejects_oversized_sets(self, rng):
+        with pytest.raises(ValueError):
+            disjoint_instance(4, 10, rng, set_size=5)
+
+    def test_custom_set_size(self, rng):
+        instance = disjoint_instance(3, 60, rng, set_size=7)
+        assert all(len(s) == 7 for s in instance.sets)
+
+
+class TestReduction:
+    def test_detects_intersection(self):
+        rng = random.Random(1)
+        instance = intersecting_instance(3, 48, rng)
+        answer, _ = solve_set_disjointness_via_feww(instance, k=4, seed=2)
+        assert answer is True
+
+    def test_detects_disjointness(self):
+        rng = random.Random(3)
+        instance = disjoint_instance(3, 48, rng)
+        answer, _ = solve_set_disjointness_via_feww(instance, k=4, seed=4)
+        assert answer is False
+
+    def test_accuracy_over_many_instances(self):
+        """The protocol inherits Algorithm 2's success probability."""
+        correct = 0
+        trials = 30
+        for seed in range(trials):
+            rng = random.Random(seed)
+            if seed % 2 == 0:
+                instance = intersecting_instance(3, 48, rng)
+            else:
+                instance = disjoint_instance(3, 48, rng)
+            answer, _ = solve_set_disjointness_via_feww(instance, k=4, seed=seed)
+            correct += answer == instance.intersecting
+        assert correct >= trials - 2
+
+    def test_messages_logged_per_handoff(self):
+        rng = random.Random(5)
+        instance = intersecting_instance(4, 64, rng)
+        _, log = solve_set_disjointness_via_feww(instance, k=3, seed=6)
+        assert len(log) == 3  # p-1 handoffs
+        assert log.max_message_words() > 0
+
+    def test_more_parties_still_works(self):
+        rng = random.Random(7)
+        instance = intersecting_instance(5, 100, rng)
+        answer, _ = solve_set_disjointness_via_feww(instance, k=5, seed=8)
+        assert answer is True

@@ -1,0 +1,90 @@
+"""Tests for the generic one-way-protocol simulation driver."""
+
+import pytest
+
+from repro.baselines import FullStorage
+from repro.comm.simulate import run_streaming_protocol, split_among_parties
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.streams.edge import Edge
+from repro.streams.generators import GeneratorConfig, planted_star_graph
+from repro.streams.stream import stream_from_edges
+
+
+def star_stream():
+    config = GeneratorConfig(n=64, m=256, seed=1)
+    return planted_star_graph(config, star_degree=32, background_degree=3)
+
+
+class TestSplit:
+    def test_rejects_bad_parties(self):
+        with pytest.raises(ValueError):
+            split_among_parties(star_stream(), 0)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            split_among_parties(star_stream(), 2, mode="random")
+
+    def test_contiguous_partition_covers_everything(self):
+        stream = star_stream()
+        shares = split_among_parties(stream, 4)
+        recombined = [item for share in shares for item in share]
+        assert recombined == list(stream)
+
+    def test_round_robin_covers_everything(self):
+        stream = star_stream()
+        shares = split_among_parties(stream, 3, mode="round-robin")
+        assert sum(len(share) for share in shares) == len(stream)
+        # deal pattern: share i holds updates i, i+3, i+6, ...
+        assert shares[0][0] == stream[0]
+        assert shares[1][0] == stream[1]
+        assert shares[2][0] == stream[2]
+
+    def test_single_party_gets_all(self):
+        stream = star_stream()
+        (share,) = split_among_parties(stream, 1)
+        assert list(share) == list(stream)
+
+    def test_more_parties_than_items(self):
+        stream = stream_from_edges([Edge(0, 0)], 4, 4)
+        shares = split_among_parties(stream, 5)
+        assert sum(len(share) for share in shares) == 1
+
+
+class TestRunProtocol:
+    def test_result_matches_direct_processing(self):
+        """The protocol is just a re-bracketed pass: same final answer
+        as feeding the stream directly with the same seed."""
+        stream = star_stream()
+        direct = InsertionOnlyFEwW(64, 32, 2, seed=9).process(stream)
+        shares = split_among_parties(stream, 4)
+        via_protocol, _ = run_streaming_protocol(
+            InsertionOnlyFEwW(64, 32, 2, seed=9), shares
+        )
+        assert direct.result() == via_protocol.result()
+
+    def test_one_message_per_handoff(self):
+        shares = split_among_parties(star_stream(), 5)
+        _, log = run_streaming_protocol(FullStorage(64, 256), shares)
+        assert len(log) == 4
+
+    def test_message_sizes_are_space_at_handoff(self):
+        """With FullStorage, the i-th message equals the edges seen so
+        far: monotone non-decreasing, final message ~ whole prefix."""
+        stream = star_stream()
+        shares = split_among_parties(stream, 4)
+        _, log = run_streaming_protocol(FullStorage(64, 256), shares)
+        sizes = [words for _, _, words in log.messages]
+        assert sizes == sorted(sizes)
+        prefix = sum(len(share) for share in shares[:3])
+        assert sizes[-1] >= prefix  # >= 2 words/edge minus vertex sharing
+
+    def test_streaming_algorithm_messages_sublinear(self):
+        """Algorithm 2's handoffs are far below FullStorage's on the
+        same split — the whole point of a streaming protocol."""
+        stream = star_stream()
+        shares = split_among_parties(stream, 4)
+        _, full_log = run_streaming_protocol(FullStorage(64, 256), shares)
+        _, feww_log = run_streaming_protocol(
+            InsertionOnlyFEwW(64, 32, 4, seed=2), shares
+        )
+        assert feww_log.max_message_words() < full_log.max_message_words()

@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; every test gets the same seed for repeatability."""
+    return random.Random(0xC0FFEE)
+
+
+def fresh_rng(seed: int) -> random.Random:
+    """Helper for tests that need several independent generators."""
+    return random.Random(seed)

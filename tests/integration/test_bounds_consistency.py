@@ -1,0 +1,69 @@
+"""Cross-validation: the theory formulas agree with the algorithms'
+own space accounting (the benches rely on both; they must not drift)."""
+
+from repro.core.insertion_deletion import (
+    InsertionDeletionFEwW,
+    edge_sampler_count,
+    samplers_per_vertex,
+    vertex_sample_size,
+)
+from repro.core.insertion_only import InsertionOnlyFEwW, reservoir_size
+from repro.sketch.l0 import l0_sampler_space_words
+from repro.theory.bounds import (
+    insertion_deletion_space_words,
+    insertion_only_space_words,
+)
+
+
+class TestInsertionDeletionFormulaMatchesAccounting:
+    def test_formula_equals_algorithm_accounting_up_to_ids(self):
+        """insertion_deletion_space_words is defined as sampler counts
+        times per-sampler cost; the live algorithm reports the same plus
+        only the sampled-vertex id list."""
+        for n, m, d, alpha in [(64, 64, 8, 2), (128, 256, 16, 4), (32, 32, 4, 1)]:
+            algorithm = InsertionDeletionFEwW(n, m, d, alpha, seed=0)
+            formula = insertion_deletion_space_words(n, m, d, alpha)
+            ids = vertex_sample_size(n, alpha)
+            assert algorithm.space_words() == formula + ids
+
+    def test_component_identities(self):
+        n, m, d, alpha = 64, 128, 8, 2
+        algorithm = InsertionDeletionFEwW(n, m, d, alpha, seed=1)
+        components = algorithm.space_breakdown().components
+        delta = algorithm.delta
+        expected_vertex = (
+            vertex_sample_size(n, alpha)
+            * samplers_per_vertex(n, d, alpha)
+            * l0_sampler_space_words(m, delta)
+        )
+        expected_edge = edge_sampler_count(n, m, d, alpha) * l0_sampler_space_words(
+            n * m, delta
+        )
+        assert components["vertex-sampling l0 banks"] == expected_vertex
+        assert components["edge-sampling l0 bank"] == expected_edge
+
+
+class TestInsertionOnlyFormulaIsAnUpperEnvelope:
+    def test_formula_upper_bounds_live_space(self):
+        """The Theorem 3.2 formula is the worst case of what Algorithm 2
+        retains; live space can never exceed it."""
+        from repro.streams.generators import GeneratorConfig, planted_star_graph
+
+        for n, d, alpha in [(256, 32, 1), (256, 32, 2), (512, 64, 3)]:
+            config = GeneratorConfig(n=n, m=4 * d, seed=n + alpha)
+            stream = planted_star_graph(
+                config, star_degree=d, background_degree=min(4, d - 1)
+            )
+            algorithm = InsertionOnlyFEwW(n, d, alpha, seed=2).process(stream)
+            assert algorithm.space_words() <= insertion_only_space_words(n, d, alpha)
+
+    def test_formula_components(self):
+        """The formula decomposes as degree table + alpha * per-run cap,
+        with the per-run cap driven by s and ceil(d/alpha)."""
+        import math
+
+        n, d, alpha = 1024, 64, 2
+        s = reservoir_size(n, alpha)
+        d2 = math.ceil(d / alpha)
+        expected = n + alpha * (s * d2 * 2 + s + 1)
+        assert insertion_only_space_words(n, d, alpha) == expected

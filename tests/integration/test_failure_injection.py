@@ -1,0 +1,110 @@
+"""Failure injection: corrupted inputs and hostile parameters.
+
+These tests document the library's failure contract: stream validation
+is the guard against malformed turnstile input; algorithms either raise
+a clear error or degrade to a sound *fail* — never to a fabricated
+answer.
+"""
+
+import pytest
+
+from repro.core.insertion_deletion import InsertionDeletionFEwW
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.core.neighbourhood import AlgorithmFailed
+from repro.streams.edge import DELETE, Edge, StreamItem
+from repro.streams.stream import EdgeStream, InvalidStreamError
+from repro.streams.generators import GeneratorConfig, planted_star_graph
+
+
+class TestMalformedStreams:
+    def test_validation_rejects_delete_before_insert(self):
+        with pytest.raises(InvalidStreamError):
+            EdgeStream([StreamItem(Edge(0, 0), DELETE)], 4, 4)
+
+    def test_validation_rejects_double_insert(self):
+        with pytest.raises(InvalidStreamError):
+            EdgeStream([StreamItem(Edge(0, 0)), StreamItem(Edge(0, 0))], 4, 4)
+
+    def test_insertion_only_algorithm_rejects_any_delete(self):
+        algorithm = InsertionOnlyFEwW(4, 2, 1, seed=0)
+        with pytest.raises(ValueError, match="insertion-only"):
+            algorithm.process_item(StreamItem(Edge(0, 0), DELETE))
+
+    def test_out_of_range_vertex_rejected_by_algorithms(self):
+        io_algorithm = InsertionOnlyFEwW(4, 2, 1, seed=0)
+        with pytest.raises(ValueError):
+            io_algorithm.process_item(StreamItem(Edge(7, 0)))
+        id_algorithm = InsertionDeletionFEwW(4, 4, 2, 1, seed=0, scale=0.1)
+        with pytest.raises(ValueError):
+            id_algorithm.process_item(StreamItem(Edge(0, 9)))
+
+
+class TestHostileParameters:
+    def test_d_larger_than_any_degree_fails_cleanly(self):
+        config = GeneratorConfig(n=32, m=64, seed=1)
+        stream = planted_star_graph(config, star_degree=10, background_degree=2)
+        algorithm = InsertionOnlyFEwW(32, 1000, 2, seed=2).process(stream)
+        assert not algorithm.successful
+        with pytest.raises(AlgorithmFailed):
+            algorithm.result()
+
+    def test_threshold_above_m_is_unreachable_but_safe(self):
+        algorithm = InsertionOnlyFEwW(8, 100, 1, seed=0)
+        for b in range(8):
+            algorithm.process_item(StreamItem(Edge(0, b)))
+        assert not algorithm.successful
+
+    def test_alpha_larger_than_d_still_sound(self):
+        """d/alpha < 1: a single witness satisfies the threshold, and
+        the output must still be genuine."""
+        config = GeneratorConfig(n=16, m=32, seed=3)
+        stream = planted_star_graph(config, star_degree=4, background_degree=1)
+        algorithm = InsertionOnlyFEwW(16, 4, 8, seed=4).process(stream)
+        result = algorithm.result()
+        assert result.size >= 1
+        assert result.witnesses <= stream.neighbours_of(result.vertex)
+
+    def test_degenerate_single_vertex_universe(self):
+        algorithm = InsertionOnlyFEwW(1, 3, 1, seed=0)
+        for b in range(3):
+            algorithm.process_item(StreamItem(Edge(0, b)))
+        assert algorithm.result().vertex == 0
+
+    def test_insertion_deletion_promise_violation_fails_not_fabricates(self):
+        """Feed Algorithm 3 a graph with max degree far below d: it must
+        fail, not report an undersized or fabricated neighbourhood."""
+        config = GeneratorConfig(n=16, m=32, seed=5)
+        stream = planted_star_graph(config, star_degree=3, background_degree=1)
+        algorithm = InsertionDeletionFEwW(16, 32, 20, 2, seed=6, scale=0.2)
+        algorithm.process(stream)
+        assert not algorithm.successful
+        with pytest.raises(AlgorithmFailed):
+            algorithm.result()
+
+
+class TestMidStreamQuerying:
+    def test_result_reflects_prefix_only(self):
+        """Querying mid-stream is legal and answers for the prefix."""
+        algorithm = InsertionOnlyFEwW(8, 4, 1, seed=0)
+        for b in range(4):
+            algorithm.process_item(StreamItem(Edge(0, b)))
+        prefix_result = algorithm.result()
+        assert prefix_result.witnesses <= set(range(4))
+        for b in range(4, 8):
+            algorithm.process_item(StreamItem(Edge(1, b)))
+        assert algorithm.result().vertex == prefix_result.vertex
+
+    def test_insertion_deletion_cache_invalidated_by_updates(self):
+        """Algorithm 3 memoises its sampler query; new updates must
+        invalidate the memo."""
+        algorithm = InsertionDeletionFEwW(8, 16, 2, 1, seed=7, scale=0.3)
+        for b in range(2):
+            algorithm.process_item(StreamItem(Edge(0, b)))
+        first = algorithm.result()
+        assert first.vertex == 0
+        for b in range(8):
+            algorithm.process_item(StreamItem(Edge(3, 8 + b)))
+        algorithm.process_item(StreamItem(Edge(0, 0), DELETE))
+        algorithm.process_item(StreamItem(Edge(0, 1), DELETE))
+        second = algorithm.result()
+        assert second.vertex == 3

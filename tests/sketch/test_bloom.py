@@ -1,0 +1,124 @@
+"""Tests for the Bloom filter and the streaming duplicate filter."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.bloom import BloomFilter, DuplicateFilter
+
+
+class TestBloomFilter:
+    def test_rejects_bad_parameters(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            BloomFilter(0, 0.01, rng)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 0.0, rng)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 1.0, rng)
+
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(200, 0.01, random.Random(1))
+        keys = list(range(0, 2000, 10))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_fresh_filter_empty(self):
+        bloom = BloomFilter(100, 0.01, random.Random(2))
+        assert all(key not in bloom for key in range(50))
+        assert bloom.expected_fp_rate() == 0.0
+
+    def test_false_positive_rate_near_target(self):
+        target = 0.02
+        bloom = BloomFilter(500, target, random.Random(3))
+        for key in range(500):
+            bloom.add(key)
+        false_positives = sum(1 for key in range(10_000, 30_000) if key in bloom)
+        assert false_positives / 20_000 < 4 * target
+
+    def test_expected_fp_rate_grows_with_load(self):
+        bloom = BloomFilter(100, 0.01, random.Random(4))
+        rates = []
+        for key in range(300):
+            bloom.add(key)
+            if key % 100 == 99:
+                rates.append(bloom.expected_fp_rate())
+        assert rates == sorted(rates)
+
+    def test_space_independent_of_insertions(self):
+        bloom = BloomFilter(100, 0.01, random.Random(5))
+        before = bloom.space_words()
+        for key in range(1000):
+            bloom.add(key)
+        assert bloom.space_words() == before
+
+    def test_lower_fp_costs_more_space(self):
+        rng = random.Random(6)
+        loose = BloomFilter(1000, 0.1, rng).space_words()
+        tight = BloomFilter(1000, 0.001, rng).space_words()
+        assert tight > loose
+
+    @settings(max_examples=30)
+    @given(st.sets(st.integers(0, 10_000), max_size=50))
+    def test_membership_superset_of_insertions(self, keys):
+        bloom = BloomFilter(64, 0.05, random.Random(7))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+
+class TestDuplicateFilter:
+    def test_first_arrival_admitted(self):
+        dedup = DuplicateFilter(10, 10, capacity=100, fp_rate=0.01,
+                                rng=random.Random(8))
+        assert dedup.admit(3, 4) is True
+
+    def test_repeat_suppressed(self):
+        dedup = DuplicateFilter(10, 10, capacity=100, fp_rate=0.01,
+                                rng=random.Random(9))
+        assert dedup.admit(3, 4) is True
+        assert dedup.admit(3, 4) is False
+        assert dedup.admit(3, 4) is False
+
+    def test_distinct_pairs_mostly_admitted(self):
+        dedup = DuplicateFilter(50, 50, capacity=1000, fp_rate=0.01,
+                                rng=random.Random(10))
+        admitted = sum(dedup.admit(a, b) for a in range(30) for b in range(30))
+        assert admitted >= 0.97 * 900
+
+    def test_out_of_range_rejected(self):
+        dedup = DuplicateFilter(5, 5, capacity=10, fp_rate=0.1,
+                                rng=random.Random(11))
+        with pytest.raises(ValueError):
+            dedup.admit(5, 0)
+        with pytest.raises(ValueError):
+            dedup.admit(0, 5)
+
+    def test_space_sublinear_in_pairs(self):
+        """The whole point: far less space than remembering every pair."""
+        dedup = DuplicateFilter(1000, 1000, capacity=5000, fp_rate=0.01,
+                                rng=random.Random(12))
+        pairs = 0
+        for a in range(70):
+            for b in range(70):
+                dedup.admit(a, b)
+                pairs += 1
+        assert dedup.space_words() < pairs
+
+    def test_never_inflates_degrees(self):
+        """Suppression errors only drop genuine pairs, never duplicate
+        them: downstream degree <= true distinct degree."""
+        rng = random.Random(13)
+        dedup = DuplicateFilter(20, 200, capacity=500, fp_rate=0.05, rng=rng)
+        true_pairs = set()
+        admitted_pairs = []
+        for _ in range(2000):
+            a, b = rng.randrange(20), rng.randrange(200)
+            if dedup.admit(a, b):
+                admitted_pairs.append((a, b))
+            true_pairs.add((a, b))
+        assert len(admitted_pairs) == len(set(admitted_pairs))  # no dupes
+        assert set(admitted_pairs) <= true_pairs

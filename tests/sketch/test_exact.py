@@ -1,0 +1,102 @@
+"""Unit tests for exact counters and support tracking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketch.exact import DegreeCounter, ExactSupport
+
+
+class TestDegreeCounter:
+    def test_initial_degrees_zero(self):
+        counter = DegreeCounter(5)
+        assert all(counter.degree(a) == 0 for a in range(5))
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            DegreeCounter(0)
+
+    def test_increment_returns_new_value(self):
+        counter = DegreeCounter(3)
+        assert counter.increment(1) == 1
+        assert counter.increment(1) == 2
+
+    def test_decrement(self):
+        counter = DegreeCounter(3)
+        counter.increment(0, 5)
+        assert counter.increment(0, -2) == 3
+
+    def test_negative_degree_rejected(self):
+        counter = DegreeCounter(3)
+        with pytest.raises(ValueError):
+            counter.increment(0, -1)
+
+    def test_out_of_range_vertex(self):
+        counter = DegreeCounter(3)
+        with pytest.raises(ValueError):
+            counter.increment(3)
+        with pytest.raises(ValueError):
+            counter.degree(-1)
+
+    def test_vertices_with_degree_at_least(self):
+        counter = DegreeCounter(4)
+        counter.increment(0, 3)
+        counter.increment(2, 5)
+        assert counter.vertices_with_degree_at_least(3) == [0, 2]
+        assert counter.vertices_with_degree_at_least(4) == [2]
+        assert counter.vertices_with_degree_at_least(6) == []
+
+    def test_max_degree(self):
+        counter = DegreeCounter(4)
+        counter.increment(3, 7)
+        assert counter.max_degree() == 7
+
+    def test_space_is_n_words(self):
+        assert DegreeCounter(100).space_words() == 100
+
+
+class TestExactSupport:
+    def test_empty(self):
+        support = ExactSupport(10)
+        assert support.support() == []
+        assert support.support_size() == 0
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            ExactSupport(0)
+
+    def test_insert_and_value(self):
+        support = ExactSupport(10)
+        support.update(3, 2)
+        assert support.support() == [3]
+        assert support.value(3) == 2
+        assert 3 in support
+
+    def test_zero_crossing_removes(self):
+        support = ExactSupport(10)
+        support.update(3, 2)
+        support.update(3, -2)
+        assert 3 not in support
+        assert support.value(3) == 0
+
+    def test_out_of_range(self):
+        support = ExactSupport(10)
+        with pytest.raises(ValueError):
+            support.update(10, 1)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 19), st.integers(-3, 3).filter(bool)),
+            max_size=50,
+        )
+    )
+    def test_matches_dict_replay(self, updates):
+        support = ExactSupport(20)
+        reference = {}
+        for index, delta in updates:
+            support.update(index, delta)
+            reference[index] = reference.get(index, 0) + delta
+            if reference[index] == 0:
+                del reference[index]
+        assert support.support() == sorted(reference)
+        assert dict(support.items()) == reference

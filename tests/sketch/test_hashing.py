@@ -1,0 +1,103 @@
+"""Unit and statistical tests for the k-wise hash family."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketch.hashing import PRIME_61, KWiseHash, random_kwise
+
+
+class TestConstruction:
+    def test_requires_coefficients(self):
+        with pytest.raises(ValueError):
+            KWiseHash([], 10)
+
+    def test_requires_positive_range(self):
+        with pytest.raises(ValueError):
+            KWiseHash([1], 0)
+
+    def test_rejects_out_of_field_coefficient(self):
+        with pytest.raises(ValueError):
+            KWiseHash([PRIME_61], 10)
+
+    def test_independence_property(self):
+        hash_function = KWiseHash([1, 2, 3], 10)
+        assert hash_function.independence == 3
+
+    def test_space_words(self):
+        assert KWiseHash([1, 2], 10).space_words() == 3
+
+    def test_random_kwise_k_validation(self):
+        with pytest.raises(ValueError):
+            random_kwise(0, 10, random.Random(0))
+
+
+class TestEvaluation:
+    def test_constant_polynomial(self):
+        hash_function = KWiseHash([7], 100)
+        assert hash_function(0) == 7
+        assert hash_function(12345) == 7
+
+    def test_linear_polynomial(self):
+        # h(x) = (2x + 3) mod p mod 10
+        hash_function = KWiseHash([2, 3], 10)
+        assert hash_function(5) == (2 * 5 + 3) % 10
+
+    def test_output_in_range(self):
+        rng = random.Random(1)
+        hash_function = random_kwise(4, 17, rng)
+        assert all(0 <= hash_function(x) < 17 for x in range(1000))
+
+    def test_field_value_consistent_with_call(self):
+        rng = random.Random(2)
+        hash_function = random_kwise(3, 16, rng)
+        for x in range(50):
+            assert hash_function(x) == hash_function.field_value(x) % 16
+
+    def test_deterministic(self):
+        hash_function = KWiseHash([5, 6, 7], 97)
+        assert [hash_function(x) for x in range(20)] == [
+            hash_function(x) for x in range(20)
+        ]
+
+    @given(st.integers(0, 2**61 - 2))
+    def test_never_out_of_range(self, x):
+        hash_function = KWiseHash([1, 0], 13)
+        assert 0 <= hash_function(x) < 13
+
+
+class TestStatistics:
+    def test_marginal_uniformity(self):
+        """Each bucket receives ~1/range of inputs (chi-square style check)."""
+        rng = random.Random(3)
+        range_size = 8
+        trials = 8000
+        counts = Counter()
+        hash_function = random_kwise(2, range_size, rng)
+        for x in range(trials):
+            counts[hash_function(x)] += 1
+        expected = trials / range_size
+        for bucket in range(range_size):
+            assert abs(counts[bucket] - expected) < 0.25 * expected
+
+    def test_pairwise_collision_rate(self):
+        """Collision probability of a 2-wise family is ~1/range."""
+        rng = random.Random(4)
+        range_size = 64
+        collisions = 0
+        trials = 300
+        for trial in range(trials):
+            hash_function = random_kwise(2, range_size, rng)
+            if hash_function(2 * trial) == hash_function(2 * trial + 1):
+                collisions += 1
+        # expected ~ trials/range = 4.7; allow generous slack
+        assert collisions <= 20
+
+    def test_different_draws_differ(self):
+        rng = random.Random(5)
+        first = random_kwise(2, 1000, rng)
+        second = random_kwise(2, 1000, rng)
+        assert any(first(x) != second(x) for x in range(100))

@@ -1,0 +1,167 @@
+"""Unit and statistical tests for the ℓ₀-sampler and the sampler bank."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sketch.l0 import L0Sampler, L0SamplerBank, l0_sampler_space_words
+
+
+class TestL0SamplerBasics:
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            L0Sampler(0, 0.1, random.Random(0))
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            L0Sampler(10, 0.0, random.Random(0))
+
+    def test_empty_vector_samples_none(self):
+        sampler = L0Sampler(64, 0.05, random.Random(1))
+        assert sampler.sample() is None
+
+    def test_singleton_support(self):
+        sampler = L0Sampler(64, 0.05, random.Random(2))
+        sampler.update(42, 1)
+        assert sampler.sample() == 42
+
+    def test_sample_in_support(self):
+        rng = random.Random(3)
+        sampler = L0Sampler(128, 0.05, rng)
+        support = {3, 17, 99, 120}
+        for index in support:
+            sampler.update(index, 1)
+        assert sampler.sample() in support
+
+    def test_survives_cancellation(self):
+        """The defining ℓ₀ property: deleted coordinates never sampled."""
+        rng = random.Random(4)
+        sampler = L0Sampler(128, 0.05, rng)
+        for index in range(100):
+            sampler.update(index, 1)
+        for index in range(99):
+            sampler.update(index, -1)
+        assert sampler.sample() == 99
+
+    def test_full_cancellation_returns_none(self):
+        sampler = L0Sampler(32, 0.05, random.Random(5))
+        for index in range(20):
+            sampler.update(index, 1)
+            sampler.update(index, -1)
+        assert sampler.sample() is None
+
+    def test_space_words_positive_and_static(self):
+        sampler = L0Sampler(256, 0.05, random.Random(6))
+        before = sampler.space_words()
+        for index in range(50):
+            sampler.update(index, 1)
+        assert sampler.space_words() == before > 0
+
+
+class TestL0SamplerUniformity:
+    def test_approximately_uniform_over_support(self):
+        """Across independent samplers, each support element is sampled
+        with frequency close to 1/|support|."""
+        support = list(range(0, 60, 6))  # 10 elements
+        counts = Counter()
+        trials = 400
+        master = random.Random(7)
+        for _ in range(trials):
+            sampler = L0Sampler(64, 0.05, random.Random(master.getrandbits(64)))
+            for index in support:
+                sampler.update(index, 1)
+            outcome = sampler.sample()
+            assert outcome in support
+            counts[outcome] += 1
+        expected = trials / len(support)
+        for index in support:
+            assert counts[index] > 0.3 * expected
+            assert counts[index] < 2.5 * expected
+
+
+class TestPaperSpaceFormula:
+    def test_grows_with_dim(self):
+        assert l0_sampler_space_words(2**20, 0.01) > l0_sampler_space_words(
+            2**10, 0.01
+        )
+
+    def test_grows_with_confidence(self):
+        assert l0_sampler_space_words(1024, 1e-9) > l0_sampler_space_words(
+            1024, 0.1
+        )
+
+    def test_minimum_one_word(self):
+        assert l0_sampler_space_words(1, 0.5) >= 1
+
+
+class TestBankModes:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            L0SamplerBank(10, 2, 0.1, random.Random(0), mode="magic")
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            L0SamplerBank(10, -1, 0.1, random.Random(0))
+
+    def test_exact_mode_samples_from_support(self):
+        bank = L0SamplerBank(64, 8, 0.05, random.Random(1), mode="exact")
+        support = {5, 10, 15}
+        for index in support:
+            bank.update(index, 1)
+        for outcome in bank.sample_all():
+            assert outcome is None or outcome in support
+
+    def test_fast_mode_samples_from_support(self):
+        bank = L0SamplerBank(64, 50, 0.05, random.Random(2), mode="fast")
+        support = {5, 10, 15}
+        for index in support:
+            bank.update(index, 1)
+        outcomes = bank.sample_all()
+        assert len(outcomes) == 50
+        assert all(outcome in support for outcome in outcomes if outcome is not None)
+
+    def test_fast_mode_empty_support(self):
+        bank = L0SamplerBank(64, 5, 0.05, random.Random(3), mode="fast")
+        assert bank.sample_all() == [None] * 5
+
+    def test_fast_mode_respects_deletions(self):
+        bank = L0SamplerBank(64, 30, 0.05, random.Random(4), mode="fast")
+        bank.update(1, 1)
+        bank.update(2, 1)
+        bank.update(1, -1)
+        outcomes = [outcome for outcome in bank.sample_all() if outcome is not None]
+        assert outcomes and all(outcome == 2 for outcome in outcomes)
+
+    def test_mode_distributions_agree(self):
+        """Exact and fast banks draw from the same distribution: compare
+        per-element frequencies over many draws on a fixed support."""
+        support = list(range(0, 40, 8))  # 5 elements
+        exact_counts, fast_counts = Counter(), Counter()
+        master = random.Random(5)
+        trials = 60
+        for _ in range(trials):
+            seed = master.getrandbits(64)
+            exact = L0SamplerBank(64, 5, 0.05, random.Random(seed), mode="exact")
+            fast = L0SamplerBank(64, 5, 0.05, random.Random(seed + 1), mode="fast")
+            for index in support:
+                exact.update(index, 1)
+                fast.update(index, 1)
+            exact_counts.update(o for o in exact.sample_all() if o is not None)
+            fast_counts.update(o for o in fast.sample_all() if o is not None)
+        total_exact = sum(exact_counts.values())
+        total_fast = sum(fast_counts.values())
+        for index in support:
+            exact_freq = exact_counts[index] / total_exact
+            fast_freq = fast_counts[index] / total_fast
+            assert abs(exact_freq - fast_freq) < 0.12
+
+    def test_fast_space_uses_paper_formula(self):
+        bank = L0SamplerBank(1024, 7, 0.01, random.Random(6), mode="fast")
+        assert bank.space_words() == 7 * l0_sampler_space_words(1024, 0.01)
+
+    def test_exact_space_sums_real_structures(self):
+        bank = L0SamplerBank(64, 3, 0.05, random.Random(7), mode="exact")
+        assert bank.space_words() == sum(
+            sampler.space_words() for sampler in bank._samplers
+        )

@@ -1,0 +1,129 @@
+"""Unit and property tests for 1-sparse recovery cells."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.onesparse import CellState, OneSparseCell
+
+
+def make_cell(dim=100, seed=0):
+    return OneSparseCell(dim, random.Random(seed))
+
+
+class TestBasics:
+    def test_fresh_cell_is_zero(self):
+        cell = make_cell()
+        assert cell.decode().state is CellState.ZERO
+        assert cell.is_zero()
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            OneSparseCell(0, random.Random(0))
+
+    def test_rejects_out_of_range_index(self):
+        cell = make_cell(dim=10)
+        with pytest.raises(ValueError):
+            cell.update(10, 1)
+
+    def test_single_insert_decodes(self):
+        cell = make_cell()
+        cell.update(42, 1)
+        result = cell.decode()
+        assert result.state is CellState.ONE_SPARSE
+        assert result.index == 42
+        assert result.value == 1
+
+    def test_weighted_single_coordinate(self):
+        cell = make_cell()
+        cell.update(7, 5)
+        cell.update(7, -2)
+        result = cell.decode()
+        assert result.state is CellState.ONE_SPARSE
+        assert (result.index, result.value) == (7, 3)
+
+    def test_insert_delete_cancels_to_zero(self):
+        cell = make_cell()
+        cell.update(13, 1)
+        cell.update(13, -1)
+        assert cell.decode().state is CellState.ZERO
+
+    def test_two_coordinates_collide(self):
+        cell = make_cell()
+        cell.update(1, 1)
+        cell.update(2, 1)
+        assert cell.decode().state is CellState.COLLISION
+
+    def test_collision_resolves_after_deletion(self):
+        cell = make_cell()
+        cell.update(1, 1)
+        cell.update(2, 1)
+        cell.update(2, -1)
+        result = cell.decode()
+        assert result.state is CellState.ONE_SPARSE
+        assert result.index == 1
+
+    def test_space_is_constant(self):
+        cell = make_cell()
+        before = cell.space_words()
+        for i in range(50):
+            cell.update(i, 1)
+        assert cell.space_words() == before == 4
+
+
+class TestFingerprintCatchesFakes:
+    def test_anti_symmetric_pair_not_one_sparse(self):
+        """Updates (4,+2),(2,-1): weight 1 and dot 6 mimic coordinate 6
+        with value 1; only the fingerprint can expose the fake."""
+        for seed in range(30):
+            cell = OneSparseCell(100, random.Random(seed))
+            cell.update(4, 2)
+            cell.update(2, -1)
+            assert cell.decode().state is CellState.COLLISION
+
+    def test_crafted_dot_alias(self):
+        """Updates (0,+1),(20,+1),(10,-1): weight 1, dot 10 — looks like
+        coordinate 10 with value 1, but the support is {0, 20, 10 removed}."""
+        for seed in range(30):
+            cell = OneSparseCell(100, random.Random(seed))
+            cell.update(0, 1)
+            cell.update(20, 1)
+            cell.update(10, -1)
+            # weight = 1, dot = 0 + 20 - 10 = 10: index 10 is a fake alias.
+            assert cell.decode().state is CellState.COLLISION
+
+
+@st.composite
+def update_batches(draw):
+    n_updates = draw(st.integers(1, 30))
+    return [
+        (draw(st.integers(0, 49)), draw(st.sampled_from([-2, -1, 1, 2, 3])))
+        for _ in range(n_updates)
+    ]
+
+
+class TestProperties:
+    @settings(max_examples=200)
+    @given(update_batches(), st.integers(0, 10))
+    def test_decode_matches_reference(self, updates, seed):
+        """Whatever the update sequence, decode agrees with an exact replay."""
+        cell = OneSparseCell(50, random.Random(seed))
+        reference = {}
+        for index, delta in updates:
+            cell.update(index, delta)
+            reference[index] = reference.get(index, 0) + delta
+            if reference[index] == 0:
+                del reference[index]
+        result = cell.decode()
+        if len(reference) == 0:
+            assert result.state is CellState.ZERO
+        elif len(reference) == 1:
+            ((index, value),) = reference.items()
+            assert result.state is CellState.ONE_SPARSE
+            assert (result.index, result.value) == (index, value)
+        else:
+            # >1-sparse: must not claim 1-sparsity of a *wrong* coordinate.
+            # (A false ONE_SPARSE verdict has probability <= dim/p ~ 2^-55.)
+            assert result.state is CellState.COLLISION

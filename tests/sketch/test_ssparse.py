@@ -1,0 +1,114 @@
+"""Unit and property tests for s-sparse recovery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.ssparse import SSparseRecovery
+
+
+def make(dim=200, s=8, delta=0.01, seed=0):
+    return SSparseRecovery(dim, s, delta, random.Random(seed))
+
+
+class TestConstruction:
+    def test_rejects_bad_s(self):
+        with pytest.raises(ValueError):
+            make(s=0)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            make(delta=0.0)
+        with pytest.raises(ValueError):
+            make(delta=1.0)
+
+    def test_rejects_out_of_range_index(self):
+        recovery = make(dim=10)
+        with pytest.raises(ValueError):
+            recovery.update(10, 1)
+
+    def test_space_scales_with_s(self):
+        small = make(s=4).space_words()
+        large = make(s=16).space_words()
+        assert large > small
+
+
+class TestRecovery:
+    def test_empty_vector(self):
+        assert make().decode() == {}
+
+    def test_single_coordinate(self):
+        recovery = make()
+        recovery.update(17, 3)
+        assert recovery.decode() == {17: 3}
+
+    def test_exact_sparsity_boundary(self):
+        recovery = make(s=8, seed=1)
+        for index in range(8):
+            recovery.update(index * 7, index + 1)
+        decoded = recovery.decode()
+        assert decoded == {index * 7: index + 1 for index in range(8)}
+
+    def test_cancellation_reduces_sparsity(self):
+        recovery = make(s=2, seed=2)
+        # 5 coordinates inserted, 4 cancelled: effective sparsity 1.
+        for index in range(5):
+            recovery.update(index, 1)
+        for index in range(4):
+            recovery.update(index, -1)
+        assert recovery.decode() == {4: 1}
+
+    def test_overfull_vector_returns_none(self):
+        recovery = make(s=2, seed=3)
+        for index in range(0, 120, 2):
+            recovery.update(index, 1)
+        assert recovery.decode() is None
+
+    def test_negative_values_recovered(self):
+        recovery = make(seed=4)
+        recovery.update(3, -5)
+        recovery.update(9, 2)
+        assert recovery.decode() == {3: -5, 9: 2}
+
+    def test_decode_does_not_mutate(self):
+        recovery = make(s=3, seed=5)
+        for index in (1, 2, 3):
+            recovery.update(index, 1)
+        first = recovery.decode()
+        second = recovery.decode()
+        assert first == second == {1: 1, 2: 1, 3: 1}
+
+
+@st.composite
+def sparse_vectors(draw):
+    """Vectors of support size <= 6 over dimension 100, via signed updates."""
+    support = draw(
+        st.lists(st.integers(0, 99), min_size=0, max_size=6, unique=True)
+    )
+    values = [draw(st.integers(-5, 5).filter(lambda v: v != 0)) for _ in support]
+    return dict(zip(support, values))
+
+
+class TestProperties:
+    @settings(max_examples=100)
+    @given(sparse_vectors(), st.integers(0, 5))
+    def test_recovers_any_sparse_vector(self, vector, seed):
+        recovery = SSparseRecovery(100, 6, 0.001, random.Random(seed))
+        for index, value in vector.items():
+            # split each value into multiple updates to exercise turnstile
+            recovery.update(index, value - 1)
+            recovery.update(index, 1)
+        assert recovery.decode() == vector
+
+    @settings(max_examples=50)
+    @given(st.permutations(list(range(8))), st.integers(0, 3))
+    def test_update_order_irrelevant(self, order, seed):
+        baseline = SSparseRecovery(50, 8, 0.01, random.Random(seed))
+        shuffled = SSparseRecovery(50, 8, 0.01, random.Random(seed))
+        for index in range(8):
+            baseline.update(index, index + 1)
+        for index in order:
+            shuffled.update(index, index + 1)
+        assert baseline.decode() == shuffled.decode()

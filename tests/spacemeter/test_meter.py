@@ -1,0 +1,75 @@
+"""Unit tests for the space accounting primitives."""
+
+import pytest
+
+from repro.spacemeter import (
+    WORD_BITS,
+    SpaceBreakdown,
+    SpaceMetered,
+    edge_words,
+    vertex_words,
+    words_to_bits,
+)
+
+
+class TestUnits:
+    def test_vertex_words(self):
+        assert vertex_words() == 1
+        assert vertex_words(5) == 5
+
+    def test_edge_words_two_per_edge(self):
+        assert edge_words() == 2
+        assert edge_words(10) == 20
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            vertex_words(-1)
+        with pytest.raises(ValueError):
+            edge_words(-1)
+
+    def test_words_to_bits(self):
+        assert words_to_bits(3) == 3 * WORD_BITS
+
+
+class TestSpaceBreakdown:
+    def test_add_and_total(self):
+        breakdown = SpaceBreakdown()
+        breakdown.add("counters", 10)
+        breakdown.add("edges", 6)
+        assert breakdown.total_words() == 16
+        assert breakdown.total_bits() == 16 * WORD_BITS
+
+    def test_add_accumulates_same_label(self):
+        breakdown = SpaceBreakdown()
+        breakdown.add("x", 3)
+        breakdown.add("x", 4)
+        assert breakdown.components["x"] == 7
+
+    def test_negative_rejected(self):
+        breakdown = SpaceBreakdown()
+        with pytest.raises(ValueError):
+            breakdown.add("x", -1)
+
+    def test_merge_with_prefix(self):
+        inner = SpaceBreakdown({"edges": 4})
+        outer = SpaceBreakdown({"counters": 2})
+        outer.merge(inner, prefix="run0 ")
+        assert outer.components == {"counters": 2, "run0 edges": 4}
+        assert outer.total_words() == 6
+
+    def test_str_contains_total(self):
+        breakdown = SpaceBreakdown({"x": 1})
+        assert "TOTAL: 1 words" in str(breakdown)
+
+    def test_empty_total_is_zero(self):
+        assert SpaceBreakdown().total_words() == 0
+
+
+class TestProtocol:
+    def test_structures_satisfy_protocol(self):
+        from repro.sketch.exact import DegreeCounter
+
+        assert isinstance(DegreeCounter(4), SpaceMetered)
+
+    def test_non_metered_object_fails_protocol(self):
+        assert not isinstance(object(), SpaceMetered)

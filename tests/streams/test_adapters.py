@@ -1,0 +1,122 @@
+"""Unit tests for stream adapters: label codecs and the double cover."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams.adapters import (
+    LabelCodec,
+    bipartite_double_cover,
+    log_records_to_stream,
+)
+from repro.streams.edge import DELETE, Edge
+
+
+class TestLabelCodec:
+    def test_first_seen_order(self):
+        codec = LabelCodec()
+        assert codec.encode("x") == 0
+        assert codec.encode("y") == 1
+        assert codec.encode("x") == 0
+
+    def test_decode_roundtrip(self):
+        codec = LabelCodec()
+        identifier = codec.encode(("tuple", "label"))
+        assert codec.decode(identifier) == ("tuple", "label")
+
+    def test_decode_unknown_raises(self):
+        codec = LabelCodec()
+        with pytest.raises(KeyError):
+            codec.decode(0)
+        codec.encode("a")
+        with pytest.raises(KeyError):
+            codec.decode(1)
+
+    def test_len_and_contains(self):
+        codec = LabelCodec()
+        codec.encode("a")
+        codec.encode("b")
+        assert len(codec) == 2
+        assert "a" in codec
+        assert "c" not in codec
+
+    @given(st.lists(st.text(max_size=5)))
+    def test_ids_dense_and_consistent(self, labels):
+        codec = LabelCodec()
+        ids = [codec.encode(label) for label in labels]
+        assert set(ids) == set(range(len(codec)))
+        for label, identifier in zip(labels, ids):
+            assert codec.encode(label) == identifier
+            assert codec.decode(identifier) == label
+
+
+class TestLogRecordsToStream:
+    def test_basic_conversion(self):
+        records = [("ip1", "t0"), ("ip2", "t1"), ("ip1", "t2")]
+        stream, items, witnesses = log_records_to_stream(records)
+        assert stream.n == 2 and stream.m == 3
+        assert stream.degree_of(items.encode("ip1")) == 2
+        assert stream.degree_of(items.encode("ip2")) == 1
+
+    def test_repeated_pairs_dropped(self):
+        records = [("a", "w"), ("a", "w"), ("a", "w2")]
+        stream, _, _ = log_records_to_stream(records)
+        assert len(stream) == 2
+
+    def test_explicit_dimensions(self):
+        stream, _, _ = log_records_to_stream([("a", "w")], n=100, m=200)
+        assert stream.n == 100 and stream.m == 200
+
+    def test_empty_log(self):
+        stream, items, witnesses = log_records_to_stream([])
+        assert len(stream) == 0
+        assert len(items) == 0
+
+    def test_witnesses_decode_back(self):
+        records = [("hot", f"user{i}") for i in range(5)]
+        stream, items, witnesses = log_records_to_stream(records)
+        hot = items.encode("hot")
+        labels = {witnesses.decode(b) for b in stream.neighbours_of(hot)}
+        assert labels == {f"user{i}" for i in range(5)}
+
+
+class TestBipartiteDoubleCover:
+    def test_each_edge_doubled(self):
+        stream = bipartite_double_cover([(0, 1), (1, 2)], 3)
+        assert len(stream) == 4
+        assert stream.final_edges() == {
+            Edge(0, 1),
+            Edge(1, 0),
+            Edge(1, 2),
+            Edge(2, 1),
+        }
+
+    def test_degrees_match_original_graph(self):
+        # Star with centre 0 and leaves 1..4: centre degree 4.
+        edges = [(0, leaf) for leaf in range(1, 5)]
+        stream = bipartite_double_cover(edges, 5)
+        assert stream.degree_of(0) == 4
+        for leaf in range(1, 5):
+            assert stream.degree_of(leaf) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            bipartite_double_cover([(2, 2)], 5)
+
+    def test_signs_propagate_to_both_copies(self):
+        stream = bipartite_double_cover(
+            [(0, 1), (0, 1)], 3, signs=[1, -1]
+        )
+        assert stream.final_edges() == set()
+        assert not stream.insertion_only
+
+    def test_sign_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bipartite_double_cover([(0, 1)], 3, signs=[1, 1])
+
+    def test_order_preserved(self):
+        stream = bipartite_double_cover([(0, 1), (2, 1)], 3)
+        assert stream[0].edge == Edge(0, 1)
+        assert stream[1].edge == Edge(1, 0)
+        assert stream[2].edge == Edge(2, 1)
+        assert stream[3].edge == Edge(1, 2)

@@ -1,0 +1,79 @@
+"""Unit tests for the edge / stream-item model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams.edge import DELETE, INSERT, Edge, StreamItem
+
+
+class TestEdge:
+    def test_fields(self):
+        edge = Edge(3, 7)
+        assert edge.a == 3
+        assert edge.b == 7
+
+    def test_equality_and_hash(self):
+        assert Edge(1, 2) == Edge(1, 2)
+        assert Edge(1, 2) != Edge(2, 1)
+        assert len({Edge(1, 2), Edge(1, 2), Edge(2, 1)}) == 2
+
+    def test_negative_a_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(-1, 0)
+
+    def test_negative_b_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(0, -5)
+
+    def test_frozen(self):
+        edge = Edge(0, 0)
+        with pytest.raises(AttributeError):
+            edge.a = 1  # type: ignore[misc]
+
+    def test_flat_index_layout(self):
+        # Row-major: edge (a, b) sits at a*m + b.
+        assert Edge(0, 0).flat_index(10) == 0
+        assert Edge(0, 9).flat_index(10) == 9
+        assert Edge(1, 0).flat_index(10) == 10
+        assert Edge(3, 4).flat_index(10) == 34
+
+    def test_flat_index_rejects_out_of_range_b(self):
+        with pytest.raises(ValueError):
+            Edge(0, 10).flat_index(10)
+
+    def test_from_flat_index_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Edge.from_flat_index(-1, 10)
+
+    @given(a=st.integers(0, 500), b=st.integers(0, 499))
+    def test_flat_index_roundtrip(self, a, b):
+        m = 500
+        edge = Edge(a, b)
+        assert Edge.from_flat_index(edge.flat_index(m), m) == edge
+
+    @given(index=st.integers(0, 10_000), m=st.integers(1, 200))
+    def test_from_flat_index_roundtrip(self, index, m):
+        edge = Edge.from_flat_index(index, m)
+        assert edge.flat_index(m) == index
+
+
+class TestStreamItem:
+    def test_default_sign_is_insert(self):
+        item = StreamItem(Edge(0, 0))
+        assert item.sign == INSERT
+        assert item.is_insert
+        assert not item.is_delete
+
+    def test_delete_item(self):
+        item = StreamItem(Edge(0, 0), DELETE)
+        assert item.is_delete
+        assert not item.is_insert
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            StreamItem(Edge(0, 0), 2)
+
+    def test_zero_sign_rejected(self):
+        with pytest.raises(ValueError):
+            StreamItem(Edge(0, 0), 0)

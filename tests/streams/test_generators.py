@@ -1,0 +1,194 @@
+"""Unit tests for workload generators: each generator's promise holds."""
+
+import random
+
+import pytest
+
+from repro.streams.adapters import bipartite_double_cover, log_records_to_stream
+from repro.streams.generators import (
+    GeneratorConfig,
+    adversarial_interleaved_stream,
+    database_log_stream,
+    degree_cascade_graph,
+    deletion_churn_stream,
+    dos_attack_log,
+    planted_star_graph,
+    random_bipartite_graph,
+    social_network_stream,
+    zipf_frequency_stream,
+)
+
+
+CONFIG = GeneratorConfig(n=50, m=200, seed=11)
+
+
+class TestPlantedStar:
+    def test_star_has_planted_degree(self):
+        stream = planted_star_graph(CONFIG, star_degree=40, background_degree=5)
+        assert stream.degree_of(0) == 40
+
+    def test_star_is_unique_maximum(self):
+        stream = planted_star_graph(CONFIG, star_degree=40, background_degree=5)
+        degrees = stream.final_degrees()
+        assert degrees[0] == 40
+        assert all(deg <= 5 for vertex, deg in degrees.items() if vertex != 0)
+
+    def test_custom_star_vertex(self):
+        stream = planted_star_graph(CONFIG, star_degree=30, star_vertex=7)
+        assert stream.stats().max_degree_vertex == 7
+
+    def test_star_degree_exceeding_m_rejected(self):
+        with pytest.raises(ValueError):
+            planted_star_graph(CONFIG, star_degree=201)
+
+    def test_background_must_be_below_star(self):
+        with pytest.raises(ValueError):
+            planted_star_graph(CONFIG, star_degree=10, background_degree=10)
+
+    def test_deterministic_given_seed(self):
+        first = planted_star_graph(CONFIG, star_degree=20, background_degree=3)
+        second = planted_star_graph(CONFIG, star_degree=20, background_degree=3)
+        assert list(first) == list(second)
+
+    def test_unshuffled_order_groups_by_vertex(self):
+        config = GeneratorConfig(n=50, m=200, seed=11, shuffle=False)
+        stream = planted_star_graph(config, star_degree=10)
+        assert [item.edge.b for item in stream][:10] == list(range(10))
+
+
+class TestDegreeCascade:
+    def test_contains_degree_d_vertex(self):
+        stream = degree_cascade_graph(CONFIG, d=40, alpha=4)
+        assert stream.max_degree() >= 40
+
+    def test_levels_shrink_geometrically(self):
+        config = GeneratorConfig(n=200, m=200, seed=1)
+        stream = degree_cascade_graph(config, d=40, alpha=4, ratio=3.0)
+        degrees = sorted(stream.final_degrees().values(), reverse=True)
+        # exactly one vertex at the top level
+        assert degrees[0] >= 40
+        assert degrees[1] < 40
+
+    def test_rejects_d_above_m(self):
+        with pytest.raises(ValueError):
+            degree_cascade_graph(CONFIG, d=500, alpha=2)
+
+    def test_rejects_alpha_zero(self):
+        with pytest.raises(ValueError):
+            degree_cascade_graph(CONFIG, d=10, alpha=0)
+
+
+class TestRandomBipartite:
+    def test_edge_count(self):
+        stream = random_bipartite_graph(CONFIG, n_edges=300)
+        assert len(stream.final_edges()) == 300
+
+    def test_edges_distinct(self):
+        stream = random_bipartite_graph(CONFIG, n_edges=300)
+        edges = [item.edge for item in stream]
+        assert len(set(edges)) == len(edges)
+
+    def test_rejects_too_many_edges(self):
+        with pytest.raises(ValueError):
+            random_bipartite_graph(GeneratorConfig(n=3, m=3, seed=0), n_edges=10)
+
+
+class TestZipf:
+    def test_head_items_heavier(self):
+        config = GeneratorConfig(n=100, m=5000, seed=2)
+        stream = zipf_frequency_stream(config, n_records=5000, exponent=1.5)
+        degrees = stream.final_degrees()
+        head = sum(degrees.get(a, 0) for a in range(10))
+        tail = sum(degrees.get(a, 0) for a in range(90, 100))
+        assert head > 5 * tail
+
+    def test_witnesses_are_arrival_indices(self):
+        config = GeneratorConfig(n=10, m=50, seed=3)
+        stream = zipf_frequency_stream(config, n_records=50)
+        assert [item.edge.b for item in stream] == list(range(50))
+
+    def test_rejects_m_below_records(self):
+        with pytest.raises(ValueError):
+            zipf_frequency_stream(GeneratorConfig(n=10, m=10, seed=0), n_records=11)
+
+
+class TestAdversarialInterleaved:
+    def test_star_arrives_last(self):
+        config = GeneratorConfig(n=20, m=500, seed=4)
+        stream = adversarial_interleaved_stream(
+            config, star_degree=30, n_decoys=10, decoy_degree=20
+        )
+        star_positions = [i for i, item in enumerate(stream) if item.edge.a == 0]
+        assert min(star_positions) == len(stream) - 30
+
+    def test_degrees(self):
+        config = GeneratorConfig(n=20, m=500, seed=4)
+        stream = adversarial_interleaved_stream(
+            config, star_degree=30, n_decoys=10, decoy_degree=20
+        )
+        assert stream.degree_of(0) == 30
+        for decoy in range(1, 11):
+            assert stream.degree_of(decoy) == 20
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            adversarial_interleaved_stream(
+                GeneratorConfig(n=5, m=10, seed=0),
+                star_degree=5,
+                n_decoys=3,
+                decoy_degree=5,
+            )
+
+
+class TestDeletionChurn:
+    def test_final_graph_is_exactly_the_star(self):
+        config = GeneratorConfig(n=20, m=50, seed=5)
+        stream = deletion_churn_stream(config, star_degree=10, churn_edges=100)
+        degrees = stream.final_degrees()
+        assert degrees == {0: 10}
+
+    def test_stream_contains_deletions(self):
+        config = GeneratorConfig(n=20, m=50, seed=5)
+        stream = deletion_churn_stream(config, star_degree=10, churn_edges=100)
+        assert not stream.insertion_only
+        assert stream.stats().n_deletes == 100
+
+    def test_valid_turnstile_discipline(self):
+        # EdgeStream validation would raise if churn deleted absent edges.
+        config = GeneratorConfig(n=10, m=20, seed=6)
+        deletion_churn_stream(config, star_degree=5, churn_edges=50)
+
+
+class TestApplicationLogs:
+    def test_dos_attack_victim_is_heavy(self):
+        records = dos_attack_log(n_hosts=50, n_records=2000, seed=7)
+        stream, items, _ = log_records_to_stream(records)
+        victim = items.encode("10.0.0.1")
+        degrees = stream.final_degrees()
+        assert degrees[victim] == max(degrees.values())
+
+    def test_dos_attack_sources_distinct(self):
+        records = dos_attack_log(n_hosts=50, n_records=1000, attack_fraction=1.0, seed=8)
+        sources = {source for _, source in records}
+        assert len(sources) == len(records)
+
+    def test_database_log_hot_row(self):
+        records = database_log_stream(
+            n_rows=100, n_users=50, n_updates=2000, hot_fraction=0.3, seed=9
+        )
+        stream, items, _ = log_records_to_stream(records)
+        hot = items.encode("orders:42")
+        degrees = stream.final_degrees()
+        assert degrees[hot] == max(degrees.values())
+
+    def test_social_network_influencer_degree(self):
+        edges, n_users = social_network_stream(
+            n_users=200, n_followers=50, n_background=100, seed=10
+        )
+        stream = bipartite_double_cover(edges, n_users)
+        assert stream.degree_of(0) == 50
+        assert stream.stats().max_degree_vertex == 0
+
+    def test_social_network_rejects_too_many_followers(self):
+        with pytest.raises(ValueError):
+            social_network_stream(n_users=10, n_followers=10)

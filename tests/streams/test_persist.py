@@ -1,0 +1,94 @@
+"""Tests for stream persistence."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams.edge import DELETE, Edge, StreamItem
+from repro.streams.persist import (
+    StreamFormatError,
+    dump_stream,
+    dumps_stream,
+    load_stream,
+    loads_stream,
+)
+from repro.streams.generators import GeneratorConfig, deletion_churn_stream
+from repro.streams.stream import EdgeStream, stream_from_edges
+
+
+class TestRoundTrip:
+    def test_insert_only_roundtrip(self):
+        stream = stream_from_edges([Edge(0, 1), Edge(2, 3)], 5, 5)
+        recovered = loads_stream(dumps_stream(stream))
+        assert (recovered.n, recovered.m) == (5, 5)
+        assert list(recovered) == list(stream)
+
+    def test_turnstile_roundtrip(self):
+        stream = deletion_churn_stream(
+            GeneratorConfig(n=16, m=32, seed=1), star_degree=8, churn_edges=40
+        )
+        recovered = loads_stream(dumps_stream(stream))
+        assert list(recovered) == list(stream)
+        assert recovered.final_edges() == stream.final_edges()
+
+    def test_empty_stream_roundtrip(self):
+        stream = EdgeStream([], 3, 7)
+        recovered = loads_stream(dumps_stream(stream))
+        assert len(recovered) == 0
+        assert (recovered.n, recovered.m) == (3, 7)
+
+    def test_file_roundtrip(self, tmp_path):
+        stream = stream_from_edges([Edge(1, 2)], 4, 4)
+        path = tmp_path / "stream.txt"
+        dump_stream(stream, path)
+        recovered = load_stream(path)
+        assert list(recovered) == list(stream)
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    max_size=40, unique=True))
+    def test_arbitrary_edge_sets_roundtrip(self, pairs):
+        stream = stream_from_edges([Edge(a, b) for a, b in pairs], 10, 10)
+        recovered = loads_stream(dumps_stream(stream))
+        assert list(recovered) == list(stream)
+
+
+class TestFormat:
+    def test_header_line(self):
+        text = dumps_stream(stream_from_edges([], 12, 34))
+        assert text.splitlines()[0] == "# feww-stream v1 n=12 m=34"
+
+    def test_signs_in_body(self):
+        stream = EdgeStream(
+            [StreamItem(Edge(0, 1)), StreamItem(Edge(0, 1), DELETE)], 2, 2
+        )
+        lines = dumps_stream(stream).splitlines()
+        assert lines[1] == "+ 0 1"
+        assert lines[2] == "- 0 1"
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# feww-stream v1 n=4 m=4\n\n# a comment\n+ 1 2\n"
+        recovered = loads_stream(text)
+        assert len(recovered) == 1
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(StreamFormatError, match="header"):
+            loads_stream("+ 0 0\n")
+
+    def test_garbled_header_rejected(self):
+        with pytest.raises(StreamFormatError):
+            loads_stream("# feww-stream v1 n=x m=2\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(StreamFormatError, match="line 2"):
+            loads_stream("# feww-stream v1 n=4 m=4\n* 0 0\n")
+
+    def test_non_integer_endpoint_rejected(self):
+        with pytest.raises(StreamFormatError, match="non-integer"):
+            loads_stream("# feww-stream v1 n=4 m=4\n+ a 0\n")
+
+    def test_validation_applies_on_load(self):
+        text = "# feww-stream v1 n=4 m=4\n- 0 0\n"
+        with pytest.raises(Exception):
+            loads_stream(text)  # delete of absent edge
+        recovered = loads_stream(text, validate=False)
+        assert len(recovered) == 1

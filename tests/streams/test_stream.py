@@ -1,0 +1,170 @@
+"""Unit and property tests for EdgeStream."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams.edge import DELETE, INSERT, Edge, StreamItem
+from repro.streams.stream import EdgeStream, InvalidStreamError, stream_from_edges
+
+
+def make(items, n=10, m=10, validate=True):
+    return EdgeStream(items, n, m, validate=validate)
+
+
+class TestValidation:
+    def test_empty_stream_is_valid(self):
+        stream = make([])
+        assert len(stream) == 0
+        assert stream.final_edges() == set()
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            EdgeStream([], 0, 5)
+        with pytest.raises(ValueError):
+            EdgeStream([], 5, 0)
+
+    def test_rejects_a_out_of_range(self):
+        with pytest.raises(InvalidStreamError):
+            make([StreamItem(Edge(10, 0))])
+
+    def test_rejects_b_out_of_range(self):
+        with pytest.raises(InvalidStreamError):
+            make([StreamItem(Edge(0, 10))])
+
+    def test_rejects_duplicate_insert(self):
+        with pytest.raises(InvalidStreamError):
+            make([StreamItem(Edge(1, 1)), StreamItem(Edge(1, 1))])
+
+    def test_rejects_delete_of_absent_edge(self):
+        with pytest.raises(InvalidStreamError):
+            make([StreamItem(Edge(1, 1), DELETE)])
+
+    def test_reinsert_after_delete_is_valid(self):
+        stream = make(
+            [
+                StreamItem(Edge(1, 1)),
+                StreamItem(Edge(1, 1), DELETE),
+                StreamItem(Edge(1, 1)),
+            ]
+        )
+        assert stream.final_edges() == {Edge(1, 1)}
+
+    def test_validate_false_skips_checks(self):
+        stream = make([StreamItem(Edge(1, 1), DELETE)], validate=False)
+        assert len(stream) == 1
+
+
+class TestReferenceHelpers:
+    def test_final_edges_after_cancellation(self):
+        stream = make(
+            [
+                StreamItem(Edge(0, 0)),
+                StreamItem(Edge(0, 1)),
+                StreamItem(Edge(0, 0), DELETE),
+            ]
+        )
+        assert stream.final_edges() == {Edge(0, 1)}
+
+    def test_degrees(self):
+        stream = stream_from_edges([Edge(0, 0), Edge(0, 1), Edge(1, 0)], 5, 5)
+        assert stream.degree_of(0) == 2
+        assert stream.degree_of(1) == 1
+        assert stream.degree_of(2) == 0
+        assert stream.max_degree() == 2
+
+    def test_neighbours(self):
+        stream = stream_from_edges([Edge(0, 3), Edge(0, 4), Edge(1, 3)], 5, 5)
+        assert stream.neighbours_of(0) == {3, 4}
+        assert stream.neighbours_of(1) == {3}
+        assert stream.neighbours_of(4) == set()
+
+    def test_insertion_only_flag(self):
+        assert make([StreamItem(Edge(0, 0))]).insertion_only
+        assert not make(
+            [StreamItem(Edge(0, 0)), StreamItem(Edge(0, 0), DELETE)]
+        ).insertion_only
+
+    def test_stats(self):
+        stream = make(
+            [
+                StreamItem(Edge(0, 0)),
+                StreamItem(Edge(0, 1)),
+                StreamItem(Edge(1, 2)),
+                StreamItem(Edge(1, 2), DELETE),
+            ]
+        )
+        stats = stream.stats()
+        assert stats.n_updates == 4
+        assert stats.n_inserts == 3
+        assert stats.n_deletes == 1
+        assert stats.n_edges_final == 2
+        assert stats.max_degree == 2
+        assert stats.max_degree_vertex == 0
+        assert stats.n_a_vertices == 1
+        assert stats.n_b_vertices == 2
+
+    def test_stats_empty(self):
+        stats = make([]).stats()
+        assert stats.max_degree == 0
+        assert stats.max_degree_vertex == -1
+
+    def test_indexing_and_iteration(self):
+        items = [StreamItem(Edge(0, 0)), StreamItem(Edge(1, 1))]
+        stream = make(items)
+        assert stream[0] == items[0]
+        assert list(stream) == items
+
+    def test_concatenate(self):
+        first = make([StreamItem(Edge(0, 0))])
+        second = make([StreamItem(Edge(1, 1))])
+        combined = first.concatenate(second)
+        assert len(combined) == 2
+        assert combined.final_edges() == {Edge(0, 0), Edge(1, 1)}
+
+    def test_concatenate_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            make([]).concatenate(EdgeStream([], 3, 3))
+
+
+@st.composite
+def valid_update_sequences(draw):
+    """Generate valid insert/delete sequences over a 5x5 grid."""
+    n_ops = draw(st.integers(0, 60))
+    live = set()
+    items = []
+    for _ in range(n_ops):
+        if live and draw(st.booleans()):
+            edge = draw(st.sampled_from(sorted(live, key=lambda e: (e.a, e.b))))
+            items.append(StreamItem(edge, DELETE))
+            live.remove(edge)
+        else:
+            a = draw(st.integers(0, 4))
+            b = draw(st.integers(0, 4))
+            edge = Edge(a, b)
+            if edge in live:
+                continue
+            live.add(edge)
+            items.append(StreamItem(edge, INSERT))
+    return items, live
+
+
+class TestStreamProperties:
+    @given(valid_update_sequences())
+    def test_final_edges_matches_replay(self, data):
+        items, live = data
+        stream = EdgeStream(items, 5, 5)
+        assert stream.final_edges() == live
+
+    @given(valid_update_sequences())
+    def test_degree_sums_to_edge_count(self, data):
+        items, live = data
+        stream = EdgeStream(items, 5, 5)
+        assert sum(stream.final_degrees().values()) == len(live)
+
+    @given(valid_update_sequences())
+    def test_inserts_minus_deletes_equals_final(self, data):
+        items, _ = data
+        stream = EdgeStream(items, 5, 5)
+        stats = stream.stats()
+        assert stats.n_inserts - stats.n_deletes == stats.n_edges_final

@@ -1,0 +1,153 @@
+"""Tests for stream transformations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams.edge import DELETE, Edge, StreamItem
+from repro.streams.stream import EdgeStream, stream_from_edges
+from repro.streams.transforms import (
+    interleaved,
+    reversed_stream,
+    shuffled,
+    subsampled,
+    with_duplicates,
+)
+
+
+def simple_stream(pairs, n=10, m=10):
+    return stream_from_edges([Edge(a, b) for a, b in pairs], n, m)
+
+
+TURNSTILE = EdgeStream(
+    [StreamItem(Edge(0, 0)), StreamItem(Edge(0, 0), DELETE)], 4, 4
+)
+
+
+class TestShuffle:
+    def test_preserves_final_graph(self):
+        stream = simple_stream([(0, 1), (2, 3), (4, 5)])
+        assert shuffled(stream, 1).final_edges() == stream.final_edges()
+
+    def test_deterministic_given_seed(self):
+        stream = simple_stream([(a, a) for a in range(8)])
+        assert list(shuffled(stream, 7)) == list(shuffled(stream, 7))
+
+    def test_rejects_turnstile(self):
+        with pytest.raises(ValueError):
+            shuffled(TURNSTILE, 0)
+
+    @given(st.integers(0, 50))
+    def test_is_a_permutation(self, seed):
+        stream = simple_stream([(a, a) for a in range(9)])
+        assert sorted(
+            (item.edge.a, item.edge.b) for item in shuffled(stream, seed)
+        ) == sorted((item.edge.a, item.edge.b) for item in stream)
+
+
+class TestReverse:
+    def test_reverses_order(self):
+        stream = simple_stream([(0, 0), (1, 1)])
+        assert [item.edge.a for item in reversed_stream(stream)] == [1, 0]
+
+    def test_involution(self):
+        stream = simple_stream([(a, a) for a in range(5)])
+        assert list(reversed_stream(reversed_stream(stream))) == list(stream)
+
+    def test_rejects_turnstile(self):
+        with pytest.raises(ValueError):
+            reversed_stream(TURNSTILE)
+
+
+class TestInterleave:
+    def test_concatenation_without_seed(self):
+        first = simple_stream([(0, 0)])
+        second = simple_stream([(1, 1)])
+        merged = interleaved([first, second])
+        assert [item.edge.a for item in merged] == [0, 1]
+
+    def test_random_interleaving_preserves_internal_order(self):
+        first = simple_stream([(0, b) for b in range(5)])
+        second = simple_stream([(1, b) for b in range(5)])
+        merged = interleaved([first, second], seed=3)
+        first_positions = [item.edge.b for item in merged if item.edge.a == 0]
+        second_positions = [item.edge.b for item in merged if item.edge.a == 1]
+        assert first_positions == sorted(first_positions)
+        assert second_positions == sorted(second_positions)
+        assert len(merged) == 10
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            interleaved([])
+
+    def test_rejects_mismatched_dimensions(self):
+        with pytest.raises(ValueError):
+            interleaved([simple_stream([(0, 0)]), EdgeStream([], 3, 3)])
+
+    def test_rejects_overlapping_edges(self):
+        first = simple_stream([(0, 0)])
+        second = simple_stream([(0, 0)])
+        with pytest.raises(Exception):
+            interleaved([first, second])  # duplicate insert -> invalid
+
+
+class TestDuplicates:
+    def test_factor_zero_is_identity(self):
+        stream = simple_stream([(a, a) for a in range(5)])
+        raw = with_duplicates(stream, 0.0, seed=1)
+        assert len(raw) == 5
+
+    def test_integer_factor_exact_repeats(self):
+        stream = simple_stream([(a, a) for a in range(5)])
+        raw = with_duplicates(stream, 2.0, seed=1)
+        assert len(raw) == 15  # each original + 2 repeats
+
+    def test_fractional_factor_in_expectation(self):
+        stream = simple_stream([(a % 10, a) for a in range(10)], n=10, m=400)
+        raw = with_duplicates(stream, 0.5, seed=2)
+        assert 10 <= len(raw) <= 20
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            with_duplicates(simple_stream([(0, 0)]), -0.1, seed=0)
+
+    def test_works_with_duplicate_filter(self):
+        """End to end: inject duplicates, dedup, recover a simple stream
+        with the original final graph."""
+        import random
+
+        from repro.sketch.bloom import DuplicateFilter
+
+        stream = simple_stream([(a, b) for a in range(5) for b in range(5)],
+                               n=5, m=5)
+        raw = with_duplicates(stream, 1.0, seed=3)
+        dedup = DuplicateFilter(5, 5, capacity=100, fp_rate=0.001,
+                                rng=random.Random(4))
+        admitted = [
+            item for item in raw if dedup.admit(item.edge.a, item.edge.b)
+        ]
+        recovered = EdgeStream(admitted, 5, 5)
+        assert recovered.final_edges() == stream.final_edges()
+
+
+class TestSubsample:
+    def test_keep_all(self):
+        stream = simple_stream([(a, a) for a in range(6)])
+        assert len(subsampled(stream, 1.0, seed=0)) == 6
+
+    def test_keep_none(self):
+        stream = simple_stream([(a, a) for a in range(6)])
+        assert len(subsampled(stream, 0.0, seed=0)) == 0
+
+    def test_expected_fraction(self):
+        stream = simple_stream([(a % 10, a) for a in range(200)], n=10, m=200)
+        kept = len(subsampled(stream, 0.3, seed=1))
+        assert 30 <= kept <= 90
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            subsampled(simple_stream([(0, 0)]), 1.5, seed=0)
+
+    def test_rejects_turnstile(self):
+        with pytest.raises(ValueError):
+            subsampled(TURNSTILE, 0.5, seed=0)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_workload
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "star"
+        assert args.algorithm == "insertion-only"
+        assert args.alpha == 2
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nope"])
+
+
+class TestWorkloadFactory:
+    @pytest.mark.parametrize(
+        "workload", ["star", "cascade", "adversarial", "zipf", "churn"]
+    )
+    def test_every_workload_builds(self, workload):
+        args = build_parser().parse_args(
+            ["run", "--workload", workload, "--n", "64", "--m", "512",
+             "--d", "16"]
+        )
+        stream = make_workload(args)
+        assert len(stream) > 0
+
+    def test_churn_contains_deletions(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "churn", "--n", "32", "--m", "64",
+             "--d", "8"]
+        )
+        assert not make_workload(args).insertion_only
+
+
+class TestCommands:
+    def test_run_star_succeeds(self, capsys):
+        code = main(
+            ["run", "--workload", "star", "--n", "128", "--m", "512",
+             "--d", "32", "--alpha", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified against ground truth: OK" in out
+        assert "space:" in out
+
+    def test_run_churn_with_insertion_only_rejected(self, capsys):
+        code = main(
+            ["run", "--workload", "churn", "--algorithm", "insertion-only",
+             "--n", "32", "--m", "64", "--d", "8"]
+        )
+        assert code == 2
+        assert "deletions" in capsys.readouterr().err
+
+    def test_run_churn_with_turnstile_algorithm(self, capsys):
+        code = main(
+            ["run", "--workload", "churn", "--algorithm", "insertion-deletion",
+             "--n", "32", "--m", "64", "--d", "8", "--scale", "0.3"]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_bounds_output(self, capsys):
+        code = main(["bounds", "--n", "1024", "--d", "32", "--alpha", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Thm 3.2" in out
+        assert "Thm 6.4" in out
+
+    def test_bounds_alpha_one_skips_io_lower(self, capsys):
+        code = main(["bounds", "--n", "1024", "--d", "32", "--alpha", "1"])
+        assert code == 0
+        assert "Thm 4.1+4.8" not in capsys.readouterr().out
+
+    def test_figures_output(self, capsys):
+        code = main(["figures"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Z_4 = 011110101000011" in out
+        assert "Figure 3" in out

@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example runs to completion and produces
+its advertised output (guards the examples against API drift)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_FRAGMENTS = {
+    "quickstart.py": "verification: all witnesses are genuine neighbours",
+    "dos_detection.py": "FEwW identifies the victim",
+    "social_influencer.py": "verification: centre and all followers confirmed",
+    "turnstile_updates.py": "every witness survives all deletions",
+    "lower_bound_reductions.py": "Figure 3",
+    "windowed_monitoring.py": "each window's hot row detected in order",
+    "distributed_merge.py": "all three views agree on the heavy item",
+}
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_FRAGMENTS))
+def test_example_runs_and_reports(name):
+    output = run_example(name)
+    assert EXPECTED_FRAGMENTS[name] in output
+
+
+def test_every_example_file_is_covered():
+    """A new example must be registered here (and thus smoke-tested)."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_FRAGMENTS)

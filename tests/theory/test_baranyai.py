@@ -1,0 +1,116 @@
+"""Tests for the constructive Baranyai partition (Theorem 4.4)."""
+
+import math
+
+import pytest
+
+from repro.theory.baranyai import baranyai_partition, is_baranyai_partition
+
+
+class TestSmallCases:
+    def test_k_equals_one(self):
+        """k=1: a single class of n singletons."""
+        partition = baranyai_partition(4, 1)
+        assert len(partition) == 1
+        assert sorted(map(min, partition[0])) == [0, 1, 2, 3]
+        assert is_baranyai_partition(partition, 4, 1)
+
+    def test_k_equals_n(self):
+        """k=n: one class containing the full set."""
+        partition = baranyai_partition(5, 5)
+        assert partition == [[frozenset(range(5))]]
+        assert is_baranyai_partition(partition, 5, 5)
+
+    def test_k2_is_one_factorisation_of_k_n(self):
+        """k=2 is the classical 1-factorisation of K_n (n even):
+        n-1 perfect matchings."""
+        for n in (4, 6, 8):
+            partition = baranyai_partition(n, 2)
+            assert len(partition) == n - 1
+            assert is_baranyai_partition(partition, n, 2)
+
+    @pytest.mark.parametrize("n,k", [(6, 3), (8, 4), (9, 3), (10, 5), (6, 2)])
+    def test_general_cases(self, n, k):
+        partition = baranyai_partition(n, k)
+        assert is_baranyai_partition(partition, n, k)
+
+    def test_class_count_is_binom(self):
+        partition = baranyai_partition(8, 2)
+        assert len(partition) == math.comb(7, 1)
+        partition = baranyai_partition(6, 3)
+        assert len(partition) == math.comb(5, 2)
+
+
+class TestValidation:
+    def test_rejects_non_divisor(self):
+        with pytest.raises(ValueError):
+            baranyai_partition(7, 2)
+
+    def test_rejects_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            baranyai_partition(4, 0)
+        with pytest.raises(ValueError):
+            baranyai_partition(4, 5)
+
+
+class TestChecker:
+    def test_rejects_wrong_class_count(self):
+        partition = baranyai_partition(6, 2)
+        assert not is_baranyai_partition(partition[:-1], 6, 2)
+
+    def test_rejects_duplicate_edge(self):
+        partition = baranyai_partition(6, 2)
+        tampered = [list(cls) for cls in partition]
+        tampered[0][0] = tampered[1][0]
+        assert not is_baranyai_partition(tampered, 6, 2)
+
+    def test_rejects_non_covering_class(self):
+        partition = [[frozenset({0, 1}), frozenset({0, 2})]]
+        assert not is_baranyai_partition(partition, 4, 2)
+
+    def test_rejects_non_divisor_input(self):
+        assert not is_baranyai_partition([], 7, 2)
+
+
+class TestLemma45Usage:
+    def test_partition_splits_subsets_evenly(self):
+        """Lemma 4.5 partitions the n_i-subsets of x_{i-1} into groups of
+        n_{i-1}/n_i sets covering x_{i-1}: exactly the Baranyai classes."""
+        n_prev, n_cur = 8, 4
+        partition = baranyai_partition(n_prev, n_cur)
+        expected_classes = math.comb(n_prev, n_cur) * n_cur // n_prev
+        assert len(partition) == expected_classes
+        assert all(len(cls) == n_prev // n_cur for cls in partition)
+
+    def test_uniform_subset_decomposes_via_classes(self):
+        """The expectation split at the heart of Lemma 4.5: drawing a
+        uniform k-subset is identical to drawing a uniform class, then a
+        uniform member of it.  Exact counting identity: every subset
+        appears in exactly one class and all classes have equal size, so
+        P[class] * P[member | class] = 1/C(n, k) for every subset."""
+        n, k = 6, 3
+        partition = baranyai_partition(n, k)
+        per_class = n // k
+        appearances = {}
+        for cls in partition:
+            for edge in cls:
+                appearances[edge] = appearances.get(edge, 0) + 1
+        assert all(count == 1 for count in appearances.values())
+        for cls in partition:
+            assert len(cls) == per_class
+        # probability of any fixed subset under the two-stage draw:
+        two_stage = (1 / len(partition)) * (1 / per_class)
+        assert two_stage == pytest.approx(1 / math.comb(n, k))
+
+    def test_each_element_covered_once_per_class(self):
+        """Theorem 4.4(3) as Lemma 4.5 uses it: within a class, every
+        ground element belongs to exactly one chosen subset, so summing
+        conditional informations over a class's members telescopes to
+        the whole of x_{i-1}."""
+        partition = baranyai_partition(9, 3)
+        for cls in partition:
+            membership = {}
+            for edge in cls:
+                for element in edge:
+                    membership[element] = membership.get(element, 0) + 1
+            assert membership == {element: 1 for element in range(9)}

@@ -1,0 +1,133 @@
+"""Tests for the closed-form bound formulas."""
+
+import math
+
+import pytest
+
+from repro.theory.bounds import (
+    deg_res_success_lower_bound,
+    insertion_deletion_lower_bound_words,
+    insertion_deletion_space_words,
+    insertion_only_lower_bound_words,
+    insertion_only_space_words,
+    sampling_lemma_draws,
+    set_disjointness_lower_bound_words,
+)
+
+
+class TestLemma31:
+    def test_zero_heavy_nodes_gives_zero(self):
+        assert deg_res_success_lower_bound(10, 0, 5) == 0.0
+
+    def test_reservoir_covers_all_candidates(self):
+        assert deg_res_success_lower_bound(5, 1, 5) == 1.0
+        assert deg_res_success_lower_bound(3, 1, 10) == 1.0
+
+    def test_matches_closed_form(self):
+        n1, n2, s = 100, 10, 5
+        expected = 1.0 - (1.0 - s / n1) ** n2
+        assert deg_res_success_lower_bound(n1, n2, s) == pytest.approx(expected)
+
+    def test_monotone_in_s(self):
+        probabilities = [
+            deg_res_success_lower_bound(100, 10, s) for s in (1, 5, 20, 50)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_monotone_in_n2(self):
+        probabilities = [
+            deg_res_success_lower_bound(100, n2, 5) for n2 in (1, 5, 20)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            deg_res_success_lower_bound(-1, 0, 1)
+        with pytest.raises(ValueError):
+            deg_res_success_lower_bound(1, 1, 0)
+
+    def test_exponential_form_is_weaker(self):
+        """1 - (1-s/n1)^n2 >= 1 - e^{-s n2/n1} (the paper states both)."""
+        for n1, n2, s in [(100, 10, 5), (50, 25, 3), (1000, 2, 7)]:
+            tight = deg_res_success_lower_bound(n1, n2, s)
+            loose = 1.0 - math.exp(-s * n2 / n1)
+            assert tight >= loose - 1e-12
+
+
+class TestLemma51:
+    def test_formula(self):
+        assert sampling_lemma_draws(100, 50, 10) == math.ceil(
+            4 * math.log(100) * 100 * 10 / 50
+        )
+
+    def test_rejects_bad_ordering(self):
+        with pytest.raises(ValueError):
+            sampling_lemma_draws(10, 20, 5)
+        with pytest.raises(ValueError):
+            sampling_lemma_draws(10, 5, 6)
+
+    def test_more_confidence_more_draws(self):
+        assert sampling_lemma_draws(100, 50, 10, c=8) > sampling_lemma_draws(
+            100, 50, 10, c=4
+        )
+
+
+class TestUpperBounds:
+    def test_insertion_only_alpha_tradeoff(self):
+        """Larger alpha shrinks the witness term (for fixed n, d)."""
+        words = [insertion_only_space_words(4096, 256, alpha) for alpha in (1, 2, 4)]
+        assert words == sorted(words, reverse=True)
+
+    def test_insertion_only_contains_degree_table(self):
+        assert insertion_only_space_words(1000, 1, 1) >= 1000
+
+    def test_insertion_only_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            insertion_only_space_words(10, 5, 0)
+
+    def test_insertion_deletion_alpha_quadratic(self):
+        small_alpha = insertion_deletion_space_words(256, 256, 16, 2)
+        large_alpha = insertion_deletion_space_words(256, 256, 16, 8)
+        assert small_alpha / large_alpha > 6  # ~ (8/2)^2 = 16, with slack
+
+    def test_insertion_deletion_crossover_at_sqrt_n(self):
+        """Beyond alpha = sqrt(n) the bound decays like 1/alpha, not
+        1/alpha^2: ratios flatten."""
+        n = 1024  # sqrt = 32
+        below = insertion_deletion_space_words(n, n, 8, 4)
+        at = insertion_deletion_space_words(n, n, 8, 32)
+        above = insertion_deletion_space_words(n, n, 8, 128)
+        assert below > at > above
+        # below the crossover the decay is super-linear in alpha (the
+        # vertex-sample cap at n keeps it short of fully quadratic at
+        # this n); above the crossover it is at most linear.
+        assert below / at > 32 / 4
+        assert at / above < (128 / 32) ** 1.5
+
+
+class TestLowerBounds:
+    def test_set_disjointness_shape(self):
+        assert set_disjointness_lower_bound_words(100, 2) == 25
+        with pytest.raises(ValueError):
+            set_disjointness_lower_bound_words(100, 0.5)
+
+    def test_insertion_only_two_terms(self):
+        value = insertion_only_lower_bound_words(64, 16, 2)
+        assert value == pytest.approx(64 / 4 + 64 * 16 / 4)
+
+    def test_insertion_only_rejects_alpha_one(self):
+        with pytest.raises(ValueError):
+            insertion_only_lower_bound_words(64, 16, 1)
+
+    def test_insertion_deletion_shape(self):
+        assert insertion_deletion_lower_bound_words(100, 10, 2) == 250
+        with pytest.raises(ValueError):
+            insertion_deletion_lower_bound_words(100, 10, 0.1)
+
+    def test_upper_bound_dominates_lower_bound(self):
+        """Sanity: for matching parameters the algorithm's space is at
+        least the lower bound (they're tight up to polylog)."""
+        for n, d, alpha in [(256, 16, 2), (1024, 32, 4)]:
+            upper = insertion_only_space_words(n, d, alpha)
+            lower = insertion_only_lower_bound_words(n, d, alpha)
+            assert upper >= lower

@@ -1,0 +1,84 @@
+"""Tests for the empirical information-theory estimators."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.theory.information import (
+    empirical_entropy,
+    empirical_mutual_information,
+    entropy_of_counts,
+)
+
+
+class TestEntropyOfCounts:
+    def test_uniform_two_outcomes(self):
+        assert entropy_of_counts([5, 5]) == pytest.approx(1.0)
+
+    def test_deterministic_is_zero(self):
+        assert entropy_of_counts([10]) == 0.0
+
+    def test_uniform_n_outcomes(self):
+        assert entropy_of_counts([3] * 8) == pytest.approx(3.0)
+
+    def test_empty_is_zero(self):
+        assert entropy_of_counts([]) == 0.0
+        assert entropy_of_counts([0, 0]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            entropy_of_counts([-1])
+
+    def test_biased_coin(self):
+        p = 0.25
+        expected = -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+        assert entropy_of_counts([25, 75]) == pytest.approx(expected)
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=20))
+    def test_bounded_by_log_support(self, counts):
+        assert entropy_of_counts(counts) <= math.log2(len(counts)) + 1e-9
+
+
+class TestEmpiricalEntropy:
+    def test_from_samples(self):
+        samples = ["a"] * 50 + ["b"] * 50
+        assert empirical_entropy(samples) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert empirical_entropy([]) == 0.0
+
+
+class TestMutualInformation:
+    def test_independent_variables_near_zero(self):
+        rng = random.Random(0)
+        pairs = [(rng.randrange(2), rng.randrange(2)) for _ in range(5000)]
+        assert empirical_mutual_information(pairs) < 0.01
+
+    def test_identical_variables_full_information(self):
+        rng = random.Random(1)
+        pairs = [(x, x) for x in (rng.randrange(4) for _ in range(4000))]
+        assert empirical_mutual_information(pairs) == pytest.approx(2.0, abs=0.05)
+
+    def test_deterministic_function(self):
+        """I(X : f(X)) = H(f(X)) for deterministic f."""
+        rng = random.Random(2)
+        xs = [rng.randrange(8) for _ in range(4000)]
+        pairs = [(x, x % 2) for x in xs]
+        assert empirical_mutual_information(pairs) == pytest.approx(1.0, abs=0.05)
+
+    def test_empty_pairs(self):
+        assert empirical_mutual_information([]) == 0.0
+
+    def test_never_negative(self):
+        rng = random.Random(3)
+        pairs = [(rng.randrange(10), rng.randrange(10)) for _ in range(50)]
+        assert empirical_mutual_information(pairs) >= 0.0
+
+    def test_bounded_by_marginal_entropy(self):
+        rng = random.Random(4)
+        pairs = [(rng.randrange(4), rng.randrange(16)) for _ in range(2000)]
+        mi = empirical_mutual_information(pairs)
+        assert mi <= empirical_entropy([x for x, _ in pairs]) + 1e-9

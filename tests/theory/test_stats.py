@@ -1,0 +1,78 @@
+"""Tests for the statistical helpers."""
+
+import random
+
+import pytest
+
+from repro.theory.stats import (
+    binomial_tail_bound,
+    chi_square_uniformity_pvalue,
+    wilson_interval,
+)
+
+
+class TestChiSquare:
+    def test_uniform_histogram_high_pvalue(self):
+        rng = random.Random(0)
+        counts = [0] * 10
+        for _ in range(5000):
+            counts[rng.randrange(10)] += 1
+        assert chi_square_uniformity_pvalue(counts) > 0.001
+
+    def test_skewed_histogram_low_pvalue(self):
+        assert chi_square_uniformity_pvalue([1000, 10, 10, 10]) < 1e-6
+
+    def test_exact_uniform_pvalue_one(self):
+        assert chi_square_uniformity_pvalue([100, 100, 100]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity_pvalue([5])
+        with pytest.raises(ValueError):
+            chi_square_uniformity_pvalue([0, 0])
+        with pytest.raises(ValueError):
+            chi_square_uniformity_pvalue([5, -1])
+
+
+class TestBinomialTail:
+    def test_consistent_observation(self):
+        # 90 of 100 at claimed p=0.9: perfectly consistent
+        assert binomial_tail_bound(90, 100, 0.9) > 0.05
+
+    def test_refuting_observation(self):
+        # 50 of 100 at claimed p=0.95: essentially impossible
+        assert binomial_tail_bound(50, 100, 0.95) < 1e-10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_tail_bound(11, 10, 0.5)
+        with pytest.raises(ValueError):
+            binomial_tail_bound(5, 10, 1.5)
+
+    def test_monotone_in_successes(self):
+        low = binomial_tail_bound(40, 100, 0.9)
+        high = binomial_tail_bound(85, 100, 0.9)
+        assert low < high
+
+
+class TestWilson:
+    def test_contains_true_rate(self):
+        lower, upper = wilson_interval(80, 100)
+        assert lower < 0.8 < upper
+
+    def test_narrower_with_more_trials(self):
+        wide = wilson_interval(8, 10)
+        narrow = wilson_interval(800, 1000)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_bounds_clamped(self):
+        lower, upper = wilson_interval(0, 10)
+        assert lower == pytest.approx(0.0, abs=1e-12)
+        lower, upper = wilson_interval(10, 10)
+        assert upper == pytest.approx(1.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)

@@ -1,0 +1,30 @@
+"""Tests for the §1.3 trivial witness lower bound."""
+
+import pytest
+
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.streams.generators import GeneratorConfig, planted_star_graph
+from repro.theory.bounds import trivial_witness_lower_bound_words
+
+
+class TestTrivialBound:
+    def test_formula(self):
+        assert trivial_witness_lower_bound_words(100, 4) == 25.0
+        assert trivial_witness_lower_bound_words(7, 2) == 3.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trivial_witness_lower_bound_words(0, 1)
+        with pytest.raises(ValueError):
+            trivial_witness_lower_bound_words(10, 0)
+
+    def test_any_correct_output_respects_it(self):
+        """An output's witness words alone are >= 2 * d/alpha."""
+        config = GeneratorConfig(n=64, m=512, seed=1)
+        stream = planted_star_graph(config, star_degree=48, background_degree=3)
+        for alpha in (1, 2, 4):
+            algorithm = InsertionOnlyFEwW(64, 48, alpha, seed=alpha)
+            result = algorithm.process(stream).result()
+            floor = trivial_witness_lower_bound_words(48, alpha)
+            assert result.size >= floor
+            assert algorithm.space_words() >= 2 * floor
