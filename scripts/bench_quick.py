@@ -1,0 +1,103 @@
+"""Quick throughput benchmark: per-item vs columnar batch ingestion.
+
+Reuses the contender list and measurement loop from
+``benchmarks/bench_throughput.py`` (single source of truth for the
+workload and the 5x acceptance bar), runs the standard Zipf workload
+through every streaming structure in both modes, and writes a
+``BENCH_throughput.json`` artifact (by default into the repository
+root) so the performance trajectory can be tracked across PRs.  Exits
+non-zero if the batch engine loses its required speedup on the
+hash-heavy sketches or Algorithm 2.
+
+Run:  PYTHONPATH=src python scripts/bench_quick.py [--records N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_throughput import (  # noqa: E402 (needs the path tweak above)
+    ALPHA,
+    CHUNK,
+    D,
+    N,
+    REQUIRED_ON,
+    REQUIRED_SPEEDUP,
+    make_stream,
+    measure_rates,
+)
+
+from repro.streams.columnar import ColumnarEdgeStream  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=30000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_throughput.json"
+    )
+    args = parser.parse_args()
+
+    stream = make_stream(args.records)
+    columnar = ColumnarEdgeStream.from_edge_stream(stream)
+    item_rates, batch_rates = measure_rates(stream, columnar, args.repeats)
+    results = {
+        name: {
+            "item_updates_per_s": item_rates[name],
+            "batch_updates_per_s": batch_rates[name],
+            "batch_speedup": batch_rates[name] / item_rates[name],
+        }
+        for name in item_rates
+    }
+    artifact = {
+        "benchmark": "throughput_zipf",
+        "config": {
+            "n": N,
+            "records": args.records,
+            "d": D,
+            "alpha": ALPHA,
+            "chunk_size": CHUNK,
+            "repeats": args.repeats,
+        },
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    header = f"{'structure':32s} {'item k-upd/s':>13s} {'batch k-upd/s':>14s} {'speedup':>8s}"
+    print(header)
+    print("-" * len(header))
+    for name, row in results.items():
+        print(
+            f"{name:32s} {row['item_updates_per_s'] / 1e3:13.1f} "
+            f"{row['batch_updates_per_s'] / 1e3:14.1f} "
+            f"{row['batch_speedup']:7.1f}x"
+        )
+    print(f"\nartifact written to {args.out}")
+
+    failed = [
+        name
+        for name in REQUIRED_ON
+        if results[name]["batch_speedup"] < REQUIRED_SPEEDUP
+    ]
+    if failed:
+        print(
+            f"FAIL: batch speedup below {REQUIRED_SPEEDUP}x for: "
+            + ", ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,14 +45,21 @@ from repro.streams import (
     planted_star_graph,
     stream_from_edges,
 )
+from repro.streams.columnar import (
+    ColumnarEdgeStream,
+    process_columnar,
+)
 from repro.streams.generators import (
     adversarial_interleaved_stream,
+    churn_columnar,
     database_log_stream,
     degree_cascade_graph,
     deletion_churn_stream,
     dos_attack_log,
+    random_bipartite_columnar,
     random_bipartite_graph,
     social_network_stream,
+    zipf_frequency_columnar,
     zipf_frequency_stream,
 )
 
@@ -60,6 +67,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AlgorithmFailed",
+    "ColumnarEdgeStream",
     "DELETE",
     "DegResSampling",
     "Edge",
@@ -76,15 +84,19 @@ __all__ = [
     "StreamItem",
     "adversarial_interleaved_stream",
     "bipartite_double_cover",
+    "churn_columnar",
     "database_log_stream",
     "degree_cascade_graph",
     "deletion_churn_stream",
     "dos_attack_log",
     "log_records_to_stream",
     "planted_star_graph",
+    "process_columnar",
+    "random_bipartite_columnar",
     "random_bipartite_graph",
     "social_network_stream",
     "stream_from_edges",
     "verify_neighbourhood",
+    "zipf_frequency_columnar",
     "zipf_frequency_stream",
 ]

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List
+from typing import List, Optional
+
+import numpy as np
 
 from repro.sketch.hashing import KWiseHash, random_kwise
 from repro.streams.edge import StreamItem
@@ -38,16 +40,37 @@ class CountMinSketch:
         self._hashes: List[KWiseHash] = [
             random_kwise(2, self.width, rng) for _ in range(self.rows)
         ]
-        self._table: List[List[int]] = [[0] * self.width for _ in range(self.rows)]
+        self._table = np.zeros((self.rows, self.width), dtype=np.int64)
 
     def update(self, item: int, delta: int = 1) -> None:
         """Apply ``count[item] += delta`` (negative deltas allowed)."""
-        for hash_function, row in zip(self._hashes, self._table):
-            row[hash_function(item)] += delta
+        for row_index, hash_function in enumerate(self._hashes):
+            self._table[row_index, hash_function(item)] += delta
+
+    def update_batch(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply a column of signed updates: one scatter-add per row.
+
+        Counter cells are commutative sums, so the final table is
+        bit-identical to calling :meth:`update` item by item.
+        """
+        for row_index, hash_function in enumerate(self._hashes):
+            np.add.at(self._table[row_index], hash_function.batch(items), deltas)
 
     def process_item(self, item: StreamItem) -> None:
         """Adapter: A-vertex is the item, sign is the delta."""
         self.update(item.edge.a, item.sign)
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Column adapter: A-vertices are the items, signs the deltas."""
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        if sign is None:
+            sign = np.ones(len(a), dtype=np.int64)
+        self.update_batch(a, sign)
 
     def process(self, stream: EdgeStream) -> "CountMinSketch":
         for item in stream:
@@ -56,9 +79,11 @@ class CountMinSketch:
 
     def estimate(self, item: int) -> int:
         """Point query: min over the item's cells (overestimates)."""
-        return min(
-            row[hash_function(item)]
-            for hash_function, row in zip(self._hashes, self._table)
+        return int(
+            min(
+                self._table[row_index, hash_function(item)]
+                for row_index, hash_function in enumerate(self._hashes)
+            )
         )
 
     def shares_hashes_with(self, other: "CountMinSketch") -> bool:
@@ -87,10 +112,7 @@ class CountMinSketch:
         merged.width = self.width
         merged.rows = self.rows
         merged._hashes = self._hashes
-        merged._table = [
-            [mine + theirs for mine, theirs in zip(mine_row, their_row)]
-            for mine_row, their_row in zip(self._table, other._table)
-        ]
+        merged._table = self._table + other._table
         return merged
 
     def space_words(self) -> int:

@@ -11,7 +11,9 @@ from __future__ import annotations
 import math
 import random
 import statistics
-from typing import List
+from typing import List, Optional
+
+import numpy as np
 
 from repro.sketch.hashing import KWiseHash, random_kwise
 from repro.streams.edge import StreamItem
@@ -41,7 +43,7 @@ class CountSketch:
         self._sign_hashes: List[KWiseHash] = [
             random_kwise(2, 2, rng) for _ in range(rows)
         ]
-        self._table: List[List[int]] = [[0] * width for _ in range(rows)]
+        self._table = np.zeros((rows, width), dtype=np.int64)
 
     def _sign(self, row: int, item: int) -> int:
         return 1 if self._sign_hashes[row](item) == 1 else -1
@@ -50,11 +52,34 @@ class CountSketch:
         """Apply ``count[item] += delta``."""
         for row_index in range(self.rows):
             bucket = self._bucket_hashes[row_index](item)
-            self._table[row_index][bucket] += self._sign(row_index, item) * delta
+            self._table[row_index, bucket] += self._sign(row_index, item) * delta
+
+    def update_batch(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply a column of signed updates: one scatter-add per row.
+
+        Cells are commutative sums, so the final table is bit-identical
+        to calling :meth:`update` item by item.
+        """
+        for row_index in range(self.rows):
+            buckets = self._bucket_hashes[row_index].batch(items)
+            signs = 2 * self._sign_hashes[row_index].batch(items) - 1
+            np.add.at(self._table[row_index], buckets, signs * deltas)
 
     def process_item(self, item: StreamItem) -> None:
         """Adapter: A-vertex is the item, sign is the delta."""
         self.update(item.edge.a, item.sign)
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Column adapter: A-vertices are the items, signs the deltas."""
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        if sign is None:
+            sign = np.ones(len(a), dtype=np.int64)
+        self.update_batch(a, sign)
 
     def process(self, stream: EdgeStream) -> "CountSketch":
         for item in stream:
@@ -66,7 +91,9 @@ class CountSketch:
         values = []
         for row_index in range(self.rows):
             bucket = self._bucket_hashes[row_index](item)
-            values.append(self._sign(row_index, item) * self._table[row_index][bucket])
+            values.append(
+                self._sign(row_index, item) * int(self._table[row_index, bucket])
+            )
         return round(statistics.median(values))
 
     def space_words(self) -> int:

@@ -10,9 +10,11 @@ FEwW.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.streams.edge import StreamItem
+import numpy as np
+
+from repro.streams.edge import DELETE, StreamItem
 from repro.streams.stream import EdgeStream
 
 
@@ -63,6 +65,41 @@ class MisraGries:
         if item.is_delete:
             raise ValueError("Misra-Gries supports insertion-only streams")
         self.update(item.edge.a)
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray = None,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Chunk-accumulate-then-merge batch ingestion.
+
+        Exact chunk frequencies are computed with one ``np.unique`` pass
+        (an error-free summary of the chunk) and folded into the running
+        counters with the mergeable-summaries construction — add
+        key-wise, then subtract the (k+1)-st largest count if more than
+        ``k`` survive.  The result is a valid Misra-Gries summary of
+        everything seen (undercount at most ``L/(k+1)``), though counter
+        values may differ from the per-item decrement schedule, which is
+        arrival-order dependent.
+        """
+        if sign is not None and np.any(sign == DELETE):
+            raise ValueError("Misra-Gries supports insertion-only streams")
+        if len(a) == 0:
+            return
+        items, counts = np.unique(np.asarray(a, dtype=np.int64), return_counts=True)
+        combined: Dict[int, int] = dict(self._counters)
+        for item, count in zip(items.tolist(), counts.tolist()):
+            combined[item] = combined.get(item, 0) + count
+        if len(combined) > self.k:
+            cutoff = sorted(combined.values(), reverse=True)[self.k]
+            combined = {
+                item: count - cutoff
+                for item, count in combined.items()
+                if count > cutoff
+            }
+        self._counters = combined
+        self._length += len(a)
 
     def process(self, stream: EdgeStream) -> "MisraGries":
         for item in stream:

@@ -11,11 +11,14 @@ Two trivial ways to solve FEwW, bracketing the paper's algorithms:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
+
+import numpy as np
 
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
 from repro.spacemeter import edge_words, vertex_words
-from repro.streams.edge import StreamItem
+from repro.streams.columnar import group_slices
+from repro.streams.edge import DELETE, StreamItem
 from repro.streams.stream import EdgeStream
 
 
@@ -33,6 +36,42 @@ class FullStorage:
             witnesses.add(item.edge.b)
         else:
             witnesses.discard(item.edge.b)
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Apply a column chunk of signed updates.
+
+        Within a valid stream chunk each edge's membership after the
+        chunk is decided by its *last* update, so the chunk is collapsed
+        to one add/discard per distinct edge (grouped per vertex).  Final
+        state is identical to per-item processing.
+        """
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        b = np.ascontiguousarray(b, dtype=np.int64)
+        if len(a) == 0:
+            return
+        if sign is None:
+            sign = np.ones(len(a), dtype=np.int64)
+        flat = a * self.m + b
+        reversed_unique, reversed_first = np.unique(flat[::-1], return_index=True)
+        last_positions = len(flat) - 1 - reversed_first
+        final_sign = np.asarray(sign)[last_positions]
+        vertices = reversed_unique // self.m
+        witnesses_col = reversed_unique % self.m
+        order, starts, ends = group_slices(vertices)
+        sorted_vertices = vertices[order]
+        for group_start, group_end in zip(starts.tolist(), ends.tolist()):
+            group = order[group_start:group_end]
+            witnesses = self._neighbours.setdefault(
+                int(sorted_vertices[group_start]), set()
+            )
+            inserts = final_sign[group] > 0
+            witnesses.update(witnesses_col[group[inserts]].tolist())
+            witnesses.difference_update(witnesses_col[group[~inserts]].tolist())
 
     def process(self, stream: EdgeStream) -> "FullStorage":
         for item in stream:
@@ -83,6 +122,30 @@ class FirstKWitnessCollector:
         stored = self._witnesses.setdefault(a, [])
         if len(stored) < self.k:
             stored.append(b)
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Apply a column chunk of insertions (identical to per-item)."""
+        if sign is not None and np.any(sign == DELETE):
+            raise ValueError("FirstKWitnessCollector supports insertion-only streams")
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        b = np.ascontiguousarray(b, dtype=np.int64)
+        if len(a) == 0:
+            return
+        order, starts, ends = group_slices(a)
+        for group_start, group_end in zip(starts.tolist(), ends.tolist()):
+            vertex = int(a[order[group_start]])
+            count = group_end - group_start
+            self._degrees[vertex] = self._degrees.get(vertex, 0) + count
+            stored = self._witnesses.setdefault(vertex, [])
+            room = self.k - len(stored)
+            if room > 0:
+                take = order[group_start : min(group_end, group_start + room)]
+                stored.extend(b[take].tolist())
 
     def process(self, stream: EdgeStream) -> "FirstKWitnessCollector":
         for item in stream:

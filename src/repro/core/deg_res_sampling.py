@@ -29,10 +29,13 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
 from repro.sketch.exact import DegreeCounter
 from repro.spacemeter import SpaceBreakdown, edge_words, vertex_words
-from repro.streams.edge import StreamItem
+from repro.streams.columnar import group_slices
+from repro.streams.edge import INSERT, StreamItem
 from repro.streams.stream import EdgeStream
 
 
@@ -75,12 +78,43 @@ class DegResSampling:
         self._degrees: Optional[DegreeCounter] = DegreeCounter(n) if own_degrees else None
         #: reservoir contents: vertex -> collected witnesses, in arrival order
         self._reservoir: Dict[int, List[int]] = {}
+        #: resident vertices in arbitrary order, for O(1) random eviction
+        #: (mirrors the reservoir keys; not charged separately)
+        self._resident: List[int] = []
         #: count of vertices whose degree has reached d1 so far (paper's x)
         self._candidates_seen = 0
 
     # ------------------------------------------------------------------
     # Stream processing.
     # ------------------------------------------------------------------
+
+    def _admit(self, a: int) -> None:
+        self._reservoir[a] = []
+        self._resident.append(a)
+
+    def _cross(self, a: int) -> tuple:
+        """Reservoir maintenance when ``a``'s degree reaches ``d1``.
+
+        Returns ``(admitted, evicted)``; identical RNG consumption to the
+        pre-batch implementation (one draw per full-reservoir candidate).
+        """
+        self._candidates_seen += 1
+        if len(self._reservoir) < self.s:
+            self._admit(a)
+            return True, None
+        if self._rng.random() < self.s / self._candidates_seen:
+            # O(1) uniform eviction: pick a random slot in the resident
+            # list and swap-remove it (one RNG draw, same as the former
+            # O(s) choice over the reservoir keys).
+            slot = self._rng.randrange(len(self._resident))
+            evicted = self._resident[slot]
+            last = self._resident.pop()
+            if slot < len(self._resident):
+                self._resident[slot] = last
+            del self._reservoir[evicted]
+            self._admit(a)
+            return True, evicted
+        return False, None
 
     def observe_edge(self, a: int, b: int, degree: int) -> None:
         """Process edge ``ab`` given vertex ``a``'s post-increment degree.
@@ -90,16 +124,85 @@ class DegResSampling:
         ``a`` is resident.
         """
         if degree == self.d1:
-            self._candidates_seen += 1
-            if len(self._reservoir) < self.s:
-                self._reservoir[a] = []
-            elif self._rng.random() < self.s / self._candidates_seen:
-                evicted = self._rng.choice(list(self._reservoir))
-                del self._reservoir[evicted]
-                self._reservoir[a] = []
+            self._cross(a)
         witnesses = self._reservoir.get(a)
         if witnesses is not None and len(witnesses) < self.d2:
             witnesses.append(b)
+
+    def observe_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        degree_after: np.ndarray,
+        grouping=None,
+    ) -> None:
+        """Batch counterpart of :meth:`observe_edge` for a run of insertions.
+
+        ``degree_after[i]`` must be the post-increment degree of ``a[i]``
+        (as produced by :meth:`DegreeCounter.increment_batch`);
+        ``grouping`` optionally reuses a precomputed stable
+        ``(order, starts, ends)`` grouping of ``a`` so Algorithm 2 can
+        share one sort across its α runs.
+
+        The reservoir only changes at the rare positions where a vertex
+        crosses ``d1``.  Those crossings replay the exact scalar logic in
+        stream order (bit-identical RNG trajectory), while recording each
+        vertex's *residency window* — admission position to eviction.
+        Witness collection then runs once per end-resident vertex:
+        its chunk occurrences (one shared grouping pass) are clipped to
+        its window and the first ``d2 - len(stored)`` are appended.
+        Appends to vertices evicted later in the chunk are skipped — the
+        per-item path discards those lists at eviction anyway — so the
+        final state is bit-identical to item-at-a-time processing.
+        """
+        n_items = len(a)
+        if n_items == 0:
+            return
+        # Replay crossings in stream order, tracking residency windows.
+        # window[v] = first position from which v may collect vectorized;
+        # vertices resident before the chunk collect from position 0.
+        crossings = np.flatnonzero(degree_after == self.d1)
+        windows: Dict[int, int] = {v: 0 for v in self._resident}
+        for crossing in crossings.tolist():
+            vertex = int(a[crossing])
+            admitted, evicted = self._cross(vertex)
+            if evicted is not None:
+                windows.pop(evicted, None)
+            if admitted:
+                # The crossing item itself is the vertex's first chance
+                # to collect (d2 >= 1, list fresh => always appends).
+                self._reservoir[vertex].append(int(b[crossing]))
+                windows[vertex] = crossing + 1
+        if not windows:
+            return
+        reservoir, d2 = self._reservoir, self.d2
+        active = [
+            (vertex, window_start)
+            for vertex, window_start in windows.items()
+            if len(reservoir[vertex]) < d2
+        ]
+        if not active:
+            return
+        if grouping is None:
+            order, starts, ends = group_slices(a)
+            group_vertices = a[order[starts]]
+        else:
+            order, starts, ends, group_vertices = grouping
+        groups = np.searchsorted(
+            group_vertices, np.fromiter((v for v, _ in active), dtype=np.int64)
+        )
+        n_groups = len(group_vertices)
+        for (vertex, window_start), group in zip(active, groups.tolist()):
+            if group == n_groups or int(group_vertices[group]) != vertex:
+                continue  # vertex does not occur in this chunk
+            positions = order[starts[group] : ends[group]]  # ascending
+            if window_start > 0:
+                lo = int(np.searchsorted(positions, window_start))
+                if lo:
+                    positions = positions[lo:]
+            if len(positions):
+                witnesses = reservoir[vertex]
+                witnesses.extend(b[positions[: d2 - len(witnesses)]].tolist())
 
     def process_item(self, item: StreamItem) -> None:
         """Standalone-mode entry point for a single stream item."""
@@ -112,6 +215,29 @@ class DegResSampling:
             raise ValueError("Deg-Res-Sampling only supports insertion-only streams")
         degree = self._degrees.increment(item.edge.a)
         self.observe_edge(item.edge.a, item.edge.b, degree)
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Standalone-mode entry point for a column chunk of insertions.
+
+        Bit-identical to calling :meth:`process_item` on each update in
+        order; ``sign``, when given, must be all-insert.
+        """
+        if self._degrees is None:
+            raise RuntimeError(
+                "this instance is driven externally (own_degrees=False); "
+                "use observe_batch"
+            )
+        if sign is not None and np.any(sign != INSERT):
+            raise ValueError("Deg-Res-Sampling only supports insertion-only streams")
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        b = np.ascontiguousarray(b, dtype=np.int64)
+        degree_after = self._degrees.increment_batch(a)
+        self.observe_batch(a, b, degree_after)
 
     def process(self, stream: EdgeStream) -> "DegResSampling":
         """Consume an entire insertion-only stream; returns self."""

@@ -33,9 +33,12 @@ import random
 from enum import Enum
 from typing import Dict, List, Optional, Set
 
+import numpy as np
+
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
 from repro.sketch.l0 import L0SamplerBank
 from repro.spacemeter import SpaceBreakdown, vertex_words
+from repro.streams.columnar import group_slices
 from repro.streams.edge import Edge, StreamItem
 from repro.streams.stream import EdgeStream
 
@@ -114,6 +117,7 @@ class InsertionDeletionFEwW:
         rng = random.Random(seed)
 
         self._vertex_banks: Dict[int, L0SamplerBank] = {}
+        self._bank_flags = np.zeros(n, dtype=bool)
         if strategy in (SamplingStrategy.VERTEX, SamplingStrategy.BOTH):
             sample_size = vertex_sample_size(n, alpha, scale)
             sampled = rng.sample(range(n), sample_size)
@@ -122,6 +126,7 @@ class InsertionDeletionFEwW:
                 self._vertex_banks[a] = L0SamplerBank(
                     m, per_vertex, self.delta, rng, mode=sampler_mode
                 )
+                self._bank_flags[a] = True
 
         self._edge_bank: Optional[L0SamplerBank] = None
         if strategy in (SamplingStrategy.EDGE, SamplingStrategy.BOTH):
@@ -147,6 +152,59 @@ class InsertionDeletionFEwW:
             bank.update(edge.b, item.sign)
         if self._edge_bank is not None:
             self._edge_bank.update(edge.flat_index(self.m), item.sign)
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Route a column chunk of signed updates into both structures.
+
+        Vertex-sampling updates are grouped per sampled vertex (one mask
+        plus one stable sort for the whole chunk) and edge-sampling
+        updates become a single batched update on the flattened edge
+        vector.  All sketches involved are linear, so the final state is
+        identical to item-by-item processing.
+        """
+        self._result_cache = None
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        b = np.ascontiguousarray(b, dtype=np.int64)
+        if sign is None:
+            sign = np.ones(len(a), dtype=np.int64)
+        else:
+            sign = np.ascontiguousarray(sign, dtype=np.int64)
+        if len(a) == 0:
+            return
+        if (
+            int(a.min()) < 0
+            or int(a.max()) >= self.n
+            or int(b.min()) < 0
+            or int(b.max()) >= self.m
+        ):
+            bad = np.flatnonzero((a < 0) | (a >= self.n) | (b < 0) | (b >= self.m))[0]
+            edge = Edge(int(a[bad]), int(b[bad]))
+            raise ValueError(f"edge {edge} out of range for ({self.n}, {self.m})")
+        if self._vertex_banks:
+            mask = self._bank_flags[a]
+            if mask.any():
+                positions = np.flatnonzero(mask)
+                vertices = a[positions]
+                order, starts, ends = group_slices(vertices)
+                sorted_positions = positions[order]
+                sorted_vertices = vertices[order]
+                # Gather once so per-group work is contiguous slicing,
+                # not repeated fancy indexing.
+                sorted_b = b[sorted_positions]
+                sorted_sign = sign[sorted_positions]
+                for group_start, group_end in zip(starts.tolist(), ends.tolist()):
+                    bank = self._vertex_banks[int(sorted_vertices[group_start])]
+                    bank.update_batch(
+                        sorted_b[group_start:group_end],
+                        sorted_sign[group_start:group_end],
+                    )
+        if self._edge_bank is not None:
+            self._edge_bank.update_batch(a * self.m + b, sign)
 
     def process(self, stream: EdgeStream) -> "InsertionDeletionFEwW":
         """Consume an entire (possibly turnstile) stream; returns self."""

@@ -21,11 +21,14 @@ import math
 import random
 from typing import List, Optional
 
+import numpy as np
+
 from repro.core.deg_res_sampling import DegResSampling
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
 from repro.sketch.exact import DegreeCounter
 from repro.spacemeter import SpaceBreakdown
-from repro.streams.edge import StreamItem
+from repro.streams.columnar import group_slices
+from repro.streams.edge import INSERT, StreamItem
 from repro.streams.stream import EdgeStream
 
 
@@ -91,7 +94,45 @@ class InsertionOnlyFEwW:
         a, b = item.edge.a, item.edge.b
         degree = self._degrees.increment(a)
         for run in self.runs:
+            # Fast path: a run only reacts when the vertex crosses its d1
+            # threshold or already sits in its reservoir; anything else is
+            # a guaranteed no-op, skipped without the method call.
+            if degree != run.d1 and a not in run._reservoir:
+                continue
             run.observe_edge(a, b, degree)
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Feed a column chunk of insertions to every parallel run.
+
+        The shared degree table is updated with one vectorized scatter,
+        and each run receives the same post-increment degree vector — so
+        the ``O(n log n)``-bit table is still charged (and computed) once,
+        not α times.  State after the call is bit-identical to feeding
+        the chunk through :meth:`process_item` one update at a time.
+        """
+        if sign is not None and np.any(sign != INSERT):
+            raise ValueError(
+                "Algorithm 2 handles insertion-only streams; "
+                "use InsertionDeletionFEwW for turnstile input"
+            )
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        b = np.ascontiguousarray(b, dtype=np.int64)
+        if len(a) == 0:
+            return
+        # One stable grouping of the chunk serves the shared degree
+        # update and every run's witness collection.
+        order, starts, ends = group_slices(a)
+        degree_after = self._degrees.increment_batch(
+            a, grouping=(order, starts, ends)
+        )
+        grouping = (order, starts, ends, a[order[starts]])
+        for run in self.runs:
+            run.observe_batch(a, b, degree_after, grouping=grouping)
 
     def process(self, stream: EdgeStream) -> "InsertionOnlyFEwW":
         """Consume an entire stream; returns self for chaining."""

@@ -11,43 +11,78 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Tuple
 
+import numpy as np
+
 
 class DegreeCounter:
     """Exact per-A-vertex degree counts.
 
     The paper's algorithms maintain the degree of every A-vertex, space
     ``O(n log n)`` bits.  We charge one word per vertex regardless of how
-    many are non-zero, matching that accounting.
+    many are non-zero, matching that accounting.  The table is a NumPy
+    array so batch ingestion can update it with one scatter-add.
     """
 
     def __init__(self, n: int) -> None:
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
         self.n = n
-        self._degrees: List[int] = [0] * n
+        self._degrees = np.zeros(n, dtype=np.int64)
 
     def increment(self, a: int, delta: int = 1) -> int:
         """Adjust vertex ``a``'s degree and return the new value."""
         if not 0 <= a < self.n:
             raise ValueError(f"vertex {a} out of range [0, {self.n})")
         self._degrees[a] += delta
-        if self._degrees[a] < 0:
+        degree = int(self._degrees[a])
+        if degree < 0:
             raise ValueError(f"degree of vertex {a} went negative")
-        return self._degrees[a]
+        return degree
+
+    def increment_batch(self, a: np.ndarray, grouping=None) -> np.ndarray:
+        """Count a batch of insertions; return each item's post-increment degree.
+
+        ``a`` holds one A-vertex per inserted edge.  The degree table is
+        updated with a single ``np.add.at`` scatter, and the returned
+        array matches what ``increment`` would have returned item by item:
+        degree before the batch, plus one, plus the number of earlier
+        batch occurrences of the same vertex.  ``grouping`` optionally
+        passes a precomputed ``(order, starts, ends)`` stable grouping of
+        ``a`` (see :func:`repro.streams.columnar.group_slices`) so
+        callers that already grouped the chunk don't sort twice.
+        """
+        if len(a) == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(a.min()) < 0 or int(a.max()) >= self.n:
+            bad = a[(a < 0) | (a >= self.n)][0]
+            raise ValueError(f"vertex {int(bad)} out of range [0, {self.n})")
+        before = self._degrees[a]
+        if grouping is None:
+            # Deferred import: sketch is a lower layer than streams and
+            # must not depend on it at module-import time.
+            from repro.streams.columnar import group_slices
+
+            grouping = group_slices(a)
+        order, starts, ends = grouping
+        ranks = np.arange(len(a), dtype=np.int64) - np.repeat(starts, ends - starts)
+        ordinals = np.empty(len(a), dtype=np.int64)
+        ordinals[order] = ranks
+        np.add.at(self._degrees, a, 1)
+        return before + ordinals + 1
 
     def degree(self, a: int) -> int:
         """Current degree of vertex ``a``."""
         if not 0 <= a < self.n:
             raise ValueError(f"vertex {a} out of range [0, {self.n})")
-        return self._degrees[a]
+        return int(self._degrees[a])
 
     def vertices_with_degree_at_least(self, threshold: int) -> List[int]:
         """All vertices of current degree >= threshold (ascending ids)."""
-        return [a for a, degree in enumerate(self._degrees) if degree >= threshold]
+        return np.flatnonzero(self._degrees >= threshold).tolist()
 
     def max_degree(self) -> int:
         """Largest current degree."""
-        return max(self._degrees)
+        return int(self._degrees.max())
 
     def space_words(self) -> int:
         """One counter word per A-vertex."""
@@ -77,6 +112,26 @@ class ExactSupport:
             self._values.pop(index, None)
         else:
             self._values[index] = new_value
+
+    def update_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply a batch of signed updates.
+
+        The vector is linear in its updates, so deltas are first netted
+        per coordinate (one ``np.add.at`` over the batch's unique
+        indices); only coordinates with a non-zero net touch the dict.
+        The final state is identical to applying ``update`` item by item.
+        """
+        if len(indices) == 0:
+            return
+        if int(indices.min()) < 0 or int(indices.max()) >= self.dim:
+            bad = indices[(indices < 0) | (indices >= self.dim)][0]
+            raise ValueError(f"index {int(bad)} out of range [0, {self.dim})")
+        unique, inverse = np.unique(indices, return_inverse=True)
+        net = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(net, inverse, deltas)
+        for index, delta in zip(unique.tolist(), net.tolist()):
+            if delta:
+                self.update(index, delta)
 
     def support(self) -> List[int]:
         """Sorted list of non-zero coordinates."""

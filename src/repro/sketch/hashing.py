@@ -5,6 +5,14 @@ GF(p) evaluated at distinct points is a k-wise independent family — the
 textbook construction, sufficient for every sketch in this library.
 We use the Mersenne prime ``p = 2**61 - 1`` so all arithmetic fits in
 Python integers comfortably and the modular reduction is cheap.
+
+For the columnar batch engine the same polynomials are evaluated over
+whole NumPy arrays at once (:meth:`KWiseHash.batch`).  Products of two
+61-bit field elements need 122 bits, so the vectorized path splits each
+operand into 31-bit limbs and folds the partial products with the
+Mersenne identity ``2**61 ≡ 1 (mod p)``; every intermediate fits in
+``uint64``.  The batch path is exact: it returns bit-identical values to
+:meth:`KWiseHash.__call__` on every input.
 """
 
 from __future__ import annotations
@@ -12,8 +20,43 @@ from __future__ import annotations
 import random
 from typing import List, Sequence
 
+import numpy as np
+
 #: Mersenne prime 2^61 - 1 used as the field size for all hash families.
 PRIME_61 = (1 << 61) - 1
+
+_MASK61 = np.uint64(PRIME_61)
+_SHIFT61 = np.uint64(61)
+_SHIFT31 = np.uint64(31)
+_SHIFT30 = np.uint64(30)
+_MASK31 = np.uint64((1 << 31) - 1)
+_MASK30 = np.uint64((1 << 30) - 1)
+_ONE = np.uint64(1)
+
+
+def _fold61(x: np.ndarray) -> np.ndarray:
+    """Reduce ``uint64`` values modulo ``2**61 - 1`` (result in ``[0, p)``)."""
+    x = (x & _MASK61) + (x >> _SHIFT61)
+    x = (x & _MASK61) + (x >> _SHIFT61)
+    return np.where(x == _MASK61, np.uint64(0), x)
+
+
+def mulmod_p61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise ``a * b mod (2**61 - 1)`` for arrays with values in ``[0, p)``.
+
+    Splits both operands into 31-bit limbs so every partial product fits
+    in ``uint64``: with ``a = a1·2³¹ + a0`` and ``b = b1·2³¹ + b0``,
+
+    ``a·b = a1·b1·2⁶² + (a1·b0 + a0·b1)·2³¹ + a0·b0``
+
+    and each term is folded with ``2⁶¹ ≡ 1 (mod p)``.
+    """
+    a1, a0 = a >> _SHIFT31, a & _MASK31
+    b1, b0 = b >> _SHIFT31, b & _MASK31
+    hi = a1 * b1                      # < 2^60; times 2^62 ≡ times 2 (mod p)
+    mid = a1 * b0 + a0 * b1           # < 2^62
+    mid_term = (mid >> _SHIFT30) + ((mid & _MASK30) << _SHIFT31)
+    return _fold61(_fold61(hi << _ONE) + _fold61(mid_term) + _fold61(a0 * b0))
 
 
 class KWiseHash:
@@ -59,6 +102,22 @@ class KWiseHash:
         for coefficient in self.coefficients:
             value = (value * x + coefficient) % PRIME_61
         return value
+
+    def field_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`field_value` over an integer array (``uint64``)."""
+        xs = _fold61(np.asarray(xs, dtype=np.uint64))
+        values = np.zeros(xs.shape, dtype=np.uint64)
+        for coefficient in self.coefficients:
+            values = _fold61(mulmod_p61(values, xs) + np.uint64(coefficient))
+        return values
+
+    def batch(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`__call__`: bucket values as an ``int64`` array.
+
+        Bit-identical to evaluating the scalar hash on every element; used
+        by the ``process_batch`` paths of every sketch.
+        """
+        return (self.field_batch(xs) % np.uint64(self.range_size)).astype(np.int64)
 
     def space_words(self) -> int:
         """One word per coefficient plus the range size."""

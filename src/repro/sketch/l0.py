@@ -33,6 +33,8 @@ import math
 import random
 from typing import List, Optional
 
+import numpy as np
+
 from repro.sketch.exact import ExactSupport
 from repro.sketch.hashing import KWiseHash, random_kwise
 from repro.sketch.ssparse import SSparseRecovery
@@ -100,6 +102,27 @@ class L0Sampler:
         deepest = self._level_of(index)
         for level in range(deepest + 1):
             self._recoveries[level].update(index, delta)
+
+    def update_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply a batch of signed updates.
+
+        The level of every index is computed with one vectorized hash
+        evaluation (instead of a Python polynomial per item), then each
+        level's surviving subset is handed to its recovery structure.
+        Final state matches item-by-item updates exactly — the sketch is
+        linear.
+        """
+        if len(indices) == 0:
+            return
+        values = self._level_hash.batch(indices)
+        levels = np.zeros(len(indices), dtype=np.int64)
+        for level in range(1, self.n_levels):
+            survives = (levels == level - 1) & (values % (1 << level) == 0)
+            levels[survives] = level
+        for level, recovery in enumerate(self._recoveries):
+            selected = levels >= level
+            if selected.any():
+                recovery.update_batch(indices[selected], deltas[selected])
 
     def sample(self) -> Optional[int]:
         """Return a near-uniform support coordinate, or None on failure.
@@ -176,6 +199,39 @@ class L0SamplerBank:
         else:
             assert self._support is not None
             self._support.update(index, delta)
+
+    def update_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Fan a batch of signed updates out to every sampler.
+
+        Updates are netted per coordinate first — every sampler is a
+        linear sketch (and the fast-mode support tracker is a plain sum),
+        so collapsing a chunk's repeated/cancelling updates changes
+        nothing about the final state while shrinking the fan-out.
+        """
+        if len(indices) == 0:
+            return
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if len(indices) < 32 and self.mode == "fast":
+            # Tiny batches (e.g. one vertex's few updates in a chunk):
+            # scalar dict updates beat the np.unique machinery.
+            assert self._support is not None
+            support = self._support
+            for index, delta in zip(indices.tolist(), np.asarray(deltas).tolist()):
+                support.update(index, delta)
+            return
+        unique, inverse = np.unique(indices, return_inverse=True)
+        net = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(net, inverse, deltas)
+        live = net != 0
+        if not live.any():
+            return
+        unique, net = unique[live], net[live]
+        if self.mode == "exact":
+            for sampler in self._samplers:
+                sampler.update_batch(unique, net)
+        else:
+            assert self._support is not None
+            self._support.update_batch(unique, net)
 
     def sample_all(self) -> List[Optional[int]]:
         """Query every sampler; entries are None on (simulated) failure."""

@@ -18,6 +18,11 @@ arrive as a stream.  This package provides:
 
 from repro.streams.edge import DELETE, INSERT, Edge, StreamItem
 from repro.streams.stream import EdgeStream, StreamStats, stream_from_edges
+from repro.streams.columnar import (
+    DEFAULT_CHUNK_SIZE,
+    ColumnarEdgeStream,
+    process_columnar,
+)
 from repro.streams.adapters import (
     LabelCodec,
     bipartite_double_cover,
@@ -40,19 +45,24 @@ from repro.streams.transforms import (
 from repro.streams.generators import (
     GeneratorConfig,
     adversarial_interleaved_stream,
+    churn_columnar,
     database_log_stream,
     degree_cascade_graph,
     deletion_churn_stream,
     dos_attack_log,
     planted_star_graph,
+    random_bipartite_columnar,
     random_bipartite_graph,
     social_network_stream,
+    zipf_frequency_columnar,
     zipf_frequency_stream,
 )
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "DELETE",
     "INSERT",
+    "ColumnarEdgeStream",
     "Edge",
     "EdgeStream",
     "GeneratorConfig",
@@ -71,14 +81,18 @@ __all__ = [
     "with_duplicates",
     "adversarial_interleaved_stream",
     "bipartite_double_cover",
+    "churn_columnar",
     "database_log_stream",
     "degree_cascade_graph",
     "deletion_churn_stream",
     "dos_attack_log",
     "log_records_to_stream",
     "planted_star_graph",
+    "process_columnar",
+    "random_bipartite_columnar",
     "random_bipartite_graph",
     "social_network_stream",
     "stream_from_edges",
+    "zipf_frequency_columnar",
     "zipf_frequency_stream",
 ]

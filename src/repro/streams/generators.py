@@ -15,6 +15,9 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
+from repro.streams.columnar import ColumnarEdgeStream
 from repro.streams.edge import DELETE, INSERT, Edge, StreamItem
 from repro.streams.stream import EdgeStream
 
@@ -211,6 +214,90 @@ def deletion_churn_stream(
     star_items = [StreamItem(Edge(star_vertex, b), INSERT) for b in range(star_degree)]
     delete_items = [StreamItem(item.edge, DELETE) for item in churn_items]
     return EdgeStream(churn_items + star_items + delete_items, config.n, config.m)
+
+
+# ----------------------------------------------------------------------
+# Columnar generators: emit NumPy columns directly, never building a
+# StreamItem list.  These are the batch-engine counterparts of the
+# generators above — same workload shapes, array-native construction, so
+# million-update streams materialise in milliseconds.
+# ----------------------------------------------------------------------
+
+
+def zipf_frequency_columnar(
+    config: GeneratorConfig,
+    n_records: int,
+    exponent: float = 1.2,
+) -> ColumnarEdgeStream:
+    """Columnar counterpart of :func:`zipf_frequency_stream`.
+
+    Same workload shape — Zipfian A-vertex popularity, arrival-index
+    witnesses — built directly as columns with NumPy sampling (its own
+    seeded generator, so trajectories are reproducible but not update-
+    for-update identical to the list-based generator).
+    """
+    if n_records > config.m:
+        raise ValueError(f"need m >= n_records, got m={config.m}, records={n_records}")
+    rng = np.random.default_rng(config.seed + 4)
+    weights = (np.arange(1, config.n + 1, dtype=np.float64)) ** (-exponent)
+    a = rng.choice(config.n, size=n_records, p=weights / weights.sum())
+    b = np.arange(n_records, dtype=np.int64)
+    return ColumnarEdgeStream(a, b, n=config.n, m=config.m, validate=False)
+
+
+def random_bipartite_columnar(
+    config: GeneratorConfig, n_edges: int
+) -> ColumnarEdgeStream:
+    """Columnar counterpart of :func:`random_bipartite_graph`.
+
+    Draws ``n_edges`` distinct flat edge indices without replacement
+    (materialises an ``n*m`` permutation, so intended for benchmark-scale
+    dimensions, not astronomically sparse ones).
+    """
+    max_edges = config.n * config.m
+    if n_edges > max_edges:
+        raise ValueError(f"n_edges {n_edges} exceeds n*m = {max_edges}")
+    rng = np.random.default_rng(config.seed + 3)
+    flat = rng.choice(max_edges, size=n_edges, replace=False)
+    a, b = flat // config.m, flat % config.m
+    if config.shuffle:
+        order = rng.permutation(n_edges)
+        a, b = a[order], b[order]
+    return ColumnarEdgeStream(a, b, n=config.n, m=config.m, validate=False)
+
+
+def churn_columnar(
+    config: GeneratorConfig,
+    star_degree: int,
+    churn_edges: int,
+    star_vertex: int = 0,
+) -> ColumnarEdgeStream:
+    """Columnar counterpart of :func:`deletion_churn_stream`.
+
+    Random background edges are inserted, the star arrives, then every
+    background edge is deleted — all built as concatenated columns.
+    """
+    if star_degree > config.m:
+        raise ValueError(f"star_degree {star_degree} exceeds m={config.m}")
+    if not 0 <= star_vertex < config.n:
+        raise ValueError(f"star_vertex {star_vertex} out of range [0, {config.n})")
+    rng = np.random.default_rng(config.seed + 5)
+    max_edges = config.n * config.m
+    star_flat = star_vertex * config.m + np.arange(star_degree, dtype=np.int64)
+    candidates = rng.choice(
+        max_edges, size=min(max_edges, churn_edges + star_degree), replace=False
+    )
+    churn = candidates[~np.isin(candidates, star_flat)][:churn_edges]
+    a = np.concatenate([churn // config.m, star_flat // config.m, churn // config.m])
+    b = np.concatenate([churn % config.m, star_flat % config.m, churn % config.m])
+    sign = np.concatenate(
+        [
+            np.full(len(churn), INSERT, dtype=np.int64),
+            np.full(star_degree, INSERT, dtype=np.int64),
+            np.full(len(churn), DELETE, dtype=np.int64),
+        ]
+    )
+    return ColumnarEdgeStream(a, b, sign, n=config.n, m=config.m, validate=False)
 
 
 # ----------------------------------------------------------------------

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.streams.edge import DELETE, INSERT, Edge, StreamItem
 
@@ -70,6 +70,10 @@ class EdgeStream:
         self._items: List[StreamItem] = list(items)
         self.n = n
         self.m = m
+        # Lazily computed ground-truth caches; the stream is immutable
+        # after construction, so one pass serves every later query.
+        self._final_edges_cache: Optional[Set[Edge]] = None
+        self._final_degrees_cache: Optional[Dict[int, int]] = None
         if validate:
             self._validate()
 
@@ -116,40 +120,58 @@ class EdgeStream:
     # Reference (ground-truth) helpers for verification.
     # ------------------------------------------------------------------
 
+    def _final_edges(self) -> Set[Edge]:
+        """Shared cached edge set; internal use only (never mutated)."""
+        if self._final_edges_cache is None:
+            live: Set[Edge] = set()
+            for item in self._items:
+                if item.sign == INSERT:
+                    live.add(item.edge)
+                else:
+                    live.discard(item.edge)
+            self._final_edges_cache = live
+        return self._final_edges_cache
+
+    def _final_degrees(self) -> Dict[int, int]:
+        """Shared cached degree table; internal use only (never mutated)."""
+        if self._final_degrees_cache is None:
+            degrees: Counter = Counter()
+            for edge in self._final_edges():
+                degrees[edge.a] += 1
+            self._final_degrees_cache = dict(degrees)
+        return self._final_degrees_cache
+
     def final_edges(self) -> Set[Edge]:
-        """Edges present after all updates are applied."""
-        live: Set[Edge] = set()
-        for item in self._items:
-            if item.sign == INSERT:
-                live.add(item.edge)
-            else:
-                live.discard(item.edge)
-        return live
+        """Edges present after all updates are applied.
+
+        The single pass over the stream is cached (the stream is
+        immutable after construction); callers get a fresh copy they are
+        free to mutate.
+        """
+        return set(self._final_edges())
 
     def final_degrees(self) -> Dict[int, int]:
-        """Final degree of every A-vertex with at least one edge."""
-        degrees: Counter = Counter()
-        for edge in self.final_edges():
-            degrees[edge.a] += 1
-        return dict(degrees)
+        """Final degree of every A-vertex with at least one edge (cached
+        internally; the returned dict is the caller's to mutate)."""
+        return dict(self._final_degrees())
 
     def degree_of(self, a: int) -> int:
         """Final degree of A-vertex ``a``."""
-        return self.final_degrees().get(a, 0)
+        return self._final_degrees().get(a, 0)
 
     def neighbours_of(self, a: int) -> Set[int]:
         """Final B-side neighbourhood of A-vertex ``a``."""
-        return {edge.b for edge in self.final_edges() if edge.a == a}
+        return {edge.b for edge in self._final_edges() if edge.a == a}
 
     def max_degree(self) -> int:
         """Largest final A-vertex degree (0 for the empty graph)."""
-        degrees = self.final_degrees()
+        degrees = self._final_degrees()
         return max(degrees.values()) if degrees else 0
 
     def stats(self) -> StreamStats:
         """Full summary statistics of the final graph."""
-        degrees = self.final_degrees()
-        final = self.final_edges()
+        degrees = self._final_degrees()
+        final = self._final_edges()
         if degrees:
             max_vertex = max(degrees, key=lambda a: (degrees[a], -a))
             max_deg = degrees[max_vertex]

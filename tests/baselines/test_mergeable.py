@@ -103,7 +103,7 @@ class TestCountMinMerge:
             whole.update(item)
             (left if index % 2 == 0 else right).update(item)
         merged = left.merge(right)
-        assert merged._table == whole._table
+        assert (merged._table == whole._table).all()
 
     def test_merged_never_underestimates(self):
         rng = random.Random(4)

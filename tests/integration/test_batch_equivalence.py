@@ -1,0 +1,274 @@
+"""Batch/per-item equivalence for every structure with a `process_batch`.
+
+The columnar engine's contract: for the deterministic structures and for
+the randomized ones driven by a seeded RNG, feeding a stream through
+``process_batch`` (at any chunk size, including chunks that split a
+vertex's d1 crossing) produces exactly the same state, query answers,
+space accounting, and success flags as feeding it through
+``process_item``.  Misra-Gries and SpaceSaving use weight-collapsed
+batch paths whose counters may legitimately differ from the interleaved
+per-item schedule; for those the tests assert the structures' error
+guarantees instead.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CountMinSketch,
+    CountSketch,
+    FirstKWitnessCollector,
+    FullStorage,
+    MisraGries,
+    SpaceSaving,
+)
+from repro.core.deg_res_sampling import DegResSampling
+from repro.core.insertion_deletion import InsertionDeletionFEwW
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.sketch.l0 import L0SamplerBank
+from repro.streams.columnar import ColumnarEdgeStream, process_columnar
+from repro.streams.generators import (
+    GeneratorConfig,
+    adversarial_interleaved_stream,
+    deletion_churn_stream,
+    zipf_frequency_stream,
+)
+
+CHUNK_SIZES = (1, 7, 100, 1000, 10**6)
+
+
+def zipf(seed, n=64, records=1500, exponent=1.3):
+    stream = zipf_frequency_stream(
+        GeneratorConfig(n=n, m=records, seed=seed), records, exponent
+    )
+    return stream, ColumnarEdgeStream.from_edge_stream(stream)
+
+
+def churn(seed):
+    stream = deletion_churn_stream(
+        GeneratorConfig(n=20, m=40, seed=seed), star_degree=12, churn_edges=150
+    )
+    return stream, ColumnarEdgeStream.from_edge_stream(stream)
+
+
+class TestAlgorithm2:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_bit_identical_state(self, seed, chunk):
+        stream, columnar = zipf(seed)
+        per_item = InsertionOnlyFEwW(64, 60, 2, seed=seed)
+        for item in stream:
+            per_item.process_item(item)
+        batched = InsertionOnlyFEwW(64, 60, 2, seed=seed)
+        process_columnar(batched, columnar, chunk_size=chunk)
+        for run_item, run_batch in zip(per_item.runs, batched.runs):
+            assert run_item._reservoir == run_batch._reservoir
+            assert run_item._resident == run_batch._resident
+            assert run_item._candidates_seen == run_batch._candidates_seen
+        assert per_item.successful == batched.successful
+        assert per_item.successful_runs() == batched.successful_runs()
+        assert per_item.space_words() == batched.space_words()
+        if per_item.successful:
+            assert per_item.result().vertex == batched.result().vertex
+            assert per_item.result().witnesses == batched.result().witnesses
+
+    def test_chunk_boundary_splits_d1_crossing(self):
+        """Chunks cut right at/around the positions where vertices cross d1."""
+        stream = adversarial_interleaved_stream(
+            GeneratorConfig(n=32, m=4000, seed=5),
+            star_degree=200,
+            n_decoys=12,
+            decoy_degree=30,
+        )
+        columnar = ColumnarEdgeStream.from_edge_stream(stream)
+        # Decoy i crosses d1=30 at position 30*i - 1; chunk sizes 29, 30
+        # and 31 place boundaries on, before, and after crossings.
+        for chunk in (29, 30, 31):
+            per_item = DegResSampling(32, 30, 10, 3, random.Random(7))
+            for item in stream:
+                per_item.process_item(item)
+            batched = DegResSampling(32, 30, 10, 3, random.Random(7))
+            for a, b, sign in columnar.chunks(chunk):
+                batched.process_batch(a, b, sign)
+            assert per_item._reservoir == batched._reservoir
+            assert per_item._resident == batched._resident
+            assert per_item._candidates_seen == batched._candidates_seen
+            assert per_item.successful == batched.successful
+            assert per_item.space_words() == batched.space_words()
+
+    def test_fast_path_skip_changes_nothing(self):
+        """process_item's no-op skip must not affect any run's trajectory."""
+        stream, _ = zipf(3)
+        algorithm = InsertionOnlyFEwW(64, 60, 4, seed=3)
+        for item in stream:
+            algorithm.process_item(item)
+        reference = InsertionOnlyFEwW(64, 60, 4, seed=3)
+        for item in stream:
+            degree = reference._degrees.increment(item.edge.a)
+            for run in reference.runs:  # unconditional fan-out
+                run.observe_edge(item.edge.a, item.edge.b, degree)
+        for run_a, run_b in zip(algorithm.runs, reference.runs):
+            assert run_a._reservoir == run_b._reservoir
+            assert run_a._candidates_seen == run_b._candidates_seen
+
+
+class TestAlgorithm3:
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("chunk", (1, 13, 1000))
+    def test_identical_results_fast_mode(self, seed, chunk):
+        stream, columnar = churn(seed)
+        per_item = InsertionDeletionFEwW(20, 40, 8, 2, seed=seed, scale=0.2)
+        for item in stream:
+            per_item.process_item(item)
+        batched = InsertionDeletionFEwW(20, 40, 8, 2, seed=seed, scale=0.2)
+        process_columnar(batched, columnar, chunk_size=chunk)
+        assert per_item.successful == batched.successful
+        assert per_item._collected() == batched._collected()
+        assert per_item.space_words() == batched.space_words()
+
+    # Exact-mode banks route through the same L0SamplerBank.update_batch
+    # as fast mode; their batch/scalar agreement is covered (cheaply) by
+    # TestLinearSketches.test_l0_bank_batch_matches_scalar[exact] — the
+    # paper's delta = 1/(n^10 d) makes full exact-mode Algorithm 3 runs
+    # far too large for the unit suite.
+
+
+class TestLinearSketches:
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_count_min_bit_identical(self, chunk):
+        stream, columnar = churn(1)
+        per_item = CountMinSketch(0.05, 0.05, seed=9)
+        for item in stream:
+            per_item.process_item(item)
+        batched = CountMinSketch(0.05, 0.05, seed=9)
+        process_columnar(batched, columnar, chunk_size=chunk)
+        assert (per_item._table == batched._table).all()
+        assert all(
+            per_item.estimate(a) == batched.estimate(a) for a in range(20)
+        )
+
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_count_sketch_bit_identical(self, chunk):
+        stream, columnar = churn(3)
+        per_item = CountSketch(32, rows=5, seed=11)
+        for item in stream:
+            per_item.process_item(item)
+        batched = CountSketch(32, rows=5, seed=11)
+        process_columnar(batched, columnar, chunk_size=chunk)
+        assert (per_item._table == batched._table).all()
+        assert all(
+            per_item.estimate(a) == batched.estimate(a) for a in range(20)
+        )
+
+    @pytest.mark.parametrize("mode", ["fast", "exact"])
+    def test_l0_bank_batch_matches_scalar(self, mode):
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        bank_scalar = L0SamplerBank(50, 4, 0.05, rng_a, mode=mode)
+        bank_batch = L0SamplerBank(50, 4, 0.05, rng_b, mode=mode)
+        updates = [(i % 50, +1) for i in range(120)] + [
+            (i % 7, -1) for i in range(21)
+        ]
+        for index, delta in updates:
+            bank_scalar.update(index, delta)
+        bank_batch.update_batch(
+            np.array([u[0] for u in updates]),
+            np.array([u[1] for u in updates]),
+        )
+        assert bank_scalar.sample_all() == bank_batch.sample_all()
+        assert bank_scalar.space_words() == bank_batch.space_words()
+
+
+class TestExactStores:
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_full_storage_identical(self, chunk):
+        stream, columnar = churn(4)
+        per_item = FullStorage(20, 40)
+        for item in stream:
+            per_item.process_item(item)
+        batched = FullStorage(20, 40)
+        process_columnar(batched, columnar, chunk_size=chunk)
+        assert per_item._neighbours == batched._neighbours
+        assert per_item.space_words() == batched.space_words()
+
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    def test_first_k_collector_identical(self, chunk):
+        stream, columnar = zipf(6)
+        per_item = FirstKWitnessCollector(64, 5)
+        for item in stream:
+            per_item.process_item(item)
+        batched = FirstKWitnessCollector(64, 5)
+        process_columnar(batched, columnar, chunk_size=chunk)
+        assert per_item._witnesses == batched._witnesses
+        assert per_item._degrees == batched._degrees
+        assert per_item.space_words() == batched.space_words()
+
+
+class TestWeightedSummaries:
+    """MG / SpaceSaving batch paths are weight-collapsed: equivalence is
+    at the level of the structures' guarantees, not counter values."""
+
+    @pytest.mark.parametrize("chunk", (1, 64, 1000))
+    def test_misra_gries_guarantees_hold(self, chunk):
+        stream, columnar = zipf(7)
+        truth = {}
+        for item in stream:
+            truth[item.edge.a] = truth.get(item.edge.a, 0) + 1
+        summary = MisraGries(8)
+        process_columnar(summary, columnar, chunk_size=chunk)
+        assert summary._length == len(stream)
+        assert len(summary._counters) <= summary.k
+        bound = summary.error_bound()
+        for vertex, count in truth.items():
+            estimate = summary.estimate(vertex)
+            assert estimate <= count
+            assert estimate >= count - bound
+
+    @pytest.mark.parametrize("chunk", (1, 64, 1000))
+    def test_space_saving_guarantees_hold(self, chunk):
+        stream, columnar = zipf(8)
+        truth = {}
+        for item in stream:
+            truth[item.edge.a] = truth.get(item.edge.a, 0) + 1
+        summary = SpaceSaving(8)
+        process_columnar(summary, columnar, chunk_size=chunk)
+        assert summary._length == len(stream)
+        assert len(summary._counters) <= summary.k
+        min_counter = min(summary._counters.values())
+        assert min_counter <= len(stream) / summary.k
+        for vertex, count in truth.items():
+            if vertex in summary._counters:
+                assert summary.estimate(vertex) >= count
+                assert summary.guaranteed_count(vertex) <= count
+
+    def test_batch_matches_per_item_on_grouped_streams(self):
+        """When every item's occurrences are consecutive, the weighted
+        batch path reproduces the per-item trajectory exactly."""
+        items = [0] * 5 + [1] * 3 + [2] * 4 + [3] * 2 + [4] * 6
+        a = np.array(items, dtype=np.int64)
+        b = np.arange(len(items), dtype=np.int64)
+        per_item = SpaceSaving(3)
+        for vertex in items:
+            per_item.update(vertex)
+        batched = SpaceSaving(3)
+        batched.process_batch(a, b)
+        assert per_item._counters == batched._counters
+        assert per_item._overestimates == batched._overestimates
+
+
+class TestInsertionOnlyGuards:
+    def test_batch_rejects_deletions(self):
+        a = np.array([1, 1])
+        b = np.array([1, 2])
+        sign = np.array([1, -1])
+        with pytest.raises(ValueError):
+            InsertionOnlyFEwW(4, 2, 1, seed=0).process_batch(a, b, sign)
+        with pytest.raises(ValueError):
+            DegResSampling(4, 1, 1, 1, random.Random(0)).process_batch(a, b, sign)
+        with pytest.raises(ValueError):
+            MisraGries(4).process_batch(a, b, sign)
+        with pytest.raises(ValueError):
+            SpaceSaving(4).process_batch(a, b, sign)
+        with pytest.raises(ValueError):
+            FirstKWitnessCollector(4, 2).process_batch(a, b, sign)

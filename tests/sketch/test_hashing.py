@@ -3,11 +3,12 @@
 import random
 from collections import Counter
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sketch.hashing import PRIME_61, KWiseHash, random_kwise
+from repro.sketch.hashing import PRIME_61, KWiseHash, mulmod_p61, random_kwise
 
 
 class TestConstruction:
@@ -101,3 +102,35 @@ class TestStatistics:
         first = random_kwise(2, 1000, rng)
         second = random_kwise(2, 1000, rng)
         assert any(first(x) != second(x) for x in range(100))
+
+
+class TestBatchEvaluation:
+    """The vectorized path must be bit-identical to the scalar one."""
+
+    @given(
+        st.integers(0, PRIME_61 - 1),
+        st.integers(0, PRIME_61 - 1),
+    )
+    def test_mulmod_matches_python_bigints(self, a, b):
+        got = mulmod_p61(np.uint64(a), np.uint64(b))
+        assert int(got) == (a * b) % PRIME_61
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    @pytest.mark.parametrize("range_size", [2, 7, 256, 10**9])
+    def test_batch_matches_scalar(self, k, range_size):
+        rng = random.Random(17)
+        hash_function = random_kwise(k, range_size, rng)
+        xs = (
+            [rng.randrange(2**62) for _ in range(500)]
+            + list(range(32))
+            + [PRIME_61 - 1, PRIME_61, PRIME_61 + 1]
+        )
+        arr = np.array(xs, dtype=np.uint64)
+        assert hash_function.batch(arr).tolist() == [hash_function(x) for x in xs]
+        assert hash_function.field_batch(arr).tolist() == [
+            hash_function.field_value(x) for x in xs
+        ]
+
+    def test_empty_batch(self):
+        hash_function = random_kwise(2, 16, random.Random(0))
+        assert hash_function.batch(np.array([], dtype=np.uint64)).tolist() == []
