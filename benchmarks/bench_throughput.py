@@ -26,8 +26,15 @@ from repro.baselines import (
 )
 from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.insertion_deletion import InsertionDeletionFEwW
-from repro.streams.columnar import ColumnarEdgeStream, process_columnar
-from repro.streams.generators import GeneratorConfig, zipf_frequency_stream
+from repro.core.star_detection import StarDetection
+from repro.engine import FanoutRunner
+from repro.streams.adapters import bipartite_double_cover_columnar
+from repro.streams.columnar import ColumnarEdgeStream
+from repro.streams.generators import (
+    GeneratorConfig,
+    planted_star_undirected,
+    zipf_frequency_stream,
+)
 
 from _tables import fmt, render_table
 
@@ -39,6 +46,15 @@ CHUNK = 8192
 #: acceptance bar; scripts/bench_quick.py enforces the same constants).
 REQUIRED_SPEEDUP = 5.0
 REQUIRED_ON = ("CountMin", "CountSketch", "Algorithm 2 (FEwW)")
+
+#: End-to-end Star Detection workload (Lemma 3.3 wrapper: the whole
+#: guess ladder over the bipartite double cover) and its acceptance bar.
+STAR_VERTICES = 4096
+STAR_DEGREE = 3000
+STAR_ALPHA = 4
+STAR_EPS = 3.0
+STAR_UPDATES = 1_000_000
+REQUIRED_STAR_SPEEDUP = 3.0
 
 
 def make_stream(records: int = RECORDS):
@@ -62,7 +78,7 @@ def contenders(records: int = RECORDS):
 
 
 def measure_rates(stream, columnar, repeats: int = 3):
-    """Best-of-N per-item and batch rates for every contender."""
+    """Best-of-N per-item and engine (batch) rates for every contender."""
     item_rates, batch_rates = {}, {}
     for name, factory in contenders(stream.m):
         best_item = best_batch = float("inf")
@@ -73,12 +89,57 @@ def measure_rates(stream, columnar, repeats: int = 3):
                 algorithm.process_item(item)
             best_item = min(best_item, time.perf_counter() - start)
             algorithm = factory()
+            runner = FanoutRunner({name: algorithm}, chunk_size=CHUNK)
             start = time.perf_counter()
-            process_columnar(algorithm, columnar, chunk_size=CHUNK)
+            runner.process(columnar)
             best_batch = min(best_batch, time.perf_counter() - start)
         item_rates[name] = len(stream) / best_item
         batch_rates[name] = len(stream) / best_batch
     return item_rates, batch_rates
+
+
+def make_star_cover(
+    n_updates: int = STAR_UPDATES,
+    n_vertices: int = STAR_VERTICES,
+    seed: int = 17,
+) -> ColumnarEdgeStream:
+    """Double cover of a planted-star graph with ``n_updates`` updates."""
+    u, v = planted_star_undirected(
+        n_vertices,
+        n_updates // 2,
+        min(STAR_DEGREE, n_vertices - 1),
+        seed=seed,
+    )
+    return bipartite_double_cover_columnar(u, v, n_vertices)
+
+
+def measure_star_rates(cover: ColumnarEdgeStream, repeats: int = 1):
+    """End-to-end Star Detection rates: per-item loop vs engine pass.
+
+    Both paths run the full Lemma 3.3 wrapper — every degree guess over
+    the entire double cover — from the same seed, and must report the
+    same star centre (asserted; the engine path is bit-identical).
+    """
+    items = cover.to_edge_stream()
+    best_item = best_batch = float("inf")
+    winner_item = winner_batch = None
+    for _ in range(repeats):
+        detector = StarDetection(cover.n, STAR_ALPHA, eps=STAR_EPS, seed=5)
+        start = time.perf_counter()
+        for item in items:
+            detector.process_item(item)
+        best_item = min(best_item, time.perf_counter() - start)
+        winner_item = detector.result().vertex
+
+        detector = StarDetection(cover.n, STAR_ALPHA, eps=STAR_EPS, seed=5)
+        start = time.perf_counter()
+        detector.process(cover)
+        best_batch = min(best_batch, time.perf_counter() - start)
+        winner_batch = detector.result().vertex
+    assert winner_item == winner_batch, (
+        f"engine pass disagrees with per-item: {winner_batch} vs {winner_item}"
+    )
+    return len(cover) / best_item, len(cover) / best_batch
 
 
 def test_e17_throughput(benchmark):
@@ -111,6 +172,36 @@ def test_e17_throughput(benchmark):
 
     def run_once():
         fresh = InsertionOnlyFEwW(N, D, ALPHA, seed=3)
-        process_columnar(fresh, columnar, chunk_size=CHUNK)
+        FanoutRunner({"alg2": fresh}, chunk_size=CHUNK).process(columnar)
+
+    benchmark(run_once)
+
+
+def test_e18_star_detection_end_to_end(benchmark):
+    """E18 — the whole guess ladder in one engine pass vs per-item.
+
+    A reduced-size (10^5-update) version of the acceptance workload so
+    the benchmark suite stays quick; scripts/bench_quick.py records the
+    full 10^6-update run in BENCH_throughput.json.
+    """
+    cover = make_star_cover(n_updates=100_000)
+    item_rate, batch_rate = measure_star_rates(cover)
+    speedup = batch_rate / item_rate
+    print(
+        render_table(
+            "E18 / star detection — end-to-end over the double cover",
+            ("path", "updates", "k-upd/s"),
+            [
+                ("per-item ladder", len(cover), fmt(item_rate / 1000, 1)),
+                ("engine pass", len(cover), fmt(batch_rate / 1000, 1)),
+                ("speedup", "", fmt(speedup, 1)),
+            ],
+        )
+    )
+    assert speedup >= REQUIRED_STAR_SPEEDUP
+
+    def run_once():
+        detector = StarDetection(cover.n, STAR_ALPHA, eps=STAR_EPS, seed=5)
+        detector.process(cover)
 
     benchmark(run_once)

@@ -10,10 +10,11 @@ Run:  python examples/quickstart.py
 
 from repro import (
     ColumnarEdgeStream,
+    FanoutRunner,
     GeneratorConfig,
     InsertionOnlyFEwW,
+    TopKFEwW,
     planted_star_graph,
-    process_columnar,
     verify_neighbourhood,
 )
 
@@ -43,17 +44,24 @@ def main() -> None:
     verify_neighbourhood(result, stream, d, alpha)
     print("verification: all witnesses are genuine neighbours — OK")
 
-    # Batch ingestion: the same stream as NumPy columns, consumed in
-    # vectorized chunks.  Same seed => bit-identical reservoir state, so
-    # the result matches the per-item run exactly — only much faster.
+    # The execution engine: the same stream as NumPy columns, streamed
+    # once through a FanoutRunner feeding TWO structures per pass — the
+    # single-output algorithm and the top-k extension.  Same seed =>
+    # bit-identical reservoir state, so the engine's answer matches the
+    # per-item run exactly — only much faster.
     columnar = ColumnarEdgeStream.from_edge_stream(stream)
-    batched = InsertionOnlyFEwW(n=n, d=d, alpha=alpha, seed=1)
-    process_columnar(batched, columnar, chunk_size=8192)
-    batch_result = batched.result()
+    runner = FanoutRunner({
+        "heavy": InsertionOnlyFEwW(n=n, d=d, alpha=alpha, seed=1),
+        "topk": TopKFEwW(n=n, d=d, alpha=alpha, k=3, seed=2),
+    }, chunk_size=8192)
+    answers = runner.run(columnar)          # one pass, both finalized
+    batch_result = answers["heavy"]
     assert batch_result.vertex == result.vertex
     assert batch_result.witnesses == result.witnesses
-    print(f"batch ingestion: reported item {batch_result.vertex} "
+    print(f"engine pass: reported item {batch_result.vertex} "
           f"with {batch_result.size} witnesses — identical to per-item")
+    print(f"top-k from the same single pass: "
+          f"{[nb.vertex for nb in answers['topk']]}")
 
 
 if __name__ == "__main__":

@@ -1,15 +1,23 @@
-"""Quick throughput benchmark: per-item vs columnar batch ingestion.
+"""Quick throughput benchmark: per-item vs engine (batch) ingestion.
 
-Reuses the contender list and measurement loop from
+Reuses the contender list and measurement loops from
 ``benchmarks/bench_throughput.py`` (single source of truth for the
-workload and the 5x acceptance bar), runs the standard Zipf workload
-through every streaming structure in both modes, and writes a
-``BENCH_throughput.json`` artifact (by default into the repository
-root) so the performance trajectory can be tracked across PRs.  Exits
-non-zero if the batch engine loses its required speedup on the
-hash-heavy sketches or Algorithm 2.
+workloads and the acceptance bars), runs
 
-Run:  PYTHONPATH=src python scripts/bench_quick.py [--records N] [--out PATH]
+* the standard Zipf workload through every streaming structure in both
+  modes, and
+* end-to-end Star Detection (the full Lemma 3.3 degree-guess ladder
+  over a 10^6-update bipartite double cover) per-item vs as a single
+  engine pass,
+
+then writes a ``BENCH_throughput.json`` artifact (by default into the
+repository root) so the performance trajectory can be tracked across
+PRs.  Exits non-zero if the batch engine loses its required speedup on
+the hash-heavy sketches / Algorithm 2 (5x) or on end-to-end star
+detection (3x).
+
+Run:  PYTHONPATH=src python scripts/bench_quick.py [--records N]
+          [--star-updates N | --skip-star] [--out PATH]
 """
 
 from __future__ import annotations
@@ -30,8 +38,15 @@ from bench_throughput import (  # noqa: E402 (needs the path tweak above)
     N,
     REQUIRED_ON,
     REQUIRED_SPEEDUP,
+    REQUIRED_STAR_SPEEDUP,
+    STAR_ALPHA,
+    STAR_DEGREE,
+    STAR_EPS,
+    STAR_VERTICES,
+    make_star_cover,
     make_stream,
     measure_rates,
+    measure_star_rates,
 )
 
 from repro.streams.columnar import ColumnarEdgeStream  # noqa: E402
@@ -41,6 +56,9 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--records", type=int, default=30000)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--star-updates", type=int, default=1_000_000)
+    parser.add_argument("--skip-star", action="store_true",
+                        help="skip the end-to-end star detection pass")
     parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_throughput.json"
     )
@@ -71,6 +89,29 @@ def main() -> int:
         "machine": platform.machine(),
         "results": results,
     }
+
+    if not args.skip_star:
+        cover = make_star_cover(n_updates=args.star_updates)
+        star_item, star_batch = measure_star_rates(cover)
+        artifact["star_detection"] = {
+            "config": {
+                "n_vertices": STAR_VERTICES,
+                "star_degree": STAR_DEGREE,
+                "alpha": STAR_ALPHA,
+                "eps": STAR_EPS,
+                "updates": len(cover),
+                "guesses": "geometric ladder over [1, n]",
+            },
+            "item_updates_per_s": star_item,
+            "batch_updates_per_s": star_batch,
+            "batch_speedup": star_batch / star_item,
+        }
+        results["StarDetection (end-to-end)"] = {
+            "item_updates_per_s": star_item,
+            "batch_updates_per_s": star_batch,
+            "batch_speedup": star_batch / star_item,
+        }
+
     args.out.write_text(json.dumps(artifact, indent=2) + "\n")
 
     header = f"{'structure':32s} {'item k-upd/s':>13s} {'batch k-upd/s':>14s} {'speedup':>8s}"
@@ -89,9 +130,15 @@ def main() -> int:
         for name in REQUIRED_ON
         if results[name]["batch_speedup"] < REQUIRED_SPEEDUP
     ]
+    if not args.skip_star:
+        star_speedup = results["StarDetection (end-to-end)"]["batch_speedup"]
+        if star_speedup < REQUIRED_STAR_SPEEDUP:
+            failed.append(
+                f"StarDetection (end-to-end, {REQUIRED_STAR_SPEEDUP}x bar)"
+            )
     if failed:
         print(
-            f"FAIL: batch speedup below {REQUIRED_SPEEDUP}x for: "
+            "FAIL: batch speedup below the required bar for: "
             + ", ".join(failed),
             file=sys.stderr,
         )

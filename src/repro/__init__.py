@@ -30,17 +30,31 @@ from repro.core import (
     SamplingStrategy,
     StarDetection,
     StarDetectionResult,
+    TopKFEwW,
+    TumblingWindowFEwW,
     verify_neighbourhood,
+)
+from repro.engine import (
+    FanoutRunner,
+    StreamProcessor,
+    as_chunks,
+    run_fanout,
 )
 from repro.streams import (
     DELETE,
     INSERT,
+    ChunkedStreamReader,
     Edge,
     EdgeStream,
     GeneratorConfig,
     LabelCodec,
     StreamItem,
     bipartite_double_cover,
+    bipartite_double_cover_columnar,
+    dump_columnar,
+    dump_stream,
+    load_columnar,
+    load_stream,
     log_records_to_stream,
     planted_star_graph,
     stream_from_edges,
@@ -67,11 +81,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AlgorithmFailed",
+    "ChunkedStreamReader",
     "ColumnarEdgeStream",
     "DELETE",
     "DegResSampling",
     "Edge",
     "EdgeStream",
+    "FanoutRunner",
     "GeneratorConfig",
     "INSERT",
     "InsertionDeletionFEwW",
@@ -82,18 +98,28 @@ __all__ = [
     "StarDetection",
     "StarDetectionResult",
     "StreamItem",
+    "StreamProcessor",
+    "TopKFEwW",
+    "TumblingWindowFEwW",
     "adversarial_interleaved_stream",
+    "as_chunks",
     "bipartite_double_cover",
+    "bipartite_double_cover_columnar",
     "churn_columnar",
     "database_log_stream",
     "degree_cascade_graph",
     "deletion_churn_stream",
     "dos_attack_log",
+    "dump_columnar",
+    "dump_stream",
+    "load_columnar",
+    "load_stream",
     "log_records_to_stream",
     "planted_star_graph",
     "process_columnar",
     "random_bipartite_columnar",
     "random_bipartite_graph",
+    "run_fanout",
     "social_network_stream",
     "stream_from_edges",
     "verify_neighbourhood",

@@ -77,6 +77,11 @@ class CountMinSketch:
             self.process_item(item)
         return self
 
+    def finalize(self) -> "CountMinSketch":
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the
+        sketch stays queryable, so finalize returns the sketch itself."""
+        return self
+
     def estimate(self, item: int) -> int:
         """Point query: min over the item's cells (overestimates)."""
         return int(

@@ -86,6 +86,11 @@ class CountSketch:
             self.process_item(item)
         return self
 
+    def finalize(self) -> "CountSketch":
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the
+        sketch stays queryable, so finalize returns the sketch itself."""
+        return self
+
     def estimate(self, item: int) -> int:
         """Median-of-rows point query (unbiased, can under- or overshoot)."""
         values = []

@@ -20,11 +20,13 @@ write.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
 from repro.spacemeter import edge_words, vertex_words
-from repro.streams.edge import StreamItem
+from repro.streams.edge import INSERT, StreamItem
 from repro.streams.stream import EdgeStream
 
 
@@ -53,7 +55,28 @@ class MisraGriesWithWitnesses:
         """Process one (item, witness) arrival."""
         if item.is_delete:
             raise ValueError("Misra-Gries supports insertion-only streams")
-        a, b = item.edge.a, item.edge.b
+        self._arrival(item.edge.a, item.edge.b)
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Engine entry point; sequential under the hood.
+
+        The decrement-all step couples every counter to every arrival,
+        so unlike the paper's reservoir there is no order-free collapse
+        of a chunk — the batch path just replays the chunk in order
+        (bit-identical to :meth:`process_item` by construction).  The
+        heuristic exists for honesty benchmarks, not throughput.
+        """
+        if sign is not None and np.any(sign != INSERT):
+            raise ValueError("Misra-Gries supports insertion-only streams")
+        for a_item, b_item in zip(a.tolist(), b.tolist()):
+            self._arrival(a_item, b_item)
+
+    def _arrival(self, a: int, b: int) -> None:
         if a in self._counters:
             self._counters[a] += 1
             stored = self._witnesses[a]
@@ -80,6 +103,11 @@ class MisraGriesWithWitnesses:
     def process(self, stream: EdgeStream) -> "MisraGriesWithWitnesses":
         for item in stream:
             self.process_item(item)
+        return self
+
+    def finalize(self) -> "MisraGriesWithWitnesses":
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the
+        summary stays queryable, so finalize returns the summary itself."""
         return self
 
     def estimate(self, item: int) -> int:

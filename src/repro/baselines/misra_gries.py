@@ -106,6 +106,11 @@ class MisraGries:
             self.process_item(item)
         return self
 
+    def finalize(self) -> "MisraGries":
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the
+        summary stays queryable, so finalize returns the summary itself."""
+        return self
+
     def estimate(self, item: int) -> int:
         """Lower-bound frequency estimate (0 if not tracked)."""
         return self._counters.get(item, 0)

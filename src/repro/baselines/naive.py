@@ -93,6 +93,11 @@ class FullStorage:
             raise AlgorithmFailed(f"no vertex of degree >= {d}/{alpha}")
         return Neighbourhood.of(best_vertex, best)
 
+    def finalize(self) -> "FullStorage":
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the
+        stored graph stays queryable, so finalize returns the store."""
+        return self
+
     def space_words(self) -> int:
         stored = sum(len(witnesses) for witnesses in self._neighbours.values())
         return vertex_words(len(self._neighbours)) + edge_words(stored)
@@ -168,6 +173,11 @@ class FirstKWitnessCollector:
                 f"stored only {len(witnesses)} witnesses < {d}/{alpha}"
             )
         return Neighbourhood.of(best_vertex, witnesses)
+
+    def finalize(self) -> "FirstKWitnessCollector":
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the
+        collector stays queryable, so finalize returns itself."""
+        return self
 
     def space_words(self) -> int:
         stored = sum(len(witnesses) for witnesses in self._witnesses.values())

@@ -87,6 +87,11 @@ class SpaceSaving:
             self.process_item(item)
         return self
 
+    def finalize(self) -> "SpaceSaving":
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the
+        summary stays queryable, so finalize returns the summary itself."""
+        return self
+
     def estimate(self, item: int) -> int:
         """Upper-bound frequency estimate (0 if not tracked)."""
         return self._counters.get(item, 0)

@@ -2,8 +2,12 @@
 
 Subcommands:
 
-* ``run`` — generate a workload, run an algorithm, print the verified
-  result and space accounting;
+* ``run`` — build a workload (generated, or loaded with
+  ``--stream-file``), stream it through the batch execution engine
+  (:class:`~repro.engine.FanoutRunner`), print the verified result and
+  space accounting; ``--save-stream`` persists the workload for replay;
+* ``persist`` — inspect (``info``) and convert (``convert``) persisted
+  stream files between the v1 text and v2 columnar NPZ formats;
 * ``bounds`` — print the paper's predicted space bounds for given
   parameters (both models, upper and lower);
 * ``figures`` — print the paper's three figures as executable
@@ -13,6 +17,10 @@ Examples::
 
     python -m repro run --workload star --n 1000 --d 200 --alpha 2
     python -m repro run --workload churn --algorithm insertion-deletion
+    python -m repro run --workload zipf --save-stream zipf.npz
+    python -m repro run --stream-file zipf.npz --d 64
+    python -m repro persist info zipf.npz
+    python -m repro persist convert zipf.npz zipf.txt
     python -m repro bounds --n 4096 --d 128 --alpha 2
     python -m repro figures
 """
@@ -21,11 +29,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.insertion_deletion import InsertionDeletionFEwW
 from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.neighbourhood import AlgorithmFailed, verify_neighbourhood
+from repro.engine import FanoutRunner
+from repro.streams.columnar import DEFAULT_CHUNK_SIZE, ColumnarEdgeStream
 from repro.streams.generators import (
     GeneratorConfig,
     adversarial_interleaved_stream,
@@ -33,6 +44,12 @@ from repro.streams.generators import (
     deletion_churn_stream,
     planted_star_graph,
     zipf_frequency_stream,
+)
+from repro.streams.persist import (
+    StreamFormatError,
+    detect_version,
+    dump_stream,
+    load_columnar,
 )
 from repro.theory.bounds import (
     insertion_deletion_lower_bound_words,
@@ -62,6 +79,30 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--scale", type=float, default=0.25,
                      help="sampler-count scale for insertion-deletion runs")
+    run.add_argument("--stream-file", type=Path, metavar="PATH",
+                     help="replay a persisted stream (v1 text or v2 NPZ) "
+                          "instead of generating --workload")
+    run.add_argument("--save-stream", type=Path, metavar="PATH",
+                     help="persist the workload before running it "
+                          "(.npz suffix selects the columnar v2 format)")
+    run.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                     help="updates per engine chunk")
+
+    persist = subparsers.add_parser(
+        "persist", help="inspect and convert persisted stream files"
+    )
+    persist_commands = persist.add_subparsers(dest="persist_command", required=True)
+    info = persist_commands.add_parser(
+        "info", help="print a stream file's format, dimensions, and stats"
+    )
+    info.add_argument("file", type=Path)
+    convert = persist_commands.add_parser(
+        "convert", help="re-encode a stream file (v1 text <-> v2 NPZ)"
+    )
+    convert.add_argument("source", type=Path)
+    convert.add_argument("destination", type=Path)
+    convert.add_argument("--format", choices=("v1", "v2", "auto"), default="auto",
+                         help="target format (auto: .npz suffix means v2)")
 
     bounds = subparsers.add_parser("bounds", help="print the paper's space bounds")
     bounds.add_argument("--n", type=int, default=4096)
@@ -95,10 +136,40 @@ def make_workload(args: argparse.Namespace):
     raise ValueError(f"unknown workload {args.workload!r}")
 
 
+def _load_run_stream(args: argparse.Namespace) -> ColumnarEdgeStream:
+    """The columnar stream a `run` invocation operates on."""
+    if args.stream_file is not None:
+        return load_columnar(args.stream_file)
+    generated = make_workload(args)
+    columnar = ColumnarEdgeStream.from_edge_stream(generated)
+    if args.save_stream is not None:
+        dump_stream(
+            columnar,
+            args.save_stream,
+            format="auto",
+            trailer=f"workload={args.workload} seed={args.seed}",
+        )
+        print(f"stream saved to {args.save_stream}")
+    return columnar
+
+
 def command_run(args: argparse.Namespace) -> int:
-    stream = make_workload(args)
-    d = args.d if args.workload != "zipf" else stream.max_degree()
-    print(f"workload '{args.workload}': {stream.stats()}")
+    if args.stream_file is not None and args.save_stream is not None:
+        print("error: --save-stream only applies to generated workloads; "
+              "use `persist convert` to re-encode an existing stream file",
+              file=sys.stderr)
+        return 2
+    try:
+        stream = _load_run_stream(args)
+    except (StreamFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    source = (
+        f"file {args.stream_file}" if args.stream_file is not None
+        else f"workload '{args.workload}'"
+    )
+    d = args.d if args.workload != "zipf" or args.stream_file else stream.max_degree()
+    print(f"{source}: {stream.stats()}")
     if args.algorithm == "insertion-only":
         if not stream.insertion_only:
             print("error: workload contains deletions; "
@@ -109,19 +180,45 @@ def command_run(args: argparse.Namespace) -> int:
         algorithm = InsertionDeletionFEwW(
             stream.n, stream.m, d, args.alpha, seed=args.seed, scale=args.scale
         )
-    algorithm.process(stream)
+    # One engine pass; the runner generalises to N structures per pass.
+    # result() is queried directly (not via finalize) so the failure
+    # diagnostics reach the user.
+    runner = FanoutRunner({"algorithm": algorithm}, chunk_size=args.chunk_size)
+    runner.process(stream)
     try:
         result = algorithm.result()
     except AlgorithmFailed as failure:
         print(f"algorithm reported fail: {failure}")
         return 1
-    verify_neighbourhood(result, stream, d, args.alpha)
+    verify_neighbourhood(result, stream.to_edge_stream(), d, args.alpha)
     print(f"reported: {result}")
     print(f"threshold d/alpha = {d / args.alpha:.1f}; verified against "
           f"ground truth: OK")
     print(f"space: {algorithm.space_words()} words")
     print(algorithm.space_breakdown())
     return 0
+
+
+def command_persist(args: argparse.Namespace) -> int:
+    try:
+        if args.persist_command == "info":
+            version = detect_version(args.file)
+            stream = load_columnar(args.file)
+            print(f"{args.file}: feww-stream v{version} "
+                  f"n={stream.n} m={stream.m}")
+            print(f"  {stream.stats()}")
+            return 0
+        if args.persist_command == "convert":
+            stream = load_columnar(args.source)
+            dump_stream(stream, args.destination, format=args.format)
+            print(f"wrote {args.destination} "
+                  f"(feww-stream v{detect_version(args.destination)}, "
+                  f"{len(stream)} updates)")
+            return 0
+    except (StreamFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled persist command {args.persist_command!r}")
 
 
 def command_bounds(args: argparse.Namespace) -> int:
@@ -150,6 +247,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return command_run(args)
+    if args.command == "persist":
+        return command_persist(args)
     if args.command == "bounds":
         return command_bounds(args)
     if args.command == "figures":

@@ -275,6 +275,14 @@ class DegResSampling:
             f"no neighbourhood of size {self.d2} collected"
         )
 
+    def finalize(self) -> Optional[Neighbourhood]:
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the run's
+        answer, or ``None`` instead of raising on failure."""
+        try:
+            return self.result()
+        except AlgorithmFailed:
+            return None
+
     # ------------------------------------------------------------------
     # Space accounting.
     # ------------------------------------------------------------------

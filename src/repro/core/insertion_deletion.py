@@ -263,6 +263,14 @@ class InsertionDeletionFEwW:
             )
         return Neighbourhood.of(best_vertex, best_witnesses)
 
+    def finalize(self) -> Optional[Neighbourhood]:
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the
+        algorithm's answer, or ``None`` instead of raising on failure."""
+        try:
+            return self.result()
+        except AlgorithmFailed:
+            return None
+
     # ------------------------------------------------------------------
     # Space accounting.
     # ------------------------------------------------------------------

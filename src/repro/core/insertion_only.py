@@ -106,6 +106,8 @@ class InsertionOnlyFEwW:
         a: np.ndarray,
         b: np.ndarray,
         sign: Optional[np.ndarray] = None,
+        *,
+        grouping=None,
     ) -> None:
         """Feed a column chunk of insertions to every parallel run.
 
@@ -114,6 +116,12 @@ class InsertionOnlyFEwW:
         the ``O(n log n)``-bit table is still charged (and computed) once,
         not α times.  State after the call is bit-identical to feeding
         the chunk through :meth:`process_item` one update at a time.
+
+        ``grouping`` optionally passes a precomputed stable
+        ``(order, starts, ends)`` grouping of ``a`` (see
+        :func:`repro.streams.columnar.group_slices`); Star Detection
+        uses it to sort each double-cover chunk once and share the
+        result across all ``O(log n)`` degree-guess instances.
         """
         if sign is not None and np.any(sign != INSERT):
             raise ValueError(
@@ -126,13 +134,15 @@ class InsertionOnlyFEwW:
             return
         # One stable grouping of the chunk serves the shared degree
         # update and every run's witness collection.
-        order, starts, ends = group_slices(a)
+        if grouping is None:
+            grouping = group_slices(a)
+        order, starts, ends = grouping
         degree_after = self._degrees.increment_batch(
             a, grouping=(order, starts, ends)
         )
-        grouping = (order, starts, ends, a[order[starts]])
+        run_grouping = (order, starts, ends, a[order[starts]])
         for run in self.runs:
-            run.observe_batch(a, b, degree_after, grouping=grouping)
+            run.observe_batch(a, b, degree_after, grouping=run_grouping)
 
     def process(self, stream: EdgeStream) -> "InsertionOnlyFEwW":
         """Consume an entire stream; returns self for chaining."""
@@ -167,6 +177,14 @@ class InsertionOnlyFEwW:
             f"all {self.alpha} parallel runs failed "
             f"(n={self.n}, d={self.d}, alpha={self.alpha}, s={self.s})"
         )
+
+    def finalize(self) -> Optional[Neighbourhood]:
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the
+        algorithm's answer, or ``None`` instead of raising on failure."""
+        try:
+            return self.result()
+        except AlgorithmFailed:
+            return None
 
     def current_degree(self, a: int) -> int:
         """Degree of A-vertex ``a`` seen so far (the shared counter)."""

@@ -18,13 +18,14 @@ E14 measures it.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional
+
+import numpy as np
 
 from repro.core.insertion_only import InsertionOnlyFEwW, reservoir_size
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
 from repro.spacemeter import SpaceBreakdown
 from repro.streams.edge import StreamItem
-from repro.streams.stream import EdgeStream
 
 
 class TopKFEwW:
@@ -62,10 +63,28 @@ class TopKFEwW:
         return self._inner.alpha
 
     def process_item(self, item: StreamItem) -> None:
+        """Reference per-item path (bit-identical to the batch path)."""
         self._inner.process_item(item)
 
-    def process(self, stream: EdgeStream) -> "TopKFEwW":
-        self._inner.process(stream)
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Engine entry point: one column chunk into the scaled reservoir."""
+        self._inner.process_batch(a, b, sign)
+
+    def process(self, stream) -> "TopKFEwW":
+        """Consume a whole stream through the engine's chunk path.
+
+        Accepts anything :func:`repro.engine.as_chunks` does (columnar
+        or boxed streams, persisted paths, chunk iterables).
+        """
+        from repro.engine import as_chunks
+
+        for a, b, sign in as_chunks(stream):
+            self.process_batch(a, b, sign)
         return self
 
     def results(self) -> List[Neighbourhood]:
@@ -90,6 +109,14 @@ class TopKFEwW:
                 f"no neighbourhood reached size {self.threshold}"
             )
         return ranked[: self.k]
+
+    def finalize(self) -> List[Neighbourhood]:
+        """Engine hook (:class:`repro.engine.StreamProcessor`): the
+        ranked neighbourhoods, or ``[]`` instead of raising on failure."""
+        try:
+            return self.results()
+        except AlgorithmFailed:
+            return []
 
     def space_breakdown(self) -> SpaceBreakdown:
         return self._inner.space_breakdown()

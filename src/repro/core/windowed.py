@@ -18,10 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
-from repro.streams.edge import StreamItem
-from repro.streams.stream import EdgeStream
+from repro.streams.edge import INSERT, StreamItem
 
 
 @dataclass(frozen=True)
@@ -93,15 +94,58 @@ class TumblingWindowFEwW:
         if self._updates % self.window == 0:
             self._close_window()
 
-    def process(self, stream: EdgeStream) -> "TumblingWindowFEwW":
-        for item in stream:
-            self.process_item(item)
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Engine entry point: split the chunk at window boundaries.
+
+        Each maximal run of updates that falls inside one window is fed
+        to the current Algorithm 2 instance as a single sub-batch, and
+        windows are closed exactly where the per-item path would close
+        them — so the sequence of (instance, updates) pairs, and with it
+        every window's result, is bit-identical to item-at-a-time
+        processing at any chunk size.
+        """
+        if sign is not None and np.any(sign != INSERT):
+            raise ValueError("tumbling-window FEwW is insertion-only")
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        b = np.ascontiguousarray(b, dtype=np.int64)
+        position, n_items = 0, len(a)
+        while position < n_items:
+            room = self.window - (self._updates % self.window)
+            take = min(room, n_items - position)
+            stop = position + take
+            self._current.process_batch(a[position:stop], b[position:stop])
+            self._updates += take
+            position = stop
+            if self._updates % self.window == 0:
+                self._close_window()
+
+    def process(self, stream) -> "TumblingWindowFEwW":
+        """Consume a whole stream through the engine's chunk path.
+
+        Accepts anything :func:`repro.engine.as_chunks` does (columnar
+        or boxed streams, persisted paths, chunk iterables).
+        """
+        from repro.engine import as_chunks
+
+        for a, b, sign in as_chunks(stream):
+            self.process_batch(a, b, sign)
         return self
 
     def flush(self) -> None:
         """Close the in-progress window early (end of stream)."""
         if self._updates % self.window != 0 or self._updates == 0:
             self._close_window()
+
+    def finalize(self) -> List[WindowResult]:
+        """Engine hook (:class:`repro.engine.StreamProcessor`): flush the
+        in-progress window and return all completed windows in order."""
+        self.flush()
+        return self.completed_windows()
 
     def completed_windows(self) -> List[WindowResult]:
         """Results of all closed windows, oldest first."""

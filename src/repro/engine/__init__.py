@@ -1,0 +1,26 @@
+"""Batch-first execution engine.
+
+The engine decouples *what* a streaming structure computes from *how*
+the stream reaches it.  Structures implement the two-method
+:class:`StreamProcessor` protocol (``process_batch`` + ``finalize``);
+:class:`FanoutRunner` streams any chunk source — an in-memory columnar
+stream, a boxed :class:`~repro.streams.stream.EdgeStream`, or a
+persisted stream file read chunk by chunk — into all registered
+structures in a single pass.
+
+This replaces the per-wrapper driver loops that previously lived in
+star detection (one pass *per degree guess*), top-k, tumbling windows,
+the CLI, and the benchmarks, and is the substrate for multi-core chunk
+pipelining.
+"""
+
+from repro.engine.protocol import StreamProcessor, ensure_stream_processor
+from repro.engine.runner import FanoutRunner, as_chunks, run_fanout
+
+__all__ = [
+    "FanoutRunner",
+    "StreamProcessor",
+    "as_chunks",
+    "ensure_stream_processor",
+    "run_fanout",
+]

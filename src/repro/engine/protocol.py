@@ -1,0 +1,70 @@
+"""The :class:`StreamProcessor` protocol: what the engine drives.
+
+Every streaming structure in this library — the paper's Algorithms 1–3,
+the extension wrappers (Star Detection, top-k, tumbling windows), the
+classical baselines and the sketch summaries — exposes the same two
+methods:
+
+* ``process_batch(a, b, sign=None)`` — consume one column chunk of
+  updates (``a``/``b`` endpoint arrays plus an optional ``sign``
+  column; ``None`` means all-insert).  For every structure this is
+  equivalent to feeding the chunk item by item — bit-identical for the
+  seeded randomized structures, guarantee-identical for the
+  weight-collapsed counter summaries (see
+  ``tests/integration/test_batch_equivalence.py``).
+* ``finalize()`` — the end-of-stream hook.  Algorithms return their
+  answer (a :class:`~repro.core.neighbourhood.Neighbourhood`, a list of
+  them, or window results) or ``None``/``[]`` on failure instead of
+  raising; query-style summaries (Count-Min, Misra–Gries, ...) return
+  themselves so callers can keep querying.  ``finalize`` never raises
+  :class:`~repro.core.neighbourhood.AlgorithmFailed` — a fan-out run
+  over N processors should not abort because one guess failed.
+
+Anything conforming can be registered with a
+:class:`~repro.engine.runner.FanoutRunner` and fed from any chunk
+source in a single pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class StreamProcessor(Protocol):
+    """Structural type of every engine-drivable streaming structure."""
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Consume one column chunk of signed edge updates."""
+        ...
+
+    def finalize(self) -> Any:
+        """End-of-stream hook; returns the structure's answer (or self)."""
+        ...
+
+
+def ensure_stream_processor(processor: Any, name: str = "processor") -> Any:
+    """Validate protocol conformance with an actionable error message.
+
+    ``isinstance(x, StreamProcessor)`` only checks attribute presence;
+    this helper reports *which* method is missing, which matters when a
+    user registers a structure that predates the engine.
+    """
+    missing = [
+        method
+        for method in ("process_batch", "finalize")
+        if not callable(getattr(processor, method, None))
+    ]
+    if missing:
+        raise TypeError(
+            f"{name} ({type(processor).__name__}) does not conform to "
+            f"StreamProcessor: missing {', '.join(missing)}"
+        )
+    return processor

@@ -1,0 +1,153 @@
+"""Single-pass fan-out execution over columnar edge streams.
+
+:class:`FanoutRunner` is the batch-first replacement for every
+hand-rolled driver loop that used to live in the star-detection, top-k
+and windowed wrappers, the CLI, and the benchmarks: register N
+conforming :class:`~repro.engine.protocol.StreamProcessor` structures,
+then :meth:`FanoutRunner.run` streams the source chunk by chunk and
+hands *each chunk once* to every processor before moving on.  The
+stream is therefore traversed a single time regardless of how many
+structures consume it — the property Lemma 3.3's ``O(log n)`` parallel
+degree guesses and any multi-tenant ingestion pipeline rely on.
+
+Chunk sources are normalised by :func:`as_chunks`:
+
+* :class:`~repro.streams.columnar.ColumnarEdgeStream` — zero-copy
+  column slices;
+* :class:`~repro.streams.stream.EdgeStream` — converted to columns
+  once, then sliced;
+* a path (``str`` / :class:`~pathlib.Path`) — opened through the
+  chunked persistence reader, so multi-gigabyte stream files feed the
+  engine without ever materialising per-item lists;
+* any object with a ``chunks(chunk_size)`` method, or any iterable of
+  ``(a, b, sign)`` column triples.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.protocol import ensure_stream_processor
+from repro.streams.columnar import (
+    DEFAULT_CHUNK_SIZE,
+    ColumnarEdgeStream,
+    Columns,
+)
+from repro.streams.stream import EdgeStream
+
+
+def as_chunks(
+    source: Any, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[Columns]:
+    """Normalise any supported stream source into ``(a, b, sign)`` chunks."""
+    if isinstance(source, (str, Path)):
+        # Deferred import keeps streams.persist free to evolve without
+        # the engine module loading it for in-memory runs.
+        from repro.streams.persist import ChunkedStreamReader
+
+        return ChunkedStreamReader(source).chunks(chunk_size)
+    if isinstance(source, EdgeStream):
+        source = ColumnarEdgeStream.from_edge_stream(source)
+    if hasattr(source, "chunks"):
+        return source.chunks(chunk_size)
+    if isinstance(source, Iterable):
+        return iter(source)
+    raise TypeError(
+        f"cannot stream chunks from {type(source).__name__}; expected a "
+        f"ColumnarEdgeStream, EdgeStream, path, or chunk iterable"
+    )
+
+
+class FanoutRunner:
+    """Stream one source into N registered processors in a single pass.
+
+    Args:
+        processors: optional initial ``name -> processor`` mapping (the
+            iteration order of the mapping is preserved in results).
+        chunk_size: default number of updates per fan-out step.
+
+    Usage::
+
+        runner = FanoutRunner({"alg2": InsertionOnlyFEwW(...)})
+        runner.add("topk", TopKFEwW(...))
+        results = runner.run(stream)        # {"alg2": ..., "topk": ...}
+    """
+
+    def __init__(
+        self,
+        processors: Optional[Mapping[str, Any]] = None,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self._processors: Dict[str, Any] = {}
+        if processors is not None:
+            for name, processor in processors.items():
+                self.add(name, processor)
+
+    # ------------------------------------------------------------------
+    # Registration.
+    # ------------------------------------------------------------------
+
+    def add(self, name: str, processor: Any) -> "FanoutRunner":
+        """Register a processor under ``name``; returns self for chaining."""
+        if name in self._processors:
+            raise ValueError(f"processor {name!r} already registered")
+        self._processors[name] = ensure_stream_processor(processor, name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __getitem__(self, name: str) -> Any:
+        return self._processors[name]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._processors)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def process_chunk(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Hand one column chunk to every registered processor."""
+        for processor in self._processors.values():
+            processor.process_batch(a, b, sign)
+
+    def process(self, source: Any, chunk_size: Optional[int] = None) -> "FanoutRunner":
+        """Stream ``source`` through every processor (no finalize)."""
+        for a, b, sign in as_chunks(source, chunk_size or self.chunk_size):
+            self.process_chunk(a, b, sign)
+        return self
+
+    def finalize(self) -> Dict[str, Any]:
+        """Call every processor's ``finalize``; returns ``name -> answer``."""
+        return {
+            name: processor.finalize()
+            for name, processor in self._processors.items()
+        }
+
+    def run(self, source: Any, chunk_size: Optional[int] = None) -> Dict[str, Any]:
+        """Single-pass ingestion plus finalization, in one call."""
+        if not self._processors:
+            raise RuntimeError("no processors registered; call add() first")
+        return self.process(source, chunk_size).finalize()
+
+
+def run_fanout(
+    processors: Mapping[str, Any],
+    source: Any,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Dict[str, Any]:
+    """One-shot convenience: build a runner, run it, return the answers."""
+    return FanoutRunner(processors, chunk_size=chunk_size).run(source)

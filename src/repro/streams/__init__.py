@@ -26,12 +26,17 @@ from repro.streams.columnar import (
 from repro.streams.adapters import (
     LabelCodec,
     bipartite_double_cover,
+    bipartite_double_cover_columnar,
     log_records_to_stream,
 )
 from repro.streams.persist import (
+    ChunkedStreamReader,
     StreamFormatError,
+    detect_version,
+    dump_columnar,
     dump_stream,
     dumps_stream,
+    load_columnar,
     load_stream,
     loads_stream,
 )
@@ -51,6 +56,7 @@ from repro.streams.generators import (
     deletion_churn_stream,
     dos_attack_log,
     planted_star_graph,
+    planted_star_undirected,
     random_bipartite_columnar,
     random_bipartite_graph,
     social_network_stream,

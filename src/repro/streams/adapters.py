@@ -10,13 +10,19 @@ that mapping for arbitrary hashable labels, and
 Star Detection on a general graph reduces to FEwW on the *bipartite
 double cover* (proof of Lemma 3.3): every undirected edge ``uv`` becomes
 the two directed edges ``u->v`` and ``v->u``.  :func:`bipartite_double_cover`
-implements that transformation on streams, preserving update order.
+implements that transformation on boxed streams, preserving update
+order; :func:`bipartite_double_cover_columnar` is its vectorized
+counterpart producing the :class:`~repro.streams.columnar.ColumnarEdgeStream`
+the execution engine consumes (same update order, equivalence-tested).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.streams.columnar import ColumnarEdgeStream
 from repro.streams.edge import Edge, StreamItem
 from repro.streams.stream import EdgeStream
 
@@ -128,3 +134,65 @@ def bipartite_double_cover(
         items.append(StreamItem(Edge(u, v), sign))
         items.append(StreamItem(Edge(v, u), sign))
     return EdgeStream(items, n_vertices, n_vertices)
+
+
+def bipartite_double_cover_columnar(
+    u,
+    v,
+    n_vertices: int,
+    sign=None,
+    *,
+    validate: bool = True,
+) -> ColumnarEdgeStream:
+    """Vectorized double cover: endpoint columns in, columnar stream out.
+
+    Produces exactly the update sequence :func:`bipartite_double_cover`
+    would — for undirected edge ``i``, the directed copy ``u[i]->v[i]``
+    lands at position ``2i`` and ``v[i]->u[i]`` at ``2i+1`` — but as
+    three interleave-filled NumPy columns instead of ``2 |E|`` boxed
+    items, so million-edge covers are built in a few array writes and
+    feed the engine's ``process_batch`` path directly.
+
+    Args:
+        u: first endpoints of the undirected edges, in stream order.
+        v: second endpoints (same length).
+        n_vertices: number of vertices of the general graph.
+        sign: optional per-undirected-edge signs (+1/-1); both directed
+            copies inherit the sign.  ``None`` means insertion-only.
+        validate: forwarded to :class:`ColumnarEdgeStream` (range and
+            simple-graph discipline checks over the doubled stream).
+    """
+    u = np.ascontiguousarray(u, dtype=np.int64)
+    v = np.ascontiguousarray(v, dtype=np.int64)
+    if u.shape != v.shape or u.ndim != 1:
+        raise ValueError(
+            f"u and v must be 1-d arrays of equal length, got shapes "
+            f"{u.shape} and {v.shape}"
+        )
+    loops = np.flatnonzero(u == v)
+    if len(loops):
+        raise ValueError(
+            f"self-loop {int(u[loops[0]])} not allowed in a simple graph"
+        )
+    doubled_a = np.empty(2 * len(u), dtype=np.int64)
+    doubled_b = np.empty(2 * len(u), dtype=np.int64)
+    doubled_a[0::2] = u
+    doubled_a[1::2] = v
+    doubled_b[0::2] = v
+    doubled_b[1::2] = u
+    doubled_sign: Optional[np.ndarray] = None
+    if sign is not None:
+        sign = np.ascontiguousarray(sign, dtype=np.int64)
+        if sign.shape != u.shape:
+            raise ValueError(
+                f"got {len(u)} edges but {len(sign)} signs"
+            )
+        doubled_sign = np.repeat(sign, 2)
+    return ColumnarEdgeStream(
+        doubled_a,
+        doubled_b,
+        doubled_sign,
+        n=n_vertices,
+        m=n_vertices,
+        validate=validate,
+    )

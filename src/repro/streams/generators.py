@@ -300,6 +300,68 @@ def churn_columnar(
     return ColumnarEdgeStream(a, b, sign, n=config.n, m=config.m, validate=False)
 
 
+def planted_star_undirected(
+    n_vertices: int,
+    n_edges: int,
+    star_degree: int,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Undirected simple graph with a planted star, as endpoint columns.
+
+    Vertex 0 is connected to ``star_degree`` distinct neighbours; the
+    remaining ``n_edges - star_degree`` edges are uniform random distinct
+    pairs.  Arrival order is a uniform shuffle of all edges.  Returns
+    ``(u, v)`` columns ready for
+    :func:`~repro.streams.adapters.bipartite_double_cover_columnar` —
+    each unordered pair appears exactly once, so the doubled stream
+    satisfies the simple-graph discipline.  This is the end-to-end Star
+    Detection benchmark workload.
+    """
+    if not 1 <= star_degree <= n_vertices - 1:
+        raise ValueError(
+            f"star_degree must be in [1, {n_vertices - 1}], got {star_degree}"
+        )
+    background = n_edges - star_degree
+    if background < 0:
+        raise ValueError(
+            f"n_edges {n_edges} smaller than star_degree {star_degree}"
+        )
+    capacity = n_vertices * (n_vertices - 1) // 2
+    if n_edges > capacity:
+        raise ValueError(f"n_edges {n_edges} exceeds {capacity} possible pairs")
+    rng = np.random.default_rng(seed)
+    star_hi = 1 + rng.choice(n_vertices - 1, size=star_degree, replace=False)
+    # Unordered pairs are canonicalised as lo * n + hi (lo < hi); star
+    # edges have lo == 0, so their codes are exactly star_hi.
+    taken = np.sort(star_hi.astype(np.int64))
+    collected: List[np.ndarray] = []
+    remaining = background
+    while remaining > 0:
+        draw = 2 * remaining + 1024
+        u = rng.integers(n_vertices, size=draw)
+        v = rng.integers(n_vertices, size=draw)
+        distinct = u != v
+        lo = np.minimum(u[distinct], v[distinct]).astype(np.int64)
+        hi = np.maximum(u[distinct], v[distinct]).astype(np.int64)
+        codes = np.unique(lo * n_vertices + hi)
+        codes = codes[~np.isin(codes, taken)]
+        # np.unique sorted the codes; keeping a sorted prefix would bias
+        # the sample toward low-id vertices, so shuffle before trimming.
+        codes = codes[rng.permutation(len(codes))][:remaining]
+        collected.append(codes)
+        taken = np.unique(np.concatenate([taken, codes]))
+        remaining = background - sum(len(chunk) for chunk in collected)
+    background_codes = (
+        np.concatenate(collected) if collected else np.zeros(0, dtype=np.int64)
+    )
+    codes = np.concatenate(
+        [star_hi.astype(np.int64), background_codes]  # star: lo = 0
+    )
+    order = rng.permutation(len(codes))
+    codes = codes[order]
+    return codes // n_vertices, codes % n_vertices
+
+
 # ----------------------------------------------------------------------
 # Application-level record logs (paper §1 motivating examples).
 # ----------------------------------------------------------------------

@@ -1,0 +1,150 @@
+"""FanoutRunner: single-pass fan-out, source normalisation, results."""
+
+import numpy as np
+import pytest
+
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.core.topk import TopKFEwW
+from repro.engine import FanoutRunner, as_chunks, run_fanout
+from repro.streams.columnar import ColumnarEdgeStream
+from repro.streams.generators import (
+    GeneratorConfig,
+    planted_star_graph,
+    zipf_frequency_stream,
+)
+from repro.streams.persist import dump_stream
+
+
+def star_stream(n=64, m=256, d=16, seed=1):
+    return planted_star_graph(
+        GeneratorConfig(n=n, m=m, seed=seed), star_degree=d, background_degree=3
+    )
+
+
+class CountingProcessor:
+    """Test double that records every chunk it is handed."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def process_batch(self, a, b, sign=None):
+        self.chunks.append((a.copy(), b.copy()))
+
+    def finalize(self):
+        return sum(len(a) for a, _ in self.chunks)
+
+
+class TestSourceNormalisation:
+    def test_columnar_edge_and_file_sources_agree(self, tmp_path):
+        stream = star_stream()
+        columnar = ColumnarEdgeStream.from_edge_stream(stream)
+        path = tmp_path / "s.npz"
+        dump_stream(columnar, path, format="v2")
+        for source in (columnar, stream, path, str(path)):
+            totals = [
+                np.concatenate([a for a, b, s in as_chunks(source, 16)]),
+            ]
+            assert len(totals[0]) == len(stream)
+            assert totals[0].tolist() == columnar.a.tolist()
+
+    def test_chunk_iterables_pass_through(self):
+        chunks = [
+            (np.array([1]), np.array([2]), np.array([1])),
+            (np.array([3]), np.array([4]), np.array([1])),
+        ]
+        assert list(as_chunks(iter(chunks))) == chunks
+
+    def test_unsupported_source_rejected(self):
+        with pytest.raises(TypeError, match="cannot stream chunks"):
+            list(as_chunks(42))
+
+
+class TestFanoutRunner:
+    def test_every_processor_sees_every_chunk_once(self):
+        stream = ColumnarEdgeStream(
+            np.arange(10) % 4, np.arange(10), n=4, m=10
+        )
+        first, second = CountingProcessor(), CountingProcessor()
+        results = FanoutRunner(
+            {"first": first, "second": second}, chunk_size=3
+        ).run(stream)
+        assert results == {"first": 10, "second": 10}
+        assert len(first.chunks) == 4  # ceil(10 / 3)
+        assert [len(a) for a, _ in first.chunks] == [3, 3, 3, 1]
+        assert [a.tolist() for a, _ in first.chunks] == [
+            a.tolist() for a, _ in second.chunks
+        ]
+
+    def test_single_pass_matches_individual_runs(self):
+        stream = star_stream()
+        columnar = ColumnarEdgeStream.from_edge_stream(stream)
+        solo = InsertionOnlyFEwW(stream.n, 16, 2, seed=7)
+        for a, b, sign in columnar.chunks(64):
+            solo.process_batch(a, b, sign)
+        fanned = InsertionOnlyFEwW(stream.n, 16, 2, seed=7)
+        results = run_fanout(
+            {"alg2": fanned, "topk": TopKFEwW(stream.n, 16, 2, k=2, seed=7)},
+            columnar,
+            chunk_size=64,
+        )
+        assert results["alg2"].vertex == solo.result().vertex
+        assert results["alg2"].witnesses == solo.result().witnesses
+        assert results["topk"]  # the planted star is found
+
+    def test_duplicate_name_rejected(self):
+        runner = FanoutRunner({"x": CountingProcessor()})
+        with pytest.raises(ValueError, match="already registered"):
+            runner.add("x", CountingProcessor())
+
+    def test_nonconforming_processor_rejected(self):
+        with pytest.raises(TypeError, match="StreamProcessor"):
+            FanoutRunner({"bad": object()})
+
+    def test_run_without_processors_rejected(self):
+        with pytest.raises(RuntimeError, match="no processors"):
+            FanoutRunner().run(star_stream())
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            FanoutRunner(chunk_size=0)
+
+    def test_registration_introspection(self):
+        counting = CountingProcessor()
+        runner = FanoutRunner({"x": counting})
+        assert runner.names() == ("x",)
+        assert runner["x"] is counting
+        assert len(runner) == 1
+
+    def test_failed_algorithm_yields_none_not_raise(self):
+        # Empty stream: Algorithm 2 finds nothing; runner reports None.
+        results = run_fanout(
+            {"alg2": InsertionOnlyFEwW(8, 4, 2, seed=0)},
+            ColumnarEdgeStream(
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                n=8,
+                m=8,
+            ),
+        )
+        assert results == {"alg2": None}
+
+    def test_zipf_multi_tenant_run(self):
+        """One pass, heterogeneous consumers (algorithm + summary)."""
+        from repro.baselines import CountMinSketch
+
+        stream = zipf_frequency_stream(
+            GeneratorConfig(n=32, m=512, seed=3), n_records=400
+        )
+        d = stream.max_degree()
+        results = run_fanout(
+            {
+                "feww": InsertionOnlyFEwW(stream.n, d, 2, seed=1),
+                "countmin": CountMinSketch(0.05, 0.05, seed=2),
+            },
+            stream,
+            chunk_size=128,
+        )
+        sketch = results["countmin"]
+        heavy = results["feww"]
+        assert heavy is not None
+        assert sketch.estimate(heavy.vertex) >= d

@@ -1,0 +1,70 @@
+"""StreamProcessor protocol conformance across the whole library."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CountMinSketch,
+    CountSketch,
+    FirstKWitnessCollector,
+    FullStorage,
+    MisraGries,
+    MisraGriesWithWitnesses,
+    SpaceSaving,
+)
+from repro.core.deg_res_sampling import DegResSampling
+from repro.core.insertion_deletion import InsertionDeletionFEwW
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.core.star_detection import StarDetection
+from repro.core.topk import TopKFEwW
+from repro.core.windowed import TumblingWindowFEwW
+from repro.engine import StreamProcessor, ensure_stream_processor
+
+import random
+
+
+def every_structure():
+    return [
+        InsertionOnlyFEwW(16, 4, 2, seed=0),
+        InsertionDeletionFEwW(16, 16, 4, 2, seed=0, scale=0.1),
+        DegResSampling(16, 2, 2, 4, random.Random(0)),
+        StarDetection(16, 2, seed=0),
+        TopKFEwW(16, 4, 2, k=2, seed=0),
+        TumblingWindowFEwW(16, 4, 2, window=8, seed=0),
+        MisraGries(4),
+        MisraGriesWithWitnesses(4, 4),
+        SpaceSaving(4),
+        CountMinSketch(0.1, 0.1, seed=0),
+        CountSketch(16, rows=3, seed=0),
+        FullStorage(16, 16),
+        FirstKWitnessCollector(16, 4),
+    ]
+
+
+@pytest.mark.parametrize(
+    "structure", every_structure(), ids=lambda s: type(s).__name__
+)
+def test_conforms_to_stream_processor(structure):
+    assert isinstance(structure, StreamProcessor)
+    assert ensure_stream_processor(structure) is structure
+
+
+@pytest.mark.parametrize(
+    "structure", every_structure(), ids=lambda s: type(s).__name__
+)
+def test_finalize_never_raises_on_empty_stream(structure):
+    structure.process_batch(
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.int64),
+    )
+    structure.finalize()  # must not raise AlgorithmFailed
+
+
+def test_ensure_reports_missing_methods():
+    class NotAProcessor:
+        pass
+
+    with pytest.raises(TypeError, match="process_batch, finalize"):
+        ensure_stream_processor(NotAProcessor(), "bad")
+    assert not isinstance(NotAProcessor(), StreamProcessor)

@@ -1,0 +1,204 @@
+"""Engine vs per-item equivalence for the extension wrappers.
+
+PR 1 proved ``process_batch`` bit-identical to ``process_item`` for the
+core structures; this suite extends the contract up the stack: driving
+Star Detection, top-k, and tumbling windows through the batch engine
+(any chunk size, including chunks that straddle window boundaries)
+produces *bit-identical* output to the old hand-rolled per-item loops —
+same winners, same witness sets, same per-guess reservoir states, same
+space accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.star_detection import StarDetection
+from repro.core.topk import TopKFEwW
+from repro.core.windowed import TumblingWindowFEwW
+from repro.engine import FanoutRunner
+from repro.streams.adapters import (
+    bipartite_double_cover,
+    bipartite_double_cover_columnar,
+)
+from repro.streams.columnar import ColumnarEdgeStream
+from repro.streams.generators import (
+    GeneratorConfig,
+    planted_star_graph,
+    planted_star_undirected,
+    zipf_frequency_stream,
+)
+
+CHUNK_SIZES = (1, 7, 100, 10**6)
+
+
+def undirected_instance(seed=11, n_vertices=48, n_edges=260, star_degree=30):
+    u, v = planted_star_undirected(n_vertices, n_edges, star_degree, seed=seed)
+    cover = bipartite_double_cover_columnar(u, v, n_vertices)
+    pairs = list(zip(u.tolist(), v.tolist()))
+    return pairs, cover
+
+
+class TestStarDetectionEquivalence:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_insertion_only_bit_identical(self, chunk_size):
+        pairs, cover = undirected_instance()
+        per_item = StarDetection(cover.n, alpha=2, eps=0.5, seed=3)
+        for item in bipartite_double_cover(pairs, cover.n):
+            per_item.process_item(item)
+        engine = StarDetection(cover.n, alpha=2, eps=0.5, seed=3)
+        for a, b, sign in cover.chunks(chunk_size):
+            engine.process_batch(a, b, sign)
+        # Bit-identical state: every guess's every run holds the same
+        # reservoir (same vertices, same witness lists, same order).
+        for (guess_a, run_a), (guess_b, run_b) in zip(
+            per_item._runs, engine._runs
+        ):
+            assert guess_a == guess_b
+            for inner_a, inner_b in zip(run_a.runs, run_b.runs):
+                assert inner_a._reservoir == inner_b._reservoir
+        result_item = per_item.result()
+        result_engine = engine.result()
+        assert result_item.vertex == result_engine.vertex
+        assert result_item.winning_guess == result_engine.winning_guess
+        assert (
+            result_item.neighbourhood.witnesses
+            == result_engine.neighbourhood.witnesses
+        )
+        assert per_item.space_words() == engine.space_words()
+
+    def test_process_undirected_matches_process_item(self):
+        pairs, cover = undirected_instance(seed=12)
+        reference = StarDetection(cover.n, alpha=2, eps=0.5, seed=4)
+        for item in bipartite_double_cover(pairs, cover.n):
+            reference.process_item(item)
+        through_adapter = StarDetection(cover.n, alpha=2, eps=0.5, seed=4)
+        through_adapter.process_undirected(pairs)
+        assert reference.result().vertex == through_adapter.result().vertex
+        assert (
+            reference.result().neighbourhood.witnesses
+            == through_adapter.result().neighbourhood.witnesses
+        )
+
+    def test_insertion_deletion_model_through_engine(self):
+        pairs, cover = undirected_instance(seed=13, n_edges=200)
+        signs = [1] * len(pairs)
+        per_item = StarDetection(
+            cover.n, alpha=2, eps=0.5, model="insertion-deletion",
+            seed=5, scale=0.3,
+        )
+        for item in bipartite_double_cover(pairs, cover.n, signs):
+            per_item.process_item(item)
+        engine = StarDetection(
+            cover.n, alpha=2, eps=0.5, model="insertion-deletion",
+            seed=5, scale=0.3,
+        )
+        engine.process(cover)
+        assert per_item.result().vertex == engine.result().vertex
+        assert (
+            per_item.result().neighbourhood.witnesses
+            == engine.result().neighbourhood.witnesses
+        )
+
+    def test_insertion_only_model_rejects_deletions(self):
+        detector = StarDetection(8, alpha=2, seed=0)
+        with pytest.raises(ValueError, match="deletions"):
+            detector.process_batch(
+                np.array([0]), np.array([1]), np.array([-1])
+            )
+
+
+class TestTopKEquivalence:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_results_bit_identical(self, chunk_size):
+        stream = zipf_frequency_stream(
+            GeneratorConfig(n=48, m=1200, seed=21), n_records=1000
+        )
+        d = stream.max_degree() // 2
+        per_item = TopKFEwW(stream.n, d, 2, k=3, seed=9)
+        for item in stream:
+            per_item.process_item(item)
+        engine = TopKFEwW(stream.n, d, 2, k=3, seed=9)
+        columnar = ColumnarEdgeStream.from_edge_stream(stream)
+        for a, b, sign in columnar.chunks(chunk_size):
+            engine.process_batch(a, b, sign)
+        expected = [
+            (nb.vertex, nb.witnesses) for nb in per_item.results()
+        ]
+        actual = [(nb.vertex, nb.witnesses) for nb in engine.results()]
+        assert actual == expected
+        assert per_item.space_words() == engine.space_words()
+
+
+class TestTumblingWindowEquivalence:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    @pytest.mark.parametrize("window", (37, 100, 251))
+    def test_windows_bit_identical(self, chunk_size, window):
+        """Chunks split at window boundaries: every window result matches."""
+        stream = planted_star_graph(
+            GeneratorConfig(n=32, m=512, seed=31),
+            star_degree=40,
+            background_degree=4,
+        )
+        per_item = TumblingWindowFEwW(stream.n, 8, 2, window=window, seed=13)
+        for item in stream:
+            per_item.process_item(item)
+        per_item.flush()
+        engine = TumblingWindowFEwW(stream.n, 8, 2, window=window, seed=13)
+        columnar = ColumnarEdgeStream.from_edge_stream(stream)
+        for a, b, sign in columnar.chunks(chunk_size):
+            engine.process_batch(a, b, sign)
+        engine_windows = engine.finalize()  # flush + completed windows
+        reference = per_item.completed_windows()
+        assert len(engine_windows) == len(reference)
+        for expected, actual in zip(reference, engine_windows):
+            assert expected.window_index == actual.window_index
+            assert expected.start_update == actual.start_update
+            assert expected.end_update == actual.end_update
+            assert expected.found == actual.found
+            if expected.found:
+                assert (
+                    expected.neighbourhood.vertex
+                    == actual.neighbourhood.vertex
+                )
+                assert (
+                    expected.neighbourhood.witnesses
+                    == actual.neighbourhood.witnesses
+                )
+
+    def test_deletions_rejected_in_batch(self):
+        windowed = TumblingWindowFEwW(8, 2, 2, window=4, seed=0)
+        with pytest.raises(ValueError, match="insertion-only"):
+            windowed.process_batch(
+                np.array([0]), np.array([1]), np.array([-1])
+            )
+
+
+class TestFanoutAcrossWrappers:
+    def test_one_pass_feeds_all_three_wrappers(self):
+        """The headline engine scenario: star + top-k + windows, one pass."""
+        stream = planted_star_graph(
+            GeneratorConfig(n=40, m=600, seed=41),
+            star_degree=32,
+            background_degree=3,
+        )
+        columnar = ColumnarEdgeStream.from_edge_stream(stream)
+        runner = FanoutRunner(
+            {
+                "topk": TopKFEwW(stream.n, 16, 2, k=2, seed=2),
+                "windows": TumblingWindowFEwW(
+                    stream.n, 8, 2, window=100, seed=3
+                ),
+            },
+            chunk_size=64,
+        )
+        results = runner.run(columnar)
+        assert results["topk"], "planted star not found by top-k"
+        assert results["topk"][0].vertex == 0
+        assert results["windows"], "no windows completed"
+        # Solo runs from the same seeds are bit-identical.
+        solo = TopKFEwW(stream.n, 16, 2, k=2, seed=2)
+        for item in stream:
+            solo.process_item(item)
+        assert [nb.vertex for nb in results["topk"]] == [
+            nb.vertex for nb in solo.results()
+        ]

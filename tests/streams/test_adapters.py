@@ -1,5 +1,6 @@
 """Unit tests for stream adapters: label codecs and the double cover."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -7,6 +8,7 @@ from hypothesis import strategies as st
 from repro.streams.adapters import (
     LabelCodec,
     bipartite_double_cover,
+    bipartite_double_cover_columnar,
     log_records_to_stream,
 )
 from repro.streams.edge import DELETE, Edge
@@ -120,3 +122,58 @@ class TestBipartiteDoubleCover:
         assert stream[1].edge == Edge(1, 0)
         assert stream[2].edge == Edge(2, 1)
         assert stream[3].edge == Edge(1, 2)
+
+
+class TestBipartiteDoubleCoverColumnar:
+    """The vectorized cover must match the per-item one update for update."""
+
+    @given(
+        st.lists(
+            # Canonical u < v pairs: unique ordered pairs would still
+            # collide as undirected edges ((0,1) vs (1,0)), which both
+            # cover builders rightly reject.
+            st.tuples(st.integers(0, 19), st.integers(0, 19))
+            .filter(lambda pair: pair[0] != pair[1])
+            .map(lambda pair: (min(pair), max(pair))),
+            max_size=60,
+            unique=True,
+        )
+    )
+    def test_equivalent_to_per_item(self, pairs):
+        per_item = bipartite_double_cover(pairs, 20)
+        u = np.array([pair[0] for pair in pairs], dtype=np.int64)
+        v = np.array([pair[1] for pair in pairs], dtype=np.int64)
+        columnar = bipartite_double_cover_columnar(u, v, 20)
+        assert list(columnar) == list(per_item)
+        assert (columnar.n, columnar.m) == (per_item.n, per_item.m)
+
+    def test_signs_interleaved_per_copy(self):
+        cover = bipartite_double_cover_columnar(
+            np.array([0, 0]), np.array([1, 1]), 3, sign=np.array([1, -1])
+        )
+        assert cover.sign.tolist() == [1, 1, -1, -1]
+        per_item = bipartite_double_cover([(0, 1), (0, 1)], 3, signs=[1, -1])
+        assert list(cover) == list(per_item)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            bipartite_double_cover_columnar(np.array([2]), np.array([2]), 5)
+
+    def test_sign_length_mismatch(self):
+        with pytest.raises(ValueError, match="signs"):
+            bipartite_double_cover_columnar(
+                np.array([0]), np.array([1]), 3, sign=np.array([1, 1])
+            )
+
+    def test_empty(self):
+        cover = bipartite_double_cover_columnar(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 4
+        )
+        assert len(cover) == 0
+        assert (cover.n, cover.m) == (4, 4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            bipartite_double_cover_columnar(
+                np.array([0, 1]), np.array([1]), 4
+            )

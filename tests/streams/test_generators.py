@@ -13,6 +13,7 @@ from repro.streams.generators import (
     deletion_churn_stream,
     dos_attack_log,
     planted_star_graph,
+    planted_star_undirected,
     random_bipartite_graph,
     social_network_stream,
     zipf_frequency_stream,
@@ -192,3 +193,33 @@ class TestApplicationLogs:
     def test_social_network_rejects_too_many_followers(self):
         with pytest.raises(ValueError):
             social_network_stream(n_users=10, n_followers=10)
+
+
+class TestPlantedStarUndirected:
+    def test_star_is_max_degree_and_cover_is_valid(self):
+        u, v = planted_star_undirected(64, 400, star_degree=50, seed=5)
+        assert len(u) == 400
+        # Validation of the double cover enforces pair uniqueness.
+        cover = bipartite_double_cover([(a, b) for a, b in zip(u, v)], 64)
+        degrees = cover.final_degrees()
+        assert degrees[0] >= 50
+        assert degrees[0] == max(degrees.values())
+
+    def test_pairs_unique_and_canonical(self):
+        u, v = planted_star_undirected(32, 200, star_degree=10, seed=6)
+        assert all(a < b for a, b in zip(u.tolist(), v.tolist()))
+        assert len({(a, b) for a, b in zip(u.tolist(), v.tolist())}) == 200
+
+    def test_reproducible(self):
+        first = planted_star_undirected(32, 100, star_degree=8, seed=7)
+        second = planted_star_undirected(32, 100, star_degree=8, seed=7)
+        assert first[0].tolist() == second[0].tolist()
+        assert first[1].tolist() == second[1].tolist()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="star_degree"):
+            planted_star_undirected(10, 20, star_degree=10)
+        with pytest.raises(ValueError, match="smaller than"):
+            planted_star_undirected(10, 3, star_degree=5)
+        with pytest.raises(ValueError, match="possible pairs"):
+            planted_star_undirected(5, 100, star_degree=2)

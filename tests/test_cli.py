@@ -87,3 +87,93 @@ class TestCommands:
         assert "Figure 1" in out
         assert "Z_4 = 011110101000011" in out
         assert "Figure 3" in out
+
+
+class TestStreamFileOptions:
+    def _run_args(self, extra):
+        return ["run", "--workload", "star", "--n", "64", "--m", "256",
+                "--d", "16", "--alpha", "2"] + extra
+
+    @pytest.mark.parametrize("suffix", ["txt", "npz"])
+    def test_save_then_replay_roundtrip(self, capsys, tmp_path, suffix):
+        path = tmp_path / f"workload.{suffix}"
+        code = main(self._run_args(["--save-stream", str(path)]))
+        assert code == 0
+        saved_out = capsys.readouterr().out
+        assert f"stream saved to {path}" in saved_out
+        assert path.exists()
+        code = main(["run", "--stream-file", str(path), "--d", "16",
+                     "--alpha", "2"])
+        assert code == 0
+        replay_out = capsys.readouterr().out
+        assert f"file {path}" in replay_out
+        assert "verified against ground truth: OK" in replay_out
+
+    def test_missing_stream_file_reports_error(self, capsys, tmp_path):
+        code = main(["run", "--stream-file", str(tmp_path / "absent.npz")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stream_file_with_save_stream_rejected(self, capsys, tmp_path):
+        existing = tmp_path / "in.npz"
+        assert main(self._run_args(["--save-stream", str(existing)])) == 0
+        capsys.readouterr()
+        code = main(["run", "--stream-file", str(existing),
+                     "--save-stream", str(tmp_path / "out.npz")])
+        assert code == 2
+        assert "persist convert" in capsys.readouterr().err
+        assert not (tmp_path / "out.npz").exists()
+
+    def test_failure_reason_is_reported(self, capsys, tmp_path):
+        # d far above any degree in the stream: the algorithm fails and
+        # the CLI must surface the diagnostic, not a bare "fail".
+        path = tmp_path / "tiny.txt"
+        path.write_text("# feww-stream v1 n=4 m=4\n+ 0 1\n+ 1 2\n")
+        code = main(["run", "--stream-file", str(path), "--d", "100",
+                     "--alpha", "2"])
+        assert code == 1
+        assert "algorithm reported fail: all 2 parallel runs failed" in (
+            capsys.readouterr().out
+        )
+
+    def test_custom_chunk_size(self, capsys):
+        code = main(self._run_args(["--chunk-size", "13"]))
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestPersistCommands:
+    def _make_file(self, tmp_path, suffix="npz"):
+        path = tmp_path / f"workload.{suffix}"
+        assert main(["run", "--workload", "churn", "--algorithm",
+                     "insertion-deletion", "--n", "32", "--m", "64",
+                     "--d", "8", "--scale", "0.3",
+                     "--save-stream", str(path)]) == 0
+        return path
+
+    def test_info_reports_format_and_stats(self, capsys, tmp_path):
+        path = self._make_file(tmp_path)
+        code = main(["persist", "info", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "feww-stream v2" in out
+        assert "deletes=" in out
+
+    def test_convert_v2_to_v1_and_back(self, capsys, tmp_path):
+        source = self._make_file(tmp_path)
+        text = tmp_path / "copy.txt"
+        assert main(["persist", "convert", str(source), str(text)]) == 0
+        assert "feww-stream v1" in capsys.readouterr().out
+        back = tmp_path / "copy.npz"
+        assert main(["persist", "convert", str(text), str(back)]) == 0
+        assert "feww-stream v2" in capsys.readouterr().out
+        from repro.streams.persist import load_stream
+
+        assert list(load_stream(source)) == list(load_stream(back))
+
+    def test_info_on_garbage_reports_error(self, capsys, tmp_path):
+        junk = tmp_path / "junk.txt"
+        junk.write_text("not a stream\n")
+        code = main(["persist", "info", str(junk)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
