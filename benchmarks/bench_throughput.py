@@ -15,7 +15,10 @@ Algorithm 2 (equivalence of the two paths is covered by
 tests/integration/test_batch_equivalence.py).
 """
 
+import os
+import tempfile
 import time
+from pathlib import Path
 
 from repro.baselines import (
     CountMinSketch,
@@ -27,14 +30,16 @@ from repro.baselines import (
 from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.insertion_deletion import InsertionDeletionFEwW
 from repro.core.star_detection import StarDetection
-from repro.engine import FanoutRunner
+from repro.engine import FanoutRunner, ShardedRunner
 from repro.streams.adapters import bipartite_double_cover_columnar
 from repro.streams.columnar import ColumnarEdgeStream
 from repro.streams.generators import (
     GeneratorConfig,
     planted_star_undirected,
+    zipf_frequency_columnar,
     zipf_frequency_stream,
 )
+from repro.streams.persist import dump_stream
 
 from _tables import fmt, render_table
 
@@ -55,6 +60,34 @@ STAR_ALPHA = 4
 STAR_EPS = 3.0
 STAR_UPDATES = 1_000_000
 REQUIRED_STAR_SPEEDUP = 3.0
+
+#: Multi-core pass: Algorithm 2 over a 10^6-update Zipf stream read
+#: from a memory-mapped v2 file, sharded across worker processes.  The
+#: 4-worker run must beat single-core by this factor — but only on
+#: hosts that actually have the cores (scripts/bench_quick.py records
+#: the host's effective core count alongside the rates).
+SHARDED_UPDATES = 1_000_000
+SHARDED_WORKERS = (1, 2, 4)
+REQUIRED_SHARDED_SPEEDUP = 1.5
+SHARDED_GATE_MIN_CORES = 4
+
+
+def effective_cores() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def sharded_gate_applies() -> bool:
+    """The 1.5x multi-core bar only binds where it can physically be
+    met: enough cores AND a working fork backend (ShardedRunner falls
+    back to serial execution — correct answers, no parallelism —
+    on platforms without fork)."""
+    from repro.engine.sharded import fork_available
+
+    return effective_cores() >= SHARDED_GATE_MIN_CORES and fork_available()
 
 
 def make_stream(records: int = RECORDS):
@@ -142,6 +175,55 @@ def measure_star_rates(cover: ColumnarEdgeStream, repeats: int = 1):
     return len(cover) / best_item, len(cover) / best_batch
 
 
+def make_sharded_file(
+    destination: Path,
+    n_updates: int = SHARDED_UPDATES,
+    seed: int = 61,
+) -> Path:
+    """Persist the sharded-pass workload as a v2 (NPZ) stream file."""
+    columnar = zipf_frequency_columnar(
+        GeneratorConfig(n=N, m=n_updates, seed=seed), n_updates, exponent=1.4
+    )
+    dump_stream(columnar, destination, format="v2")
+    return destination
+
+
+def measure_sharded_rates(path: Path, worker_counts=SHARDED_WORKERS):
+    """Algorithm 2 throughput at each worker count, mmap-fed from disk.
+
+    Workers read the file themselves (no data IPC).  Every worker count
+    must succeed and report a neighbourhood meeting the ``d/alpha``
+    witness threshold (Algorithm 2 returns *any* successful run's
+    answer, so different worker counts may legitimately name different
+    heavy vertices — the guarantee, not the identity, is asserted; the
+    bit-level equivalences live in
+    tests/integration/test_sharded_equivalence.py).
+    """
+    import math
+
+    from repro.streams.persist import ChunkedStreamReader
+
+    n_updates = len(ChunkedStreamReader(path, mmap=True))
+    rates = {}
+    for workers in worker_counts:
+        runner = ShardedRunner(
+            {"alg2": InsertionOnlyFEwW(N, D, ALPHA, seed=3)},
+            n_workers=workers,
+            chunk_size=CHUNK,
+            mmap=True,
+        )
+        start = time.perf_counter()
+        results = runner.run(path)
+        elapsed = time.perf_counter() - start
+        rates[workers] = n_updates / elapsed
+        answer = results["alg2"]
+        assert answer is not None, f"{workers}-worker run failed"
+        assert answer.size >= math.ceil(D / ALPHA), (
+            f"{workers}-worker answer below threshold: {answer.size}"
+        )
+    return rates
+
+
 def test_e17_throughput(benchmark):
     stream = make_stream()
     columnar = ColumnarEdgeStream.from_edge_stream(stream)
@@ -205,3 +287,45 @@ def test_e18_star_detection_end_to_end(benchmark):
         detector.process(cover)
 
     benchmark(run_once)
+
+
+def test_e19_sharded_throughput(benchmark):
+    """E19 — multi-core sharded pass vs single core, mmap-fed from disk.
+
+    A reduced-size (10^5-update) version of the acceptance workload so
+    the benchmark suite stays quick; scripts/bench_quick.py records the
+    full 10^6-update run in BENCH_throughput.json.  The 1.5x speedup
+    gate only applies on hosts with enough cores to deliver it.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        path = make_sharded_file(Path(tmp) / "zipf.npz", n_updates=100_000)
+        rates = measure_sharded_rates(path)
+        rows = [
+            (f"{workers} worker(s)", fmt(rates[workers] / 1000, 1),
+             fmt(rates[workers] / rates[1], 2))
+            for workers in sorted(rates)
+        ]
+        print(
+            render_table(
+                f"E19 / sharded throughput — Algorithm 2, mmap v2 file, "
+                f"{effective_cores()} effective core(s)",
+                ("configuration", "k-upd/s", "speedup vs 1"),
+                rows,
+            )
+        )
+        if sharded_gate_applies():
+            speedup = rates[max(rates)] / rates[1]
+            assert speedup >= REQUIRED_SHARDED_SPEEDUP, (
+                f"sharded speedup {speedup:.2f}x < "
+                f"{REQUIRED_SHARDED_SPEEDUP}x with {max(rates)} workers"
+            )
+
+        def run_once():
+            ShardedRunner(
+                {"alg2": InsertionOnlyFEwW(N, D, ALPHA, seed=3)},
+                n_workers=2,
+                chunk_size=CHUNK,
+                mmap=True,
+            ).run(path)
+
+        benchmark(run_once)

@@ -1,23 +1,34 @@
-"""Quick throughput benchmark: per-item vs engine (batch) ingestion.
+"""Quick throughput benchmark: per-item vs engine (batch) vs sharded.
 
 Reuses the contender list and measurement loops from
 ``benchmarks/bench_throughput.py`` (single source of truth for the
 workloads and the acceptance bars), runs
 
 * the standard Zipf workload through every streaming structure in both
-  modes, and
+  modes,
 * end-to-end Star Detection (the full Lemma 3.3 degree-guess ladder
   over a 10^6-update bipartite double cover) per-item vs as a single
-  engine pass,
+  engine pass, and
+* the multi-core pass: Algorithm 2 over a 10^6-update Zipf stream
+  persisted as a v2 file and memory-mapped, through a ShardedRunner at
+  1, 2 and 4 workers,
 
 then writes a ``BENCH_throughput.json`` artifact (by default into the
 repository root) so the performance trajectory can be tracked across
-PRs.  Exits non-zero if the batch engine loses its required speedup on
-the hash-heavy sketches / Algorithm 2 (5x) or on end-to-end star
-detection (3x).
+PRs.  Every entry carries host metadata (python, machine, effective
+core count) and the sharded entries carry their worker counts.
+
+Exits non-zero if the batch engine loses its required speedup on the
+hash-heavy sketches / Algorithm 2 (5x), on end-to-end star detection
+(3x), or — on hosts with at least 4 effective cores — if the 4-worker
+sharded pass drops below 1.5x single-core.
 
 Run:  PYTHONPATH=src python scripts/bench_quick.py [--records N]
-          [--star-updates N | --skip-star] [--out PATH]
+          [--star-updates N | --skip-star]
+          [--sharded-updates N | --skip-sharded] [--smoke] [--out PATH]
+
+``--smoke`` shrinks every workload and disables the speedup gates — the
+CI-sized sanity pass that still exercises all three pipelines.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -37,15 +49,22 @@ from bench_throughput import (  # noqa: E402 (needs the path tweak above)
     D,
     N,
     REQUIRED_ON,
+    REQUIRED_SHARDED_SPEEDUP,
     REQUIRED_SPEEDUP,
     REQUIRED_STAR_SPEEDUP,
+    SHARDED_GATE_MIN_CORES,
+    SHARDED_WORKERS,
+    sharded_gate_applies,
     STAR_ALPHA,
     STAR_DEGREE,
     STAR_EPS,
     STAR_VERTICES,
+    effective_cores,
+    make_sharded_file,
     make_star_cover,
     make_stream,
     measure_rates,
+    measure_sharded_rates,
     measure_star_rates,
 )
 
@@ -59,10 +78,29 @@ def main() -> int:
     parser.add_argument("--star-updates", type=int, default=1_000_000)
     parser.add_argument("--skip-star", action="store_true",
                         help="skip the end-to-end star detection pass")
+    parser.add_argument("--sharded-updates", type=int, default=1_000_000)
+    parser.add_argument("--skip-sharded", action="store_true",
+                        help="skip the multi-core sharded pass")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: tiny workloads, no speedup gates")
     parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_throughput.json"
     )
     args = parser.parse_args()
+
+    if args.smoke:
+        args.records = min(args.records, 4000)
+        args.star_updates = min(args.star_updates, 50_000)
+        args.sharded_updates = min(args.sharded_updates, 50_000)
+        args.repeats = 1
+
+    cores = effective_cores()
+    host = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "effective_cores": cores,
+    }
 
     stream = make_stream(args.records)
     columnar = ColumnarEdgeStream.from_edge_stream(stream)
@@ -84,15 +122,23 @@ def main() -> int:
             "alpha": ALPHA,
             "chunk_size": CHUNK,
             "repeats": args.repeats,
+            "smoke": args.smoke,
         },
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        "host": host,
+        # kept for backwards compatibility with older artifact readers
+        "python": host["python"],
+        "machine": host["machine"],
         "results": results,
     }
 
     if not args.skip_star:
         cover = make_star_cover(n_updates=args.star_updates)
         star_item, star_batch = measure_star_rates(cover)
+        star_row = {
+            "item_updates_per_s": star_item,
+            "batch_updates_per_s": star_batch,
+            "batch_speedup": star_batch / star_item,
+        }
         artifact["star_detection"] = {
             "config": {
                 "n_vertices": STAR_VERTICES,
@@ -102,14 +148,35 @@ def main() -> int:
                 "updates": len(cover),
                 "guesses": "geometric ladder over [1, n]",
             },
-            "item_updates_per_s": star_item,
-            "batch_updates_per_s": star_batch,
-            "batch_speedup": star_batch / star_item,
+            **star_row,
         }
-        results["StarDetection (end-to-end)"] = {
-            "item_updates_per_s": star_item,
-            "batch_updates_per_s": star_batch,
-            "batch_speedup": star_batch / star_item,
+        results["StarDetection (end-to-end)"] = dict(star_row)
+
+    sharded_rates = None
+    if not args.skip_sharded:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = make_sharded_file(
+                Path(tmp) / "sharded.npz", n_updates=args.sharded_updates
+            )
+            sharded_rates = measure_sharded_rates(path, SHARDED_WORKERS)
+        artifact["sharded"] = {
+            "config": {
+                "n": N,
+                "d": D,
+                "alpha": ALPHA,
+                "updates": args.sharded_updates,
+                "chunk_size": CHUNK,
+                "source": "v2 file, mmap, workers self-read",
+            },
+            "host": host,
+            "entries": [
+                {
+                    "workers": workers,
+                    "updates_per_s": sharded_rates[workers],
+                    "speedup_vs_single": sharded_rates[workers] / sharded_rates[1],
+                }
+                for workers in sorted(sharded_rates)
+            ],
         }
 
     args.out.write_text(json.dumps(artifact, indent=2) + "\n")
@@ -123,7 +190,18 @@ def main() -> int:
             f"{row['batch_updates_per_s'] / 1e3:14.1f} "
             f"{row['batch_speedup']:7.1f}x"
         )
+    if sharded_rates is not None:
+        print(f"\nsharded Algorithm 2 ({args.sharded_updates} updates, "
+              f"mmap v2 file, {cores} effective core(s)):")
+        for workers in sorted(sharded_rates):
+            print(f"  {workers} worker(s): "
+                  f"{sharded_rates[workers] / 1e3:10.1f} k-upd/s "
+                  f"({sharded_rates[workers] / sharded_rates[1]:.2f}x vs 1)")
     print(f"\nartifact written to {args.out}")
+
+    if args.smoke:
+        print("smoke mode: speedup gates skipped")
+        return 0
 
     failed = [
         name
@@ -136,10 +214,24 @@ def main() -> int:
             failed.append(
                 f"StarDetection (end-to-end, {REQUIRED_STAR_SPEEDUP}x bar)"
             )
+    if sharded_rates is not None:
+        best = max(sharded_rates)
+        sharded_speedup = sharded_rates[best] / sharded_rates[1]
+        if sharded_gate_applies():
+            if sharded_speedup < REQUIRED_SHARDED_SPEEDUP:
+                failed.append(
+                    f"ShardedRunner ({best} workers, "
+                    f"{REQUIRED_SHARDED_SPEEDUP}x bar)"
+                )
+        else:
+            print(
+                f"sharded gate skipped: needs >= {SHARDED_GATE_MIN_CORES} "
+                f"effective cores (host has {cores}) and a fork-capable "
+                f"platform (rates recorded regardless)"
+            )
     if failed:
         print(
-            "FAIL: batch speedup below the required bar for: "
-            + ", ".join(failed),
+            "FAIL: speedup below the required bar for: " + ", ".join(failed),
             file=sys.stderr,
         )
         return 1

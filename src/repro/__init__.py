@@ -36,9 +36,12 @@ from repro.core import (
 )
 from repro.engine import (
     FanoutRunner,
+    MergeableStreamProcessor,
+    ShardedRunner,
     StreamProcessor,
     as_chunks,
     run_fanout,
+    run_sharded,
 )
 from repro.streams import (
     DELETE,
@@ -93,8 +96,10 @@ __all__ = [
     "InsertionDeletionFEwW",
     "InsertionOnlyFEwW",
     "LabelCodec",
+    "MergeableStreamProcessor",
     "Neighbourhood",
     "SamplingStrategy",
+    "ShardedRunner",
     "StarDetection",
     "StarDetectionResult",
     "StreamItem",
@@ -120,6 +125,7 @@ __all__ = [
     "random_bipartite_columnar",
     "random_bipartite_graph",
     "run_fanout",
+    "run_sharded",
     "social_network_stream",
     "stream_from_edges",
     "verify_neighbourhood",

@@ -9,6 +9,7 @@ supports deletions (strict turnstile).
 
 from __future__ import annotations
 
+import copy
 import math
 import random
 from typing import List, Optional
@@ -28,6 +29,10 @@ class CountMinSketch:
         delta: failure probability per query.
         seed: hash seed.
     """
+
+    #: Linear sketch: same-seed shards merge bit-identically for any
+    #: stream split (see :mod:`repro.engine.protocol`).
+    shard_routing = "any"
 
     def __init__(self, epsilon: float, delta: float, seed: int | None = None) -> None:
         if not 0 < epsilon < 1:
@@ -106,8 +111,14 @@ class CountMinSketch:
 
         Valid only when both sketches were built with the same seed
         (identical hash functions); the merged sketch answers queries
-        for the concatenated stream with the usual guarantee.
+        for the concatenated stream with the usual guarantee.  The
+        table is linear, so sharded-then-merged equals single-pass cell
+        for cell.
         """
+        if not isinstance(other, CountMinSketch):
+            raise ValueError(
+                f"cannot merge CountMinSketch with {type(other).__name__}"
+            )
         if not self.shares_hashes_with(other):
             raise ValueError(
                 "sketches use different hash functions; construct both "
@@ -119,6 +130,14 @@ class CountMinSketch:
         merged._hashes = self._hashes
         merged._table = self._table + other._table
         return merged
+
+    def split(self, n_shards: int) -> List["CountMinSketch"]:
+        """``n_shards`` zeroed same-hash shard sketches (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._table.any():
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     def space_words(self) -> int:
         """All counters plus one hash per row."""

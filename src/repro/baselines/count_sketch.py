@@ -8,6 +8,7 @@ boosted by the median.  Supports turnstile updates.
 
 from __future__ import annotations
 
+import copy
 import math
 import random
 import statistics
@@ -28,6 +29,10 @@ class CountSketch:
         rows: number of rows (median boosting); odd values recommended.
         seed: hash seed.
     """
+
+    #: Linear sketch: same-seed shards merge bit-identically for any
+    #: stream split (see :mod:`repro.engine.protocol`).
+    shard_routing = "any"
 
     def __init__(self, width: int, rows: int = 5, seed: int | None = None) -> None:
         if width < 1:
@@ -100,6 +105,51 @@ class CountSketch:
                 self._sign(row_index, item) * int(self._table[row_index, bucket])
             )
         return round(statistics.median(values))
+
+    def shares_hashes_with(self, other: "CountSketch") -> bool:
+        """True when both sketches use identical bucket and sign hashes
+        (a precondition for merging)."""
+        if (self.width, self.rows) != (other.width, other.rows):
+            return False
+        return all(
+            mine.coefficients == theirs.coefficients
+            for mine, theirs in zip(
+                self._bucket_hashes + self._sign_hashes,
+                other._bucket_hashes + other._sign_hashes,
+            )
+        )
+
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Cell-wise sum of two sketches over disjoint sub-streams.
+
+        Valid only when both sketches were built with the same seed
+        (identical bucket and sign hashes); the table is linear, so
+        sharded-then-merged equals single-pass cell for cell.
+        """
+        if not isinstance(other, CountSketch):
+            raise ValueError(
+                f"cannot merge CountSketch with {type(other).__name__}"
+            )
+        if not self.shares_hashes_with(other):
+            raise ValueError(
+                "sketches use different hash functions; construct both "
+                "with the same seed to merge"
+            )
+        merged = CountSketch.__new__(CountSketch)
+        merged.width = self.width
+        merged.rows = self.rows
+        merged._bucket_hashes = self._bucket_hashes
+        merged._sign_hashes = self._sign_hashes
+        merged._table = self._table + other._table
+        return merged
+
+    def split(self, n_shards: int) -> List["CountSketch"]:
+        """``n_shards`` zeroed same-hash shard sketches (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._table.any():
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     def space_words(self) -> int:
         """All counters plus two hashes per row."""

@@ -20,10 +20,12 @@ write.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.baselines.misra_gries import fold_counters
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
 from repro.spacemeter import edge_words, vertex_words
 from repro.streams.edge import INSERT, StreamItem
@@ -38,6 +40,11 @@ class MisraGriesWithWitnesses:
         max_witnesses: cap on stored witnesses per tracked item; caps the
             space at ``O(k * max_witnesses)`` words.
     """
+
+    #: The counters merge like Misra-Gries for any stream split; the
+    #: witness lists stay best-effort either way (that is the point of
+    #: this heuristic).
+    shard_routing = "any"
 
     def __init__(self, k: int, max_witnesses: int) -> None:
         if k < 1:
@@ -109,6 +116,59 @@ class MisraGriesWithWitnesses:
         """Engine hook (:class:`repro.engine.StreamProcessor`): the
         summary stays queryable, so finalize returns the summary itself."""
         return self
+
+    def merge(self, other: "MisraGriesWithWitnesses") -> "MisraGriesWithWitnesses":
+        """Misra-Gries merge of the counters, best-effort witness union.
+
+        Counters are added key-wise and folded with the standard
+        mergeable-summaries cutoff; surviving items keep the union of
+        both witness lists (duplicates removed, clipped to
+        ``max_witnesses``), and evicted items' witnesses are counted as
+        lost — the same failure mode the per-item decrement exhibits.
+        """
+        if not isinstance(other, MisraGriesWithWitnesses):
+            raise ValueError(
+                f"cannot merge MisraGriesWithWitnesses with "
+                f"{type(other).__name__}"
+            )
+        if (self.k, self.max_witnesses) != (other.k, other.max_witnesses):
+            raise ValueError(
+                f"cannot merge (k={self.k}, max_witnesses="
+                f"{self.max_witnesses}) with (k={other.k}, "
+                f"max_witnesses={other.max_witnesses})"
+            )
+        combined: Dict[int, int] = dict(self._counters)
+        for item, count in other._counters.items():
+            combined[item] = combined.get(item, 0) + count
+        combined = fold_counters(combined, self.k)
+        witnesses: Dict[int, List[int]] = {}
+        lost = self.witnesses_lost + other.witnesses_lost
+        for item in set(self._witnesses) | set(other._witnesses):
+            stored = list(self._witnesses.get(item, []))
+            seen = set(stored)
+            extra = [
+                witness
+                for witness in other._witnesses.get(item, [])
+                if witness not in seen
+            ]
+            stored.extend(extra)
+            if item in combined:
+                witnesses[item] = stored[: self.max_witnesses]
+                lost += len(stored) - len(witnesses[item])
+            else:
+                lost += len(stored)
+        self._counters = combined
+        self._witnesses = witnesses
+        self.witnesses_lost = lost
+        return self
+
+    def split(self, n_shards: int) -> List["MisraGriesWithWitnesses"]:
+        """``n_shards`` empty same-config shard summaries (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._counters:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     def estimate(self, item: int) -> int:
         """Classical Misra–Gries frequency lower bound."""

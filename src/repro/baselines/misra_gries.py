@@ -10,12 +10,32 @@ FEwW.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.streams.edge import DELETE, StreamItem
 from repro.streams.stream import EdgeStream
+
+
+def fold_counters(combined: Dict[int, int], k: int) -> Dict[int, int]:
+    """The mergeable-summaries ``k``-limit (Agarwal et al.): when more
+    than ``k`` counters survive a key-wise addition, subtract the
+    (k+1)-st largest count from all and drop the non-positive ones.
+
+    Shared by Misra-Gries batch ingestion, :meth:`MisraGries.merge`,
+    and the witness-carrying heuristic's merge — one copy of the subtle
+    cutoff rule.
+    """
+    if len(combined) > k:
+        cutoff = sorted(combined.values(), reverse=True)[k]
+        combined = {
+            item: count - cutoff
+            for item, count in combined.items()
+            if count > cutoff
+        }
+    return combined
 
 
 class MisraGries:
@@ -25,6 +45,10 @@ class MisraGries:
         k: number of counters; guarantees error at most ``L / (k+1)``
             on a length-``L`` stream.
     """
+
+    #: Counter summaries are classically mergeable for any stream split
+    #: (see :mod:`repro.engine.protocol`).
+    shard_routing = "any"
 
     def __init__(self, k: int) -> None:
         if k < 1:
@@ -91,15 +115,12 @@ class MisraGries:
         combined: Dict[int, int] = dict(self._counters)
         for item, count in zip(items.tolist(), counts.tolist()):
             combined[item] = combined.get(item, 0) + count
-        if len(combined) > self.k:
-            cutoff = sorted(combined.values(), reverse=True)[self.k]
-            combined = {
-                item: count - cutoff
-                for item, count in combined.items()
-                if count > cutoff
-            }
-        self._counters = combined
+        self._counters = self._fold(combined)
         self._length += len(a)
+
+    def _fold(self, combined: Dict[int, int]) -> Dict[int, int]:
+        """Apply :func:`fold_counters` with this summary's ``k``."""
+        return fold_counters(combined, self.k)
 
     def process(self, stream: EdgeStream) -> "MisraGries":
         for item in stream:
@@ -141,22 +162,27 @@ class MisraGries:
         ``error <= L_total / (k+1)`` guarantee for the concatenated
         stream.  Both summaries must have the same ``k``.
         """
+        if not isinstance(other, MisraGries):
+            raise ValueError(
+                f"cannot merge MisraGries with {type(other).__name__}"
+            )
         if self.k != other.k:
             raise ValueError(f"cannot merge k={self.k} with k={other.k}")
         combined: Dict[int, int] = dict(self._counters)
         for item, count in other._counters.items():
             combined[item] = combined.get(item, 0) + count
-        if len(combined) > self.k:
-            cutoff = sorted(combined.values(), reverse=True)[self.k]
-            combined = {
-                item: count - cutoff
-                for item, count in combined.items()
-                if count > cutoff
-            }
         merged = MisraGries(self.k)
-        merged._counters = combined
+        merged._counters = self._fold(combined)
         merged._length = self._length + other._length
         return merged
+
+    def split(self, n_shards: int) -> List["MisraGries"]:
+        """``n_shards`` empty same-``k`` shard summaries (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._length:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     def space_words(self) -> int:
         """Two words per counter (item id + count) plus the length."""

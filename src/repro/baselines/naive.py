@@ -11,6 +11,7 @@ Two trivial ways to solve FEwW, bracketing the paper's algorithms:
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Set
 
 import numpy as np
@@ -24,6 +25,10 @@ from repro.streams.stream import EdgeStream
 
 class FullStorage:
     """Store the whole graph; answer any FEwW query exactly."""
+
+    #: An edge's final membership depends on its whole update history,
+    #: so shards must own vertices outright (see repro.engine.protocol).
+    shard_routing = "vertex"
 
     def __init__(self, n: int, m: int) -> None:
         self.n = n
@@ -98,6 +103,34 @@ class FullStorage:
         stored graph stays queryable, so finalize returns the store."""
         return self
 
+    def merge(self, other: "FullStorage") -> "FullStorage":
+        """Union of two stores over vertex-disjoint sub-streams.
+
+        Under vertex routing every A-vertex's updates live in exactly
+        one shard, so the union of the per-shard neighbour sets is the
+        exact final graph (bit-identical to a single pass).
+        """
+        if not isinstance(other, FullStorage):
+            raise ValueError(
+                f"cannot merge FullStorage with {type(other).__name__}"
+            )
+        if (self.n, self.m) != (other.n, other.m):
+            raise ValueError(
+                f"cannot merge FullStorage over ({self.n},{self.m}) with "
+                f"({other.n},{other.m})"
+            )
+        for vertex, witnesses in other._neighbours.items():
+            self._neighbours.setdefault(vertex, set()).update(witnesses)
+        return self
+
+    def split(self, n_shards: int) -> List["FullStorage"]:
+        """``n_shards`` empty same-dimension shard stores (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._neighbours:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
+
     def space_words(self) -> int:
         stored = sum(len(witnesses) for witnesses in self._neighbours.values())
         return vertex_words(len(self._neighbours)) + edge_words(stored)
@@ -110,6 +143,10 @@ class FirstKWitnessCollector:
     ``n * k`` witnesses — the "no sampling" strawman whose space the
     benchmarks compare to Algorithm 2's ``n^{1/α} d`` term.
     """
+
+    #: First-k witnesses are a per-vertex prefix of arrival order, so
+    #: shards must own vertices outright (see repro.engine.protocol).
+    shard_routing = "vertex"
 
     def __init__(self, n: int, k: int) -> None:
         if k < 1:
@@ -178,6 +215,47 @@ class FirstKWitnessCollector:
         """Engine hook (:class:`repro.engine.StreamProcessor`): the
         collector stays queryable, so finalize returns itself."""
         return self
+
+    def merge(self, other: "FirstKWitnessCollector") -> "FirstKWitnessCollector":
+        """Union of two collectors over vertex-disjoint sub-streams.
+
+        Under vertex routing each vertex's first-``k`` prefix is
+        computed entirely inside its owning shard, so the union is
+        bit-identical to a single pass.  If a vertex somehow occurs in
+        both operands (non-vertex-routed use), degrees are summed and
+        the witness lists are concatenated with duplicates removed, then
+        clipped to ``k`` — the CoreDiag-style dedup-at-merge rule.
+        """
+        if not isinstance(other, FirstKWitnessCollector):
+            raise ValueError(
+                f"cannot merge FirstKWitnessCollector with "
+                f"{type(other).__name__}"
+            )
+        if (self.n, self.k) != (other.n, other.k):
+            raise ValueError(
+                f"cannot merge collector (n={self.n}, k={self.k}) with "
+                f"(n={other.n}, k={other.k})"
+            )
+        for vertex, degree in other._degrees.items():
+            self._degrees[vertex] = self._degrees.get(vertex, 0) + degree
+        for vertex, witnesses in other._witnesses.items():
+            stored = self._witnesses.setdefault(vertex, [])
+            seen = set(stored)
+            for witness in witnesses:
+                if len(stored) >= self.k:
+                    break
+                if witness not in seen:
+                    stored.append(witness)
+                    seen.add(witness)
+        return self
+
+    def split(self, n_shards: int) -> List["FirstKWitnessCollector"]:
+        """``n_shards`` empty same-``k`` shard collectors (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._degrees:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     def space_words(self) -> int:
         stored = sum(len(witnesses) for witnesses in self._witnesses.values())

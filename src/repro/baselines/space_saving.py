@@ -7,6 +7,7 @@ overcounts by at most the minimum counter, which is at most ``L / k``.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -21,6 +22,10 @@ class SpaceSaving:
     Args:
         k: number of counters; overestimate error is at most ``L/k``.
     """
+
+    #: Counter summaries are classically mergeable for any stream split
+    #: (see :mod:`repro.engine.protocol`).
+    shard_routing = "any"
 
     def __init__(self, k: int) -> None:
         if k < 1:
@@ -109,6 +114,67 @@ class SpaceSaving:
             for item, count in self._counters.items()
             if count >= threshold
         )
+
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Combine two summaries of disjoint sub-streams (mergeability).
+
+        The classical mergeable-summaries construction (Agarwal et al.):
+        each item's merged estimate adds its per-summary estimates, where
+        an item untracked by a full summary contributes that summary's
+        minimum counter (an upper bound on its true count there); then
+        only the ``k`` largest merged counters are kept.  The merged
+        summary still brackets every item's true count:
+        ``true <= estimate <= true + L_total / k``.  Both summaries must
+        have the same ``k``.
+        """
+        if not isinstance(other, SpaceSaving):
+            raise ValueError(
+                f"cannot merge SpaceSaving with {type(other).__name__}"
+            )
+        if self.k != other.k:
+            raise ValueError(f"cannot merge k={self.k} with k={other.k}")
+        # A summary that never filled up tracks every item it saw, so an
+        # untracked item's true count there is 0, not the minimum counter.
+        floor_self = (
+            min(self._counters.values()) if len(self._counters) >= self.k else 0
+        )
+        floor_other = (
+            min(other._counters.values()) if len(other._counters) >= other.k else 0
+        )
+        combined: Dict[int, int] = {}
+        overestimates: Dict[int, int] = {}
+        for item in set(self._counters) | set(other._counters):
+            mine = self._counters.get(item)
+            theirs = other._counters.get(item)
+            estimate = (mine if mine is not None else floor_self) + (
+                theirs if theirs is not None else floor_other
+            )
+            certified = 0
+            if mine is not None:
+                certified += mine - self._overestimates.get(item, 0)
+            if theirs is not None:
+                certified += theirs - other._overestimates.get(item, 0)
+            combined[item] = estimate
+            overestimates[item] = estimate - certified
+        if len(combined) > self.k:
+            kept = sorted(combined, key=combined.__getitem__, reverse=True)[
+                : self.k
+            ]
+            combined = {item: combined[item] for item in kept}
+            overestimates = {item: overestimates[item] for item in kept}
+        merged = SpaceSaving(self.k)
+        merged._counters = combined
+        merged._overestimates = overestimates
+        merged._length = self._length + other._length
+        return merged
+
+    def split(self, n_shards: int) -> List["SpaceSaving"]:
+        """``n_shards`` empty same-``k`` shard summaries (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._length:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     def space_words(self) -> int:
         """Three words per counter (item, count, overestimate) + length."""

@@ -4,8 +4,11 @@ Subcommands:
 
 * ``run`` — build a workload (generated, or loaded with
   ``--stream-file``), stream it through the batch execution engine
-  (:class:`~repro.engine.FanoutRunner`), print the verified result and
-  space accounting; ``--save-stream`` persists the workload for replay;
+  (:class:`~repro.engine.FanoutRunner`, or a multi-core
+  :class:`~repro.engine.ShardedRunner` with ``--workers N``), print the
+  verified result and space accounting; ``--save-stream`` persists the
+  workload for replay; ``--mmap`` memory-maps a v2 stream file so
+  larger-than-RAM workloads stream without materialising;
 * ``persist`` — inspect (``info``) and convert (``convert``) persisted
   stream files between the v1 text and v2 columnar NPZ formats;
 * ``bounds`` — print the paper's predicted space bounds for given
@@ -19,6 +22,7 @@ Examples::
     python -m repro run --workload churn --algorithm insertion-deletion
     python -m repro run --workload zipf --save-stream zipf.npz
     python -m repro run --stream-file zipf.npz --d 64
+    python -m repro run --stream-file zipf.npz --d 64 --workers 4 --mmap
     python -m repro persist info zipf.npz
     python -m repro persist convert zipf.npz zipf.txt
     python -m repro bounds --n 4096 --d 128 --alpha 2
@@ -35,7 +39,8 @@ from typing import List, Optional
 from repro.core.insertion_deletion import InsertionDeletionFEwW
 from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.neighbourhood import AlgorithmFailed, verify_neighbourhood
-from repro.engine import FanoutRunner
+from repro.engine import FanoutRunner, ShardedRunner
+from repro.engine.sharded import ShardedWorkerError
 from repro.streams.columnar import DEFAULT_CHUNK_SIZE, ColumnarEdgeStream
 from repro.streams.generators import (
     GeneratorConfig,
@@ -46,6 +51,7 @@ from repro.streams.generators import (
     zipf_frequency_stream,
 )
 from repro.streams.persist import (
+    ChunkedStreamReader,
     StreamFormatError,
     detect_version,
     dump_stream,
@@ -87,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "(.npz suffix selects the columnar v2 format)")
     run.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
                      help="updates per engine chunk")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes; >1 shards the stream through "
+                          "a multiprocessing ShardedRunner and merges the "
+                          "per-shard summaries")
+    run.add_argument("--mmap", action="store_true",
+                     help="memory-map the v2 stream file instead of loading "
+                          "it (requires --stream-file; the out-of-core path)")
 
     persist = subparsers.add_parser(
         "persist", help="inspect and convert persisted stream files"
@@ -159,41 +172,108 @@ def command_run(args: argparse.Namespace) -> int:
               "use `persist convert` to re-encode an existing stream file",
               file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.mmap and args.stream_file is None:
+        print("error: --mmap requires --stream-file (it memory-maps a "
+              "persisted v2 stream)", file=sys.stderr)
+        return 2
+    stream: Optional[ColumnarEdgeStream] = None
     try:
-        stream = _load_run_stream(args)
+        if args.mmap:
+            # Out-of-core path: only the zip directory and npy headers
+            # are touched here; chunks page in during the engine pass.
+            reader = ChunkedStreamReader(args.stream_file, mmap=True)
+            if reader.version != 2:
+                print("error: --mmap requires a v2 (NPZ) stream file; "
+                      "convert with `persist convert`", file=sys.stderr)
+                return 2
+            n, m = reader.n, reader.m
+            print(f"file {args.stream_file} (mmap): feww-stream v2 "
+                  f"n={n} m={m}, {len(reader)} updates")
+        else:
+            stream = _load_run_stream(args)
+            n, m = stream.n, stream.m
+            source_label = (
+                f"file {args.stream_file}" if args.stream_file is not None
+                else f"workload '{args.workload}'"
+            )
+            print(f"{source_label}: {stream.stats()}")
     except (StreamFormatError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    source = (
-        f"file {args.stream_file}" if args.stream_file is not None
-        else f"workload '{args.workload}'"
-    )
-    d = args.d if args.workload != "zipf" or args.stream_file else stream.max_degree()
-    print(f"{source}: {stream.stats()}")
+    d = args.d
+    if args.workload == "zipf" and args.stream_file is None:
+        d = stream.max_degree()
     if args.algorithm == "insertion-only":
-        if not stream.insertion_only:
+        # In mmap mode the check pages in just the sign column — still
+        # far cheaper than crashing mid-run on the first deletion.
+        source_is_insertion_only = (
+            stream.insertion_only if stream is not None
+            else reader.insertion_only
+        )
+        if not source_is_insertion_only:
             print("error: workload contains deletions; "
                   "use --algorithm insertion-deletion", file=sys.stderr)
             return 2
-        algorithm = InsertionOnlyFEwW(stream.n, d, args.alpha, seed=args.seed)
+        algorithm = InsertionOnlyFEwW(n, d, args.alpha, seed=args.seed)
     else:
         algorithm = InsertionDeletionFEwW(
-            stream.n, stream.m, d, args.alpha, seed=args.seed, scale=args.scale
+            n, m, d, args.alpha, seed=args.seed, scale=args.scale
         )
-    # One engine pass; the runner generalises to N structures per pass.
+    # One engine pass; the runners generalise to N structures per pass.
     # result() is queried directly (not via finalize) so the failure
     # diagnostics reach the user.
-    runner = FanoutRunner({"algorithm": algorithm}, chunk_size=args.chunk_size)
-    runner.process(stream)
+    try:
+        if args.workers > 1:
+            # Workers read stream files themselves (no data IPC);
+            # generated workloads stream through per-worker queues.
+            source = (
+                args.stream_file if args.stream_file is not None else stream
+            )
+            sharded = ShardedRunner(
+                {"algorithm": algorithm},
+                n_workers=args.workers,
+                chunk_size=args.chunk_size,
+                mmap=args.mmap,
+            )
+            sharded.run(source)
+            algorithm = sharded["algorithm"]
+            print(f"sharded over {args.workers} workers "
+                  f"(routing: {sharded.routing()!r})")
+        else:
+            runner = FanoutRunner({"algorithm": algorithm},
+                                  chunk_size=args.chunk_size)
+            runner.process(reader if args.mmap else stream)
+    except (StreamFormatError, OSError) as error:
+        # mmap readers defer range validation to chunk iteration, so a
+        # corrupt file can surface here rather than at open time.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ShardedWorkerError as error:
+        # A sharded worker reports its failure with structured cause
+        # info; keep the friendly exit path for input problems (stream
+        # format, I/O), propagate real bugs.
+        if error.is_stream_error:
+            print(f"error: cannot stream {args.stream_file}: "
+                  f"{error.cause_type} in worker:\n{error}", file=sys.stderr)
+            return 2
+        raise
     try:
         result = algorithm.result()
     except AlgorithmFailed as failure:
         print(f"algorithm reported fail: {failure}")
         return 1
-    verify_neighbourhood(result, stream.to_edge_stream(), d, args.alpha)
     print(f"reported: {result}")
-    print(f"threshold d/alpha = {d / args.alpha:.1f}; verified against "
-          f"ground truth: OK")
+    if stream is not None:
+        verify_neighbourhood(result, stream.to_edge_stream(), d, args.alpha)
+        print(f"threshold d/alpha = {d / args.alpha:.1f}; verified against "
+              f"ground truth: OK")
+    else:
+        print(f"threshold d/alpha = {d / args.alpha:.1f}; ground-truth "
+              f"verification skipped (mmap mode never materialises the "
+              f"stream)")
     print(f"space: {algorithm.space_words()} words")
     print(algorithm.space_breakdown())
     return 0

@@ -26,6 +26,7 @@ This class supports two usage modes:
 
 from __future__ import annotations
 
+import copy
 import random
 from typing import Dict, List, Optional
 
@@ -54,6 +55,11 @@ class DegResSampling:
             :meth:`process_item`; when False the caller must drive
             :meth:`observe_edge`.
     """
+
+    #: Degree counts and residency-window witness collection are exact
+    #: only when each vertex's updates stay in one shard (see
+    #: repro.engine.protocol).
+    shard_routing = "vertex"
 
     def __init__(
         self,
@@ -244,6 +250,68 @@ class DegResSampling:
         for item in stream:
             self.process_item(item)
         return self
+
+    # ------------------------------------------------------------------
+    # Mergeable-summary layer.
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "DegResSampling") -> "DegResSampling":
+        """Combine two runs over vertex-disjoint sub-streams.
+
+        Candidate counts add; the merged reservoir is the union of both
+        shard reservoirs (vertex routing makes the keys disjoint — each
+        vertex crossed ``d1`` in exactly one shard).  Witness lists of a
+        vertex somehow present in both are deduplicated at merge time
+        and clipped to ``d2``.  The union holds up to ``n_shards * s``
+        vertices — the classical mergeable-summaries space tradeoff —
+        and each shard's sample is a faithful Algorithm 1 run over its
+        sub-stream, so Lemma 3.1's success bound applies per shard.
+        """
+        if not isinstance(other, DegResSampling):
+            raise ValueError(
+                f"cannot merge DegResSampling with {type(other).__name__}"
+            )
+        if (self.n, self.d1, self.d2, self.s) != (
+            other.n,
+            other.d1,
+            other.d2,
+            other.s,
+        ):
+            raise ValueError(
+                f"cannot merge Deg-Res-Sampling(n={self.n}, d1={self.d1}, "
+                f"d2={self.d2}, s={self.s}) with (n={other.n}, "
+                f"d1={other.d1}, d2={other.d2}, s={other.s})"
+            )
+        if (self._degrees is None) != (other._degrees is None):
+            raise ValueError(
+                "cannot merge a standalone run (own_degrees=True) with an "
+                "externally driven one"
+            )
+        if self._degrees is not None and other._degrees is not None:
+            self._degrees.merge(other._degrees)
+        self._candidates_seen += other._candidates_seen
+        for vertex, witnesses in other._reservoir.items():
+            stored = self._reservoir.get(vertex)
+            if stored is None:
+                self._reservoir[vertex] = list(witnesses)
+                self._resident.append(vertex)
+            else:
+                seen = set(stored)
+                stored.extend(
+                    witness for witness in witnesses if witness not in seen
+                )
+                del stored[self.d2:]
+        return self
+
+    def split(self, n_shards: int) -> List["DegResSampling"]:
+        """``n_shards`` empty same-parameter shard runs (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._candidates_seen or (
+            self._degrees is not None and self._degrees.max_degree() > 0
+        ):
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     # ------------------------------------------------------------------
     # Output.

@@ -28,6 +28,7 @@ distributionally equivalent accelerated bank (``"fast"``, default — see
 
 from __future__ import annotations
 
+import copy
 import math
 import random
 from enum import Enum
@@ -91,6 +92,11 @@ class InsertionDeletionFEwW:
         sampler_mode: ``"fast"`` or ``"exact"`` ℓ₀-sampler banks.
     """
 
+    #: Every sampler bank is a linear sketch of its update vector, so
+    #: same-seed shards merge bit-identically for any stream split (see
+    #: repro.engine.protocol).
+    shard_routing = "any"
+
     def __init__(
         self,
         n: int,
@@ -136,6 +142,7 @@ class InsertionDeletionFEwW:
             )
 
         self._result_cache: Optional[Dict[int, Set[int]]] = None
+        self._updates_seen = 0
 
     # ------------------------------------------------------------------
     # Stream processing.
@@ -144,6 +151,7 @@ class InsertionDeletionFEwW:
     def process_item(self, item: StreamItem) -> None:
         """Route one signed update into both sampling structures."""
         self._result_cache = None
+        self._updates_seen += 1
         edge = item.edge
         if edge.a >= self.n or edge.b >= self.m:
             raise ValueError(f"edge {edge} out of range for ({self.n}, {self.m})")
@@ -168,6 +176,7 @@ class InsertionDeletionFEwW:
         identical to item-by-item processing.
         """
         self._result_cache = None
+        self._updates_seen += len(a)
         a = np.ascontiguousarray(a, dtype=np.int64)
         b = np.ascontiguousarray(b, dtype=np.int64)
         if sign is None:
@@ -211,6 +220,64 @@ class InsertionDeletionFEwW:
         for item in stream:
             self.process_item(item)
         return self
+
+    # ------------------------------------------------------------------
+    # Mergeable-summary layer.
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "InsertionDeletionFEwW") -> "InsertionDeletionFEwW":
+        """Combine two Algorithm 3 states over disjoint sub-streams.
+
+        Both operands must be split from the same seeded instance (same
+        sampled vertex set ``A'``, same sampler seeds).  All sampler
+        banks are linear, so the merged state — and with it every
+        query-time sample — is bit-identical to a single pass over the
+        concatenated stream; cross-shard insert/delete cancellations
+        resolve at merge time.
+        """
+        if not isinstance(other, InsertionDeletionFEwW):
+            raise ValueError(
+                f"cannot merge InsertionDeletionFEwW with "
+                f"{type(other).__name__}"
+            )
+        if (self.n, self.m, self.d, self.alpha, self.strategy) != (
+            other.n,
+            other.m,
+            other.d,
+            other.alpha,
+            other.strategy,
+        ):
+            raise ValueError(
+                f"cannot merge Algorithm 3 (n={self.n}, m={self.m}, "
+                f"d={self.d}, alpha={self.alpha}, "
+                f"strategy={self.strategy.value}) with (n={other.n}, "
+                f"m={other.m}, d={other.d}, alpha={other.alpha}, "
+                f"strategy={other.strategy.value})"
+            )
+        if set(self._vertex_banks) != set(other._vertex_banks):
+            raise ValueError(
+                "cannot merge Algorithm 3 states with different sampled "
+                "vertex sets; split both from the same seeded instance"
+            )
+        for vertex, bank in self._vertex_banks.items():
+            bank.merge(other._vertex_banks[vertex])
+        if (self._edge_bank is None) != (other._edge_bank is None):
+            raise ValueError(
+                "cannot merge Algorithm 3 states with mismatched edge banks"
+            )
+        if self._edge_bank is not None and other._edge_bank is not None:
+            self._edge_bank.merge(other._edge_bank)
+        self._result_cache = None
+        self._updates_seen += other._updates_seen
+        return self
+
+    def split(self, n_shards: int) -> List["InsertionDeletionFEwW"]:
+        """``n_shards`` empty same-seed shard instances (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._updates_seen:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     # ------------------------------------------------------------------
     # Output.

@@ -17,6 +17,7 @@ Theorem 3.2 needs, and a ``d2``-witness output meets the required
 
 from __future__ import annotations
 
+import copy
 import math
 import random
 from typing import List, Optional
@@ -50,6 +51,12 @@ class InsertionOnlyFEwW:
         reservoir_override: replace the default ``ceil(ln n * n^{1/α})``
             reservoir size (used by ablation benchmarks).
     """
+
+    #: The paper's Algorithm 2 shards by vertex hash: the shared degree
+    #: table and every run's residency-window witness collection stay
+    #: exact inside each vertex's owning shard (see
+    #: repro.engine.protocol).
+    shard_routing = "vertex"
 
     def __init__(
         self,
@@ -149,6 +156,55 @@ class InsertionOnlyFEwW:
         for item in stream:
             self.process_item(item)
         return self
+
+    # ------------------------------------------------------------------
+    # Mergeable-summary layer.
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "InsertionOnlyFEwW") -> "InsertionOnlyFEwW":
+        """Combine two Algorithm 2 states over vertex-disjoint sub-streams.
+
+        The shared degree tables add (exact under vertex routing) and
+        each of the α parallel runs merges with its counterpart
+        (reservoir union, witnesses deduplicated and clipped at merge
+        time).  Every shard is a faithful Algorithm 2 execution over its
+        sub-stream, so Theorem 3.2's success bound holds for the shard
+        owning the promised heavy vertex — the merged state answers with
+        at least that probability.
+        """
+        if not isinstance(other, InsertionOnlyFEwW):
+            raise ValueError(
+                f"cannot merge InsertionOnlyFEwW with {type(other).__name__}"
+            )
+        if (self.n, self.d, self.alpha, self.s) != (
+            other.n,
+            other.d,
+            other.alpha,
+            other.s,
+        ):
+            raise ValueError(
+                f"cannot merge Algorithm 2 (n={self.n}, d={self.d}, "
+                f"alpha={self.alpha}, s={self.s}) with (n={other.n}, "
+                f"d={other.d}, alpha={other.alpha}, s={other.s})"
+            )
+        self._degrees.merge(other._degrees)
+        for mine, theirs in zip(self.runs, other.runs):
+            mine.merge(theirs)
+        return self
+
+    def split(self, n_shards: int) -> List["InsertionOnlyFEwW"]:
+        """``n_shards`` empty same-parameter shard instances.
+
+        Shards replicate the seed-derived run RNGs, so a sharded
+        execution is reproducible; under vertex routing the shards'
+        reservoirs sample disjoint candidate sets, so replicated coins
+        never correlate answers across shards.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._degrees.max_degree() > 0:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     # ------------------------------------------------------------------
     # Output.

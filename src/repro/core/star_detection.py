@@ -25,6 +25,7 @@ implementation; the two are bit-identical (equivalence-tested).
 
 from __future__ import annotations
 
+import copy
 import math
 import random
 from dataclasses import dataclass
@@ -162,6 +163,7 @@ class StarDetection:
                     sampler_mode=sampler_mode,
                 )
             self._runs.append((guess, algorithm))
+        self._updates_seen = 0
 
     # ------------------------------------------------------------------
     # Stream processing.
@@ -205,6 +207,7 @@ class StarDetection:
 
     def process_item(self, item: StreamItem) -> None:
         """Reference per-item path: feed one doubled update to every run."""
+        self._updates_seen += 1
         for _, algorithm in self._runs:
             algorithm.process_item(item)  # type: ignore[attr-defined]
 
@@ -229,6 +232,7 @@ class StarDetection:
         b = np.ascontiguousarray(b, dtype=np.int64)
         if len(a) == 0:
             return
+        self._updates_seen += len(a)
         if self.model == "insertion-only":
             if sign is not None and np.any(sign != INSERT):
                 raise ValueError(
@@ -243,6 +247,58 @@ class StarDetection:
         else:
             for _, algorithm in self._runs:
                 algorithm.process_batch(a, b, sign)  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Mergeable-summary layer.
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_routing(self):
+        """Inherited from the per-guess algorithm: Algorithm 2 shards by
+        vertex hash, Algorithm 3's linear sketches accept any split."""
+        return "vertex" if self.model == "insertion-only" else "any"
+
+    def merge(self, other: "StarDetection") -> "StarDetection":
+        """Merge every degree guess's run with its counterpart.
+
+        Both operands must be split from the same seeded wrapper (same
+        guess ladder, same per-guess seeds); each rung merges via its
+        algorithm's own rule, so the wrapper inherits the per-algorithm
+        sharding guarantees rung by rung.
+        """
+        if not isinstance(other, StarDetection):
+            raise ValueError(
+                f"cannot merge StarDetection with {type(other).__name__}"
+            )
+        if (
+            self.n_vertices,
+            self.alpha,
+            self.eps,
+            self.model,
+            self.guesses,
+        ) != (
+            other.n_vertices,
+            other.alpha,
+            other.eps,
+            other.model,
+            other.guesses,
+        ):
+            raise ValueError(
+                "cannot merge Star Detection wrappers with different "
+                "parameters; split both from the same seeded instance"
+            )
+        for (_, mine), (_, theirs) in zip(self._runs, other._runs):
+            mine.merge(theirs)  # type: ignore[attr-defined]
+        self._updates_seen += other._updates_seen
+        return self
+
+    def split(self, n_shards: int) -> List["StarDetection"]:
+        """``n_shards`` empty same-seed shard wrappers (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._updates_seen:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     # ------------------------------------------------------------------
     # Output.

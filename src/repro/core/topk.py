@@ -17,6 +17,7 @@ E14 measures it.
 
 from __future__ import annotations
 
+import copy
 import math
 from typing import List, Optional
 
@@ -38,6 +39,10 @@ class TopKFEwW:
         k: maximum number of neighbourhoods to report.
         seed: RNG seed.
     """
+
+    #: Thin wrapper over Algorithm 2, which shards by vertex hash (see
+    #: repro.engine.protocol).
+    shard_routing = "vertex"
 
     def __init__(self, n: int, d: int, alpha: int, k: int,
                  seed: int | None = None) -> None:
@@ -86,6 +91,30 @@ class TopKFEwW:
         for a, b, sign in as_chunks(stream):
             self.process_batch(a, b, sign)
         return self
+
+    def merge(self, other: "TopKFEwW") -> "TopKFEwW":
+        """Merge the scaled inner Algorithm 2 states (vertex routing).
+
+        :meth:`results` already deduplicates candidate neighbourhoods by
+        vertex, so the union of shard reservoirs ranks exactly like a
+        single-core reservoir holding the same candidates.
+        """
+        if not isinstance(other, TopKFEwW):
+            raise ValueError(
+                f"cannot merge TopKFEwW with {type(other).__name__}"
+            )
+        if self.k != other.k:
+            raise ValueError(f"cannot merge k={self.k} with k={other.k}")
+        self._inner.merge(other._inner)
+        return self
+
+    def split(self, n_shards: int) -> List["TopKFEwW"]:
+        """``n_shards`` empty same-seed shard wrappers (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._inner._degrees.max_degree() > 0:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
 
     def results(self) -> List[Neighbourhood]:
         """Up to ``k`` distinct-vertex neighbourhoods of size ≥ ceil(d/α),

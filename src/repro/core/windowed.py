@@ -48,7 +48,10 @@ class TumblingWindowFEwW:
         d: per-window degree threshold.
         alpha: approximation factor.
         window: window length in stream updates.
-        seed: master seed; each window's instance gets a derived seed.
+        seed: master seed; each window's instance gets a derived seed
+            (a function of the *global* window index, which is what lets
+            sharded executions reproduce single-core window results
+            bit for bit).
     """
 
     def __init__(self, n: int, d: int, alpha: int, window: int,
@@ -60,10 +63,20 @@ class TumblingWindowFEwW:
         self.alpha = alpha
         self.window = window
         self._seed = seed if seed is not None else 0
-        self._updates = 0
+        #: global index of the window currently being filled, and how
+        #: far to jump when it closes (a shard produced by :meth:`split`
+        #: owns windows ``offset, offset + stride, ...``).
         self._window_index = 0
+        self._stride = 1
+        self._updates_in_window = 0
         self._current = self._fresh_instance()
         self._completed: List[WindowResult] = []
+
+    @property
+    def shard_routing(self):
+        """Updates must be routed by global stream position in blocks of
+        ``window`` (see repro.engine.protocol)."""
+        return ("window", self.window)
 
     def _fresh_instance(self) -> InsertionOnlyFEwW:
         derived = (self._seed * 1_000_003 + self._window_index) & 0xFFFFFFFF
@@ -74,15 +87,17 @@ class TumblingWindowFEwW:
             neighbourhood: Optional[Neighbourhood] = self._current.result()
         except AlgorithmFailed:
             neighbourhood = None
+        start = self._window_index * self.window
         self._completed.append(
             WindowResult(
                 window_index=self._window_index,
-                start_update=self._window_index * self.window,
-                end_update=self._updates,
+                start_update=start,
+                end_update=start + self._updates_in_window,
                 neighbourhood=neighbourhood,
             )
         )
-        self._window_index += 1
+        self._window_index += self._stride
+        self._updates_in_window = 0
         self._current = self._fresh_instance()
 
     def process_item(self, item: StreamItem) -> None:
@@ -90,8 +105,8 @@ class TumblingWindowFEwW:
         if item.is_delete:
             raise ValueError("tumbling-window FEwW is insertion-only")
         self._current.process_item(item)
-        self._updates += 1
-        if self._updates % self.window == 0:
+        self._updates_in_window += 1
+        if self._updates_in_window == self.window:
             self._close_window()
 
     def process_batch(
@@ -107,7 +122,9 @@ class TumblingWindowFEwW:
         windows are closed exactly where the per-item path would close
         them — so the sequence of (instance, updates) pairs, and with it
         every window's result, is bit-identical to item-at-a-time
-        processing at any chunk size.
+        processing at any chunk size.  A shard produced by :meth:`split`
+        must be fed exactly the updates of its own windows, in order
+        (what a ShardedRunner's window routing does).
         """
         if sign is not None and np.any(sign != INSERT):
             raise ValueError("tumbling-window FEwW is insertion-only")
@@ -115,13 +132,13 @@ class TumblingWindowFEwW:
         b = np.ascontiguousarray(b, dtype=np.int64)
         position, n_items = 0, len(a)
         while position < n_items:
-            room = self.window - (self._updates % self.window)
+            room = self.window - self._updates_in_window
             take = min(room, n_items - position)
             stop = position + take
             self._current.process_batch(a[position:stop], b[position:stop])
-            self._updates += take
+            self._updates_in_window += take
             position = stop
-            if self._updates % self.window == 0:
+            if self._updates_in_window == self.window:
                 self._close_window()
 
     def process(self, stream) -> "TumblingWindowFEwW":
@@ -137,9 +154,77 @@ class TumblingWindowFEwW:
         return self
 
     def flush(self) -> None:
-        """Close the in-progress window early (end of stream)."""
-        if self._updates % self.window != 0 or self._updates == 0:
+        """Close the in-progress window early (end of stream).
+
+        A no-op when the last window closed exactly at a boundary —
+        except on a completely untouched instance, where (matching the
+        pre-sharding semantics) it records one empty window.
+        """
+        if self._updates_in_window > 0 or (
+            not self._completed and self._window_index == 0
+        ):
             self._close_window()
+
+    # ------------------------------------------------------------------
+    # Mergeable-summary layer.
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "TumblingWindowFEwW") -> "TumblingWindowFEwW":
+        """Interleave the window results of two shards.
+
+        Each operand's in-progress window (if it received updates) is
+        flushed first; the merged instance then holds the union of all
+        completed windows in global order.  Windows are seeded by global
+        index and each is processed wholly by one shard, so the merged
+        result list is bit-identical to a single-core run over the
+        concatenated stream.
+        """
+        if not isinstance(other, TumblingWindowFEwW):
+            raise ValueError(
+                f"cannot merge TumblingWindowFEwW with {type(other).__name__}"
+            )
+        if (self.n, self.d, self.alpha, self.window, self._seed) != (
+            other.n,
+            other.d,
+            other.alpha,
+            other.window,
+            other._seed,
+        ):
+            raise ValueError(
+                "cannot merge tumbling-window wrappers with different "
+                "parameters or seeds; split both from the same instance"
+            )
+        if self._updates_in_window > 0:
+            self._close_window()
+        if other._updates_in_window > 0:
+            other._close_window()
+        self._completed = sorted(
+            self._completed + other._completed,
+            key=lambda result: result.window_index,
+        )
+        return self
+
+    def split(self, n_shards: int) -> List["TumblingWindowFEwW"]:
+        """``n_shards`` shards, shard ``j`` owning windows ``j, j + n, ...``.
+
+        Each shard derives the same per-window seeds a single-core run
+        would, so window results are reproduced exactly no matter which
+        shard computes them.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._updates_in_window or self._completed or self._window_index:
+            raise RuntimeError("split() must be called before processing")
+        shards = []
+        for offset in range(n_shards):
+            shard = TumblingWindowFEwW(
+                self.n, self.d, self.alpha, self.window, seed=self._seed
+            )
+            shard._window_index = offset
+            shard._stride = n_shards
+            shard._current = shard._fresh_instance()
+            shards.append(shard)
+        return shards
 
     def finalize(self) -> List[WindowResult]:
         """Engine hook (:class:`repro.engine.StreamProcessor`): flush the

@@ -10,17 +10,44 @@ structures in a single pass.
 
 This replaces the per-wrapper driver loops that previously lived in
 star detection (one pass *per degree guess*), top-k, tumbling windows,
-the CLI, and the benchmarks, and is the substrate for multi-core chunk
-pipelining.
+the CLI, and the benchmarks.
+
+On top of the protocol sits the mergeable-summary layer
+(``merge``/``split``/``shard_routing`` on every structure) and
+:class:`ShardedRunner`, which partitions the stream across a
+``multiprocessing`` worker pool — each worker a
+:class:`FanoutRunner` over its shard — and merges the shard summaries
+back into the single-core answers (see :mod:`repro.engine.sharded`).
 """
 
-from repro.engine.protocol import StreamProcessor, ensure_stream_processor
+from repro.engine.protocol import (
+    SHARD_ANY,
+    SHARD_BY_VERTEX,
+    SHARD_BY_WINDOW,
+    MergeableStreamProcessor,
+    StreamProcessor,
+    combined_routing,
+    ensure_mergeable,
+    ensure_stream_processor,
+    shard_routing_of,
+)
 from repro.engine.runner import FanoutRunner, as_chunks, run_fanout
+from repro.engine.sharded import ShardedRunner, run_sharded, vertex_shard
 
 __all__ = [
     "FanoutRunner",
+    "MergeableStreamProcessor",
+    "SHARD_ANY",
+    "SHARD_BY_VERTEX",
+    "SHARD_BY_WINDOW",
+    "ShardedRunner",
     "StreamProcessor",
     "as_chunks",
+    "combined_routing",
+    "ensure_mergeable",
     "ensure_stream_processor",
     "run_fanout",
+    "run_sharded",
+    "shard_routing_of",
+    "vertex_shard",
 ]

@@ -1,0 +1,623 @@
+"""Sharded parallel execution: a multi-core :class:`FanoutRunner`.
+
+:class:`ShardedRunner` turns the single-pass batch engine into a
+parallel one.  Every registered structure is :meth:`split
+<repro.engine.protocol.MergeableStreamProcessor.split>` into
+``n_workers`` independent shard instances; a pool of worker processes
+each runs a :class:`~repro.engine.runner.FanoutRunner` over its shard
+of the stream; the shard summaries stream back to the parent, which
+:meth:`merge <repro.engine.protocol.MergeableStreamProcessor.merge>`\\ s
+them and finalizes — the classical mergeable-summaries execution plan
+(Agarwal et al.) applied to every structure in the library.
+
+How the stream is partitioned is dictated by the structures themselves
+through their ``shard_routing`` metadata (see
+:mod:`repro.engine.protocol`):
+
+* ``"any"`` — chunks are dealt round-robin (linear sketches and counter
+  summaries merge correctly for any split);
+* ``"vertex"`` — updates are routed by a hash of the A-endpoint, so
+  degree counts and residency-window witness collection stay exact
+  inside each vertex's owning shard (Algorithms 1–2, witness
+  baselines);
+* ``("window", w)`` — updates are routed by global stream position in
+  blocks of ``w`` (the tumbling-window wrapper, whose per-window
+  instances are seeded by global window index).
+
+A run registers processors with *compatible* routings only (``"any"``
+composes with either of the others; vertex and window routing cannot
+share one partition).
+
+Two execution backends:
+
+* ``"process"`` (default) — a ``fork``-based worker pool.  For
+  *file sources* every worker opens the persisted stream itself
+  (optionally memory-mapped) and filters its own sub-stream, so no
+  update data ever crosses a pipe — the out-of-core path: a
+  multi-gigabyte v2 file streams through ``n_workers`` cores without
+  being materialised anywhere.  For in-memory sources the parent
+  routes chunks to bounded per-worker queues (backpressure included).
+  On platforms without ``fork`` the runner falls back to the serial
+  backend (same answers, no parallelism).
+* ``"serial"`` — the identical split/route/merge pipeline executed in
+  process, one shard at a time.  Useful for tests, debugging, and
+  single-core hosts; answers are identical to the process backend.
+
+With ``n_workers=1`` the runner degenerates to a plain
+:class:`~repro.engine.runner.FanoutRunner` pass (no split, no merge) —
+the single-core reference path the equivalence suite compares against.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import traceback
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.protocol import (
+    SHARD_ANY,
+    SHARD_BY_VERTEX,
+    ShardRouting,
+    combined_routing,
+    ensure_mergeable,
+    shard_routing_of,
+)
+from repro.engine.runner import FanoutRunner, as_chunks
+from repro.streams.columnar import DEFAULT_CHUNK_SIZE, Columns
+
+#: Fibonacci multiplier (golden-ratio reciprocal in 64 bits) for the
+#: vertex-hash shard route.
+_FIB = np.uint64(0x9E3779B97F4A7C15)
+_SHIFT = np.uint64(33)
+
+#: Bounded per-worker chunk queue length (backpressure for in-memory
+#: sources much larger than what the workers can absorb).
+_QUEUE_DEPTH = 8
+
+BACKENDS = ("process", "serial")
+
+
+class ShardedWorkerError(RuntimeError):
+    """A shard worker failed; carries structured cause information.
+
+    ``cause_type`` is the original exception class name;
+    ``is_stream_error`` is True for input problems (stream format,
+    I/O) that callers like the CLI handle with a friendly message
+    rather than a traceback.
+    """
+
+    def __init__(
+        self, message: str, cause_type: str, is_stream_error: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.cause_type = cause_type
+        self.is_stream_error = is_stream_error
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None where unsupported."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def fork_available() -> bool:
+    """True when the process backend can actually run in parallel here."""
+    return _fork_context() is not None
+
+
+def _describe_error(exc: BaseException) -> Tuple[str, bool, str]:
+    """Structured worker-failure report: (class name, is-stream-error,
+    formatted traceback)."""
+    from repro.streams.persist import StreamFormatError
+
+    return (
+        type(exc).__name__,
+        isinstance(exc, (StreamFormatError, OSError)),
+        traceback.format_exc(),
+    )
+
+
+def vertex_shard(a: np.ndarray, n_shards: int) -> np.ndarray:
+    """Shard id of every A-endpoint: a fixed multiplicative (Fibonacci)
+    hash, deterministic across runs, processes and platforms."""
+    mixed = (np.asarray(a).astype(np.uint64) * _FIB) >> _SHIFT
+    return (mixed % np.uint64(n_shards)).astype(np.int64)
+
+
+def _shard_ids(
+    chunk: Columns,
+    routing: ShardRouting,
+    n_workers: int,
+    chunk_index: int,
+    position: int,
+):
+    """Shard assignment for one chunk: a per-update id array for masked
+    routings, or the single owning worker (int) for whole-chunk
+    round-robin.  The one copy of the routing arithmetic — file-pool
+    and queue-pool workers must stay bit-identical.
+    """
+    if routing == SHARD_ANY:
+        return chunk_index % n_workers
+    a = chunk[0]
+    if routing == SHARD_BY_VERTEX:
+        return vertex_shard(a, n_workers)
+    window = routing[1]  # ("window", w): global-position window index
+    return (
+        (position + np.arange(len(a), dtype=np.int64)) // window
+    ) % n_workers
+
+
+def _mask_select(chunk: Columns, mask: np.ndarray) -> Optional[Columns]:
+    if not mask.any():
+        return None
+    if mask.all():
+        return chunk
+    a, b, sign = chunk
+    return a[mask], b[mask], None if sign is None else sign[mask]
+
+
+def route_chunk(
+    chunk: Columns,
+    routing: ShardRouting,
+    worker: int,
+    n_workers: int,
+    chunk_index: int,
+    position: int,
+) -> Optional[Columns]:
+    """The sub-chunk of ``chunk`` that worker ``worker`` must process.
+
+    ``chunk_index`` and ``position`` are the chunk's ordinal and the
+    global position of its first update (both ignored unless the
+    routing needs them).  Returns ``None`` when nothing in the chunk is
+    routed to this worker.
+    """
+    ids = _shard_ids(chunk, routing, n_workers, chunk_index, position)
+    if isinstance(ids, int):
+        return chunk if ids == worker else None
+    return _mask_select(chunk, ids == worker)
+
+
+def route_chunk_all(
+    chunk: Columns,
+    routing: ShardRouting,
+    n_workers: int,
+    chunk_index: int,
+    position: int,
+) -> List[Optional[Columns]]:
+    """Every worker's sub-chunk in one pass.
+
+    Computes the shard-id array once per chunk instead of once per
+    worker — the parent process is the routing bottleneck for
+    queue-fed runs, so the hash/division work must not scale with the
+    worker count.
+    """
+    ids = _shard_ids(chunk, routing, n_workers, chunk_index, position)
+    if isinstance(ids, int):
+        return [chunk if worker == ids else None for worker in range(n_workers)]
+    return [
+        _mask_select(chunk, ids == worker) for worker in range(n_workers)
+    ]
+
+
+def _drive(
+    shard: Dict[str, Any],
+    source: Any,
+    routing: ShardRouting,
+    worker: int,
+    n_workers: int,
+    chunk_size: int,
+    mmap: bool,
+) -> Dict[str, Any]:
+    """Run one shard's FanoutRunner over its routed sub-stream."""
+    runner = FanoutRunner(shard, chunk_size=chunk_size)
+    if isinstance(source, (str, Path)):
+        from repro.streams.persist import ChunkedStreamReader
+
+        chunks = ChunkedStreamReader(source, mmap=mmap).chunks(chunk_size)
+    else:
+        chunks = as_chunks(source, chunk_size)
+    position = 0
+    for chunk_index, chunk in enumerate(chunks):
+        routed = route_chunk(
+            chunk, routing, worker, n_workers, chunk_index, position
+        )
+        position += len(chunk[0])
+        if routed is not None:
+            runner.process_chunk(*routed)
+    return dict(runner._processors)
+
+
+def _file_worker(args) -> Tuple[int, Any, Any]:
+    """Process-pool body for file sources: self-read, filter, return."""
+    worker, n_workers, shard, path, routing, chunk_size, mmap = args
+    try:
+        processors = _drive(
+            shard, path, routing, worker, n_workers, chunk_size, mmap
+        )
+        return worker, processors, None
+    except BaseException as exc:
+        return worker, None, _describe_error(exc)
+
+
+def _queue_worker(worker, shard, chunk_size, in_queue, out_queue) -> None:
+    """Process body for in-memory sources: consume routed chunks."""
+    try:
+        runner = FanoutRunner(shard, chunk_size=chunk_size)
+        while True:
+            chunk = in_queue.get()
+            if chunk is None:
+                break
+            runner.process_chunk(*chunk)
+        out_queue.put((worker, dict(runner._processors), None))
+    except BaseException as exc:
+        error = _describe_error(exc)
+        # Keep draining until the sentinel so the parent's bounded-queue
+        # puts never block on a worker that has stopped consuming.
+        while in_queue.get() is not None:
+            pass
+        out_queue.put((worker, None, error))
+
+
+class ShardedRunner:
+    """Multi-core counterpart of :class:`~repro.engine.runner.FanoutRunner`.
+
+    Args:
+        processors: optional initial ``name -> processor`` mapping; every
+            processor must implement the mergeable-summary layer
+            (``merge``/``split``/``shard_routing``).
+        n_workers: shard count = worker process count.
+        chunk_size: updates per chunk handed to ``process_batch``.
+        mmap: memory-map v2 stream files instead of loading them (file
+            sources only; the out-of-core path).
+        backend: ``"process"`` (fork pool; default) or ``"serial"``.
+
+    Usage::
+
+        runner = ShardedRunner({"alg2": InsertionOnlyFEwW(...)}, n_workers=4)
+        results = runner.run("workload.npz")   # same answers as FanoutRunner
+        merged = runner["alg2"]                # the merged processor
+    """
+
+    def __init__(
+        self,
+        processors: Optional[Mapping[str, Any]] = None,
+        *,
+        n_workers: int = 2,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        mmap: bool = False,
+        backend: str = "process",
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.n_workers = n_workers
+        self.chunk_size = chunk_size
+        self.mmap = mmap
+        self.backend = backend
+        self._processors: Dict[str, Any] = {}
+        self._merged: Dict[str, Any] = {}
+        if processors is not None:
+            for name, processor in processors.items():
+                self.add(name, processor)
+
+    # ------------------------------------------------------------------
+    # Registration.
+    # ------------------------------------------------------------------
+
+    def add(self, name: str, processor: Any) -> "ShardedRunner":
+        """Register a mergeable processor under ``name``; returns self."""
+        if name in self._processors:
+            raise ValueError(f"processor {name!r} already registered")
+        self._processors[name] = ensure_mergeable(processor, name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __getitem__(self, name: str) -> Any:
+        """The merged processor after :meth:`run` (the registered one
+        before)."""
+        if name in self._merged:
+            return self._merged[name]
+        return self._processors[name]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._processors)
+
+    def routing(self) -> ShardRouting:
+        """The single stream partition satisfying every processor."""
+        if not self._processors:
+            raise RuntimeError("no processors registered; call add() first")
+        return combined_routing(
+            [
+                shard_routing_of(processor, name)
+                for name, processor in self._processors.items()
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def run(self, source: Any, chunk_size: Optional[int] = None) -> Dict[str, Any]:
+        """Shard, execute, merge, finalize: ``name -> answer``.
+
+        Answers match a single-core
+        :class:`~repro.engine.runner.FanoutRunner` pass over the same
+        stream — bit-identically for the linear/exact structures,
+        guarantee-identically for the sampled/counter summaries (see
+        ``tests/integration/test_sharded_equivalence.py``).
+        """
+        if not self._processors:
+            raise RuntimeError("no processors registered; call add() first")
+        chunk_size = chunk_size or self.chunk_size
+        if self.mmap and not isinstance(source, (str, Path)):
+            raise ValueError(
+                "mmap streaming requires a stream-file path source"
+            )
+        routing = self.routing()
+        if self.n_workers == 1:
+            # Degenerate case: the exact single-core reference path.
+            runner = FanoutRunner(self._processors, chunk_size=chunk_size)
+            if self.mmap:
+                from repro.streams.persist import ChunkedStreamReader
+
+                source = ChunkedStreamReader(source, mmap=True)
+            runner.process(source, chunk_size)
+            self._merged = dict(self._processors)
+            return runner.finalize()
+
+        shards = self._split_shards()
+        if self.backend == "serial":
+            completed = self._run_serial(shards, source, routing, chunk_size)
+        else:
+            completed = self._run_processes(shards, source, routing, chunk_size)
+        return self._merge_and_finalize(completed)
+
+    def _merge_and_finalize(
+        self, completed: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        self._merged = {}
+        results = {}
+        for name in self._processors:
+            merged = completed[0][name]
+            for shard in completed[1:]:
+                merged = merged.merge(shard[name])
+            self._merged[name] = merged
+            results[name] = merged.finalize()
+        return results
+
+    def _split_shards(self) -> List[Dict[str, Any]]:
+        """Per-worker ``name -> shard processor`` dicts."""
+        shards: List[Dict[str, Any]] = [{} for _ in range(self.n_workers)]
+        for name, processor in self._processors.items():
+            for worker, piece in enumerate(processor.split(self.n_workers)):
+                shards[worker][name] = piece
+        return shards
+
+    def _run_serial(
+        self,
+        shards: List[Dict[str, Any]],
+        source: Any,
+        routing: ShardRouting,
+        chunk_size: int,
+    ) -> List[Dict[str, Any]]:
+        """The split/route/merge pipeline on one core (shard at a time).
+
+        In-memory sources may be consumed only once (chunk iterables),
+        so chunks are materialised and replayed per shard; file sources
+        are re-read per shard, exactly like the process backend.
+        """
+        if isinstance(source, (str, Path)):
+            mmap = self._worker_mmap(source)
+            return [
+                _drive(
+                    shard, source, routing, worker, self.n_workers,
+                    chunk_size, mmap,
+                )
+                for worker, shard in enumerate(shards)
+            ]
+        chunks = list(as_chunks(source, chunk_size))
+        return [
+            _drive(
+                shard, iter(chunks), routing, worker, self.n_workers,
+                chunk_size, False,
+            )
+            for worker, shard in enumerate(shards)
+        ]
+
+    def _worker_mmap(self, source) -> bool:
+        """Whether shard workers should memory-map ``source``.
+
+        Even without an explicit ``mmap=True``, every worker mapping a
+        stored v2 archive beats every worker eagerly loading its own
+        full copy of the columns — the workers then share one page
+        cache.  Compressed archives fall back to eager loading inside
+        the reader; v1 text is parsed incrementally either way.
+        """
+        if self.mmap:
+            return True
+        from repro.streams.persist import detect_version
+
+        try:
+            return detect_version(source) == 2
+        except OSError:
+            return False
+
+    def _run_processes(
+        self,
+        shards: List[Dict[str, Any]],
+        source: Any,
+        routing: ShardRouting,
+        chunk_size: int,
+    ) -> List[Dict[str, Any]]:
+        context = _fork_context()
+        if context is None:
+            # No fork on this platform: identical answers, one core.
+            return self._run_serial(shards, source, routing, chunk_size)
+        if isinstance(source, (str, Path)):
+            return self._run_file_pool(context, shards, source, routing, chunk_size)
+        return self._run_queue_pool(context, shards, source, routing, chunk_size)
+
+    def _run_file_pool(
+        self, context, shards, source, routing, chunk_size
+    ) -> List[Dict[str, Any]]:
+        """Workers read the stream file themselves — zero data IPC."""
+        mmap = self._worker_mmap(source)
+        tasks = [
+            (
+                worker,
+                self.n_workers,
+                shard,
+                str(source),
+                routing,
+                chunk_size,
+                mmap,
+            )
+            for worker, shard in enumerate(shards)
+        ]
+        with context.Pool(processes=self.n_workers) as pool:
+            outcomes = pool.map(_file_worker, tasks)
+        return self._collect(outcomes)
+
+    def _run_queue_pool(
+        self, context, shards, source, routing, chunk_size
+    ) -> List[Dict[str, Any]]:
+        """Parent routes chunks to bounded per-worker queues."""
+        in_queues = [
+            context.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.n_workers)
+        ]
+        out_queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_queue_worker,
+                args=(worker, shards[worker], chunk_size, in_queues[worker], out_queue),
+                daemon=True,
+            )
+            for worker in range(self.n_workers)
+        ]
+        for process in workers:
+            process.start()
+        clean = False
+        try:
+            position = 0
+            for chunk_index, chunk in enumerate(as_chunks(source, chunk_size)):
+                routed_all = route_chunk_all(
+                    chunk, routing, self.n_workers, chunk_index, position
+                )
+                for worker, routed in enumerate(routed_all):
+                    if routed is not None:
+                        self._put_alive(in_queues[worker], routed,
+                                        workers[worker], worker)
+                position += len(chunk[0])
+            for worker, queue in enumerate(in_queues):
+                self._put_alive(queue, None, workers[worker], worker)
+            outcomes = self._gather_outcomes(out_queue, workers)
+            clean = True
+        finally:
+            for process in workers:
+                # On an error path the surviving workers may still be
+                # blocked waiting for chunks that will never come —
+                # don't stall 30 s per worker before surfacing it.
+                if not clean and process.is_alive():
+                    process.terminate()
+                process.join(timeout=30)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5)
+        return self._collect(outcomes)
+
+    @staticmethod
+    def _put_alive(queue, item, process, worker) -> None:
+        """Bounded-queue put that notices a dead consumer.
+
+        A worker killed abnormally (OOM, segfault) never drains its
+        queue; an unconditional blocking put would hang the parent
+        forever once the queue fills.
+        """
+        while True:
+            try:
+                queue.put(item, timeout=1.0)
+                return
+            except queue_module.Full:
+                if not process.is_alive():
+                    raise RuntimeError(
+                        f"sharded worker {worker} terminated abnormally "
+                        f"(exit code {process.exitcode}) while the stream "
+                        f"was still being routed to it"
+                    ) from None
+
+    def _gather_outcomes(self, out_queue, workers):
+        """Collect one result per worker, noticing abnormal deaths.
+
+        A worker that hits a Python-level error reports it through the
+        queue; a worker killed by the OS never does, so waiting must
+        watch process liveness rather than block forever.
+        """
+        outcomes = []
+        pending = set(range(self.n_workers))
+        while pending:
+            try:
+                outcome = out_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [w for w in pending if not workers[w].is_alive()]
+                if dead:
+                    # Grace period: a result already sent may still be
+                    # in the pipe after the sender exited.
+                    try:
+                        outcome = out_queue.get(timeout=2.0)
+                    except queue_module.Empty:
+                        codes = {w: workers[w].exitcode for w in dead}
+                        raise RuntimeError(
+                            f"sharded worker(s) {sorted(dead)} terminated "
+                            f"abnormally without reporting a result "
+                            f"(exit codes {codes})"
+                        ) from None
+                else:
+                    continue
+            outcomes.append(outcome)
+            pending.discard(outcome[0])
+        return outcomes
+
+    def _collect(self, outcomes) -> List[Dict[str, Any]]:
+        """Order worker results 0..W-1, surfacing worker tracebacks."""
+        completed: List[Optional[Dict[str, Any]]] = [None] * self.n_workers
+        for worker, processors, error in outcomes:
+            if error is not None:
+                cause_type, is_stream_error, formatted = error
+                raise ShardedWorkerError(
+                    f"sharded worker {worker} failed:\n{formatted}",
+                    cause_type=cause_type,
+                    is_stream_error=is_stream_error,
+                )
+            completed[worker] = processors
+        return completed  # type: ignore[return-value]
+
+
+def run_sharded(
+    processors: Mapping[str, Any],
+    source: Any,
+    *,
+    n_workers: int = 2,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    mmap: bool = False,
+    backend: str = "process",
+) -> Dict[str, Any]:
+    """One-shot convenience: build a ShardedRunner, run it, return answers."""
+    return ShardedRunner(
+        processors,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        mmap=mmap,
+        backend=backend,
+    ).run(source)

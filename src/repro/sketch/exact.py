@@ -84,6 +84,24 @@ class DegreeCounter:
         """Largest current degree."""
         return int(self._degrees.max())
 
+    def merge(self, other: "DegreeCounter") -> "DegreeCounter":
+        """Element-wise sum of two counters over disjoint sub-streams.
+
+        Degrees are linear in the updates, so the merged table equals the
+        single-pass table bit for bit regardless of how the stream was
+        partitioned.
+        """
+        if not isinstance(other, DegreeCounter):
+            raise ValueError(
+                f"cannot merge DegreeCounter with {type(other).__name__}"
+            )
+        if self.n != other.n:
+            raise ValueError(
+                f"cannot merge DegreeCounter over n={self.n} with n={other.n}"
+            )
+        self._degrees += other._degrees
+        return self
+
     def space_words(self) -> int:
         """One counter word per A-vertex."""
         return self.n
@@ -132,6 +150,26 @@ class ExactSupport:
         for index, delta in zip(unique.tolist(), net.tolist()):
             if delta:
                 self.update(index, delta)
+
+    def merge(self, other: "ExactSupport") -> "ExactSupport":
+        """Coordinate-wise sum of two supports over disjoint sub-streams.
+
+        The tracked vector is linear, so the merged support equals the
+        support of the concatenated update stream exactly (cancellations
+        across shards drop out here, at merge time).
+        """
+        if not isinstance(other, ExactSupport):
+            raise ValueError(
+                f"cannot merge ExactSupport with {type(other).__name__}"
+            )
+        if self.dim != other.dim:
+            raise ValueError(
+                f"cannot merge ExactSupport over dim={self.dim} with "
+                f"dim={other.dim}"
+            )
+        for index, value in other._values.items():
+            self.update(index, value)
+        return self
 
     def support(self) -> List[int]:
         """Sorted list of non-zero coordinates."""

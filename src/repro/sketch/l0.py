@@ -124,6 +124,28 @@ class L0Sampler:
             if selected.any():
                 recovery.update_batch(indices[selected], deltas[selected])
 
+    def merge(self, other: "L0Sampler") -> "L0Sampler":
+        """Level-wise merge of two samplers over disjoint sub-streams.
+
+        Valid only for samplers split from the same seeded instance
+        (identical level/tiebreak hashes); all levels are linear
+        sketches, so the merged sampler equals the single-pass sampler
+        exactly.
+        """
+        if (
+            not isinstance(other, L0Sampler)
+            or (self.dim, self.n_levels) != (other.dim, other.n_levels)
+            or self._level_hash.coefficients != other._level_hash.coefficients
+            or self._tiebreak.coefficients != other._tiebreak.coefficients
+        ):
+            raise ValueError(
+                "cannot merge incompatible l0-samplers; split both from the "
+                "same seeded structure"
+            )
+        for mine, theirs in zip(self._recoveries, other._recoveries):
+            mine.merge(theirs)
+        return self
+
     def sample(self) -> Optional[int]:
         """Return a near-uniform support coordinate, or None on failure.
 
@@ -232,6 +254,33 @@ class L0SamplerBank:
         else:
             assert self._support is not None
             self._support.update_batch(unique, net)
+
+    def merge(self, other: "L0SamplerBank") -> "L0SamplerBank":
+        """Merge two banks over disjoint sub-streams of one vector.
+
+        Exact mode merges the underlying linear sketches sampler by
+        sampler; fast mode merges the tracked supports (the draw RNG of
+        ``self`` is retained, so a bank reassembled from same-seed shards
+        answers :meth:`sample_all` bit-identically to a single-pass
+        bank).
+        """
+        if not isinstance(other, L0SamplerBank):
+            raise ValueError(
+                f"cannot merge L0SamplerBank with {type(other).__name__}"
+            )
+        if (self.dim, self.count, self.mode) != (other.dim, other.count, other.mode):
+            raise ValueError(
+                f"cannot merge bank (dim={self.dim}, count={self.count}, "
+                f"mode={self.mode}) with bank (dim={other.dim}, "
+                f"count={other.count}, mode={other.mode})"
+            )
+        if self.mode == "exact":
+            for mine, theirs in zip(self._samplers, other._samplers):
+                mine.merge(theirs)
+        else:
+            assert self._support is not None and other._support is not None
+            self._support.merge(other._support)
+        return self
 
     def sample_all(self) -> List[Optional[int]]:
         """Query every sampler; entries are None on (simulated) failure."""

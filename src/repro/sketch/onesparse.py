@@ -88,6 +88,23 @@ class OneSparseCell:
                     return OneSparseResult(CellState.ONE_SPARSE, index, self._weight)
         return OneSparseResult(CellState.COLLISION)
 
+    def merge(self, other: "OneSparseCell") -> "OneSparseCell":
+        """Accumulator-wise sum of two cells over disjoint sub-streams.
+
+        Valid only for cells sharing the same fingerprint base ``r``
+        (i.e. split from one seeded structure); the merged cell equals
+        the cell of the concatenated update stream exactly.
+        """
+        if self.dim != other.dim or self._r != other._r:
+            raise ValueError(
+                "cannot merge 1-sparse cells with different dimensions or "
+                "fingerprint bases; split both from the same seeded structure"
+            )
+        self._weight += other._weight
+        self._dot += other._dot
+        self._fingerprint = (self._fingerprint + other._fingerprint) % PRIME_61
+        return self
+
     def is_zero(self) -> bool:
         """True when every accumulator is zero (vector certainly empty... or
         an exact cancellation, probability <= dim/p)."""

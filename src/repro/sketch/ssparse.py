@@ -79,6 +79,32 @@ class SSparseRecovery:
             for bucket, index, delta in zip(buckets, index_list, delta_list):
                 row[bucket].update(index, delta)
 
+    def merge(self, other: "SSparseRecovery") -> "SSparseRecovery":
+        """Cell-wise sum of two recoveries over disjoint sub-streams.
+
+        Valid only for structures split from the same seeded instance
+        (identical row hashes); every cell is linear, so the merged
+        structure equals the single-pass structure exactly.
+        """
+        if (
+            not isinstance(other, SSparseRecovery)
+            or (self.dim, self.s, self.n_rows) != (other.dim, other.s, other.n_rows)
+        ):
+            raise ValueError(
+                "cannot merge incompatible s-sparse recoveries; split both "
+                "from the same seeded structure"
+            )
+        for mine, theirs in zip(self._hashes, other._hashes):
+            if mine.coefficients != theirs.coefficients:
+                raise ValueError(
+                    "cannot merge s-sparse recoveries with different row "
+                    "hashes; split both from the same seeded structure"
+                )
+        for my_row, their_row in zip(self._cells, other._cells):
+            for my_cell, their_cell in zip(my_row, their_row):
+                my_cell.merge(their_cell)
+        return self
+
     def decode(self) -> Optional[Dict[int, int]]:
         """Recover the support, or None when the vector looks >s-sparse.
 

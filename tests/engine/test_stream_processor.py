@@ -68,3 +68,37 @@ def test_ensure_reports_missing_methods():
     with pytest.raises(TypeError, match="process_batch, finalize"):
         ensure_stream_processor(NotAProcessor(), "bad")
     assert not isinstance(NotAProcessor(), StreamProcessor)
+
+
+def test_ensure_reports_non_callable_attributes():
+    """A data field shadowing a protocol method is reported as such —
+    not as a missing method (`isinstance` checks attribute presence
+    only, so this is exactly the case the helper exists for)."""
+
+    class FinalizeIsAField:
+        finalize = 42
+
+        def process_batch(self, a, b, sign=None):
+            pass
+
+    with pytest.raises(TypeError, match="non-callable int"):
+        ensure_stream_processor(FinalizeIsAField(), "bad")
+
+    class BothWrong:
+        process_batch = "not a method"
+        finalize = None
+
+    with pytest.raises(
+        TypeError, match="non-callable str.*non-callable NoneType"
+    ):
+        ensure_stream_processor(BothWrong(), "bad")
+
+
+def test_ensure_reports_missing_and_non_callable_together():
+    class HalfBroken:
+        finalize = 3.14
+
+    with pytest.raises(
+        TypeError, match="missing process_batch; has finalize"
+    ):
+        ensure_stream_processor(HalfBroken(), "bad")

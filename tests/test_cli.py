@@ -142,6 +142,94 @@ class TestStreamFileOptions:
         assert "OK" in capsys.readouterr().out
 
 
+class TestParallelOptions:
+    def _save(self, tmp_path, capsys, workload="star", extra=()):
+        path = tmp_path / "workload.npz"
+        args = ["run", "--workload", workload, "--n", "64", "--m", "256",
+                "--d", "16", "--alpha", "2", "--save-stream", str(path)]
+        if workload == "churn":
+            args += ["--algorithm", "insertion-deletion", "--scale", "0.3"]
+        assert main(args + list(extra)) == 0
+        capsys.readouterr()
+        return path
+
+    def test_workers_on_generated_workload(self, capsys):
+        code = main(["run", "--workload", "star", "--n", "64", "--m", "256",
+                     "--d", "16", "--alpha", "2", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded over 2 workers" in out
+        assert "verified against ground truth: OK" in out
+
+    def test_workers_with_mmap_stream_file(self, capsys, tmp_path):
+        path = self._save(tmp_path, capsys)
+        code = main(["run", "--stream-file", str(path), "--d", "16",
+                     "--alpha", "2", "--workers", "2", "--mmap"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(mmap)" in out
+        assert "sharded over 2 workers" in out
+        assert "verification skipped (mmap mode" in out
+
+    def test_mmap_without_stream_file_rejected(self, capsys):
+        code = main(["run", "--workload", "star", "--mmap"])
+        assert code == 2
+        assert "--mmap requires --stream-file" in capsys.readouterr().err
+
+    def test_mmap_requires_v2_format(self, capsys, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("# feww-stream v1 n=4 m=4\n+ 0 1\n")
+        code = main(["run", "--stream-file", str(path), "--mmap"])
+        assert code == 2
+        assert "requires a v2" in capsys.readouterr().err
+
+    def test_mmap_deletion_stream_with_insertion_only_rejected(
+        self, capsys, tmp_path
+    ):
+        path = self._save(tmp_path, capsys, workload="churn")
+        code = main(["run", "--stream-file", str(path), "--d", "8",
+                     "--alpha", "2", "--mmap"])
+        assert code == 2
+        assert "deletions" in capsys.readouterr().err
+
+    def test_bad_worker_count_rejected(self, capsys):
+        code = main(["run", "--workload", "star", "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def _corrupt_v2_file(self, tmp_path):
+        """A v2 file whose A-column holds an out-of-range vertex id —
+        only detectable when chunks are actually read in mmap mode."""
+        import numpy as np
+
+        from repro.streams.columnar import ColumnarEdgeStream
+        from repro.streams.persist import dump_stream
+
+        bad = ColumnarEdgeStream(
+            np.array([0, 9999], dtype=np.int64),
+            np.array([0, 1], dtype=np.int64),
+            n=4, m=4, validate=False,
+        )
+        path = tmp_path / "corrupt.npz"
+        dump_stream(bad, path, format="v2")
+        return path
+
+    def test_mmap_corrupt_stream_is_a_friendly_error(self, capsys, tmp_path):
+        path = self._corrupt_v2_file(tmp_path)
+        code = main(["run", "--stream-file", str(path), "--d", "2", "--mmap"])
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_mmap_corrupt_stream_with_workers_is_a_friendly_error(
+        self, capsys, tmp_path
+    ):
+        path = self._corrupt_v2_file(tmp_path)
+        code = main(["run", "--stream-file", str(path), "--d", "2",
+                     "--mmap", "--workers", "2"])
+        assert code == 2
+        assert "StreamFormatError" in capsys.readouterr().err
+
+
 class TestPersistCommands:
     def _make_file(self, tmp_path, suffix="npz"):
         path = tmp_path / f"workload.{suffix}"
