@@ -1,0 +1,76 @@
+"""Sliding-window monitoring: "who is hot over the last W updates?".
+
+A tumbling window answers per completed hour; live monitoring wants the
+answer over the *trailing* window at any moment.  The engine's
+smooth-histogram sliding policy (``SlidingPolicy``) keeps
+``ceil(1/ratio) + 1`` bucket summaries and merges the trailing buckets
+at query time, covering the last ``L`` updates with
+``W <= L <= (1 + ratio) * W`` — a (1+ε)-approximate window at a
+fraction of the cost of one instance per offset.
+
+The workload shifts its hot row over three phases; the sliding answer
+must reflect only the *latest* phase, while a whole-stream run still
+reports the all-time heavy row.
+
+Run:  python examples/sliding_window_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.core.windowed import Alg2WindowFactory
+from repro.engine import FanoutRunner, SlidingPolicy, WindowedProcessor
+from repro.streams.columnar import ColumnarEdgeStream
+
+N_ROWS = 64
+PHASE = 600
+HOT_DEGREE = 200
+D = 120
+
+
+def make_shifting_workload():
+    """Three phases; a different row dominates each (distinct users)."""
+    rng = np.random.default_rng(11)
+    a_parts, witness = [], 0
+    for hot_row in (3, 7, 11):
+        a = np.full(PHASE, hot_row, dtype=np.int64)
+        background = rng.integers(20, N_ROWS, size=PHASE - HOT_DEGREE)
+        a[: len(background)] = background
+        rng.shuffle(a)
+        a_parts.append(a)
+    a = np.concatenate(a_parts)
+    b = np.arange(len(a), dtype=np.int64)  # every touch a distinct user
+    return ColumnarEdgeStream(a, b, n=N_ROWS, m=len(a), validate=False)
+
+
+def main() -> None:
+    stream = make_shifting_workload()
+    policy = SlidingPolicy(window=PHASE, bucket_ratio=0.25)
+    print(f"{len(stream)} updates in 3 phases; sliding window of {PHASE} "
+          f"updates via {policy.retained} smooth-histogram buckets of "
+          f"{policy.bucket}")
+
+    monitor = WindowedProcessor(
+        Alg2WindowFactory(N_ROWS, D, 2), policy, seed=1
+    )
+    all_time = InsertionOnlyFEwW(N_ROWS, D, 2, seed=2)
+    answers = FanoutRunner({"sliding": monitor, "all-time": all_time}).run(stream)
+
+    sliding = answers["sliding"]
+    print(f"\nsliding answer covers updates [{sliding.start_update}, "
+          f"{sliding.end_update}) — span {sliding.span} "
+          f"(bound: {PHASE} <= span <= {PHASE + policy.bucket})")
+    hot = sliding.value
+    print(f"  hot row now: {hot.vertex} with {hot.size} recent users")
+    whole = answers["all-time"]
+    print(f"  whole-stream answer (for contrast): row {whole.vertex}")
+
+    assert PHASE <= sliding.span <= PHASE + policy.bucket
+    assert hot.vertex == 11, "sliding window should see only the last phase"
+    # Witnesses are arrival indices, so "recent" is checkable directly.
+    assert min(hot.witnesses) >= sliding.start_update
+    print("\nsliding verdict reflects only the recent hot row — OK")
+
+
+if __name__ == "__main__":
+    main()

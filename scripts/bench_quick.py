@@ -11,7 +11,10 @@ workloads and the acceptance bars), runs
   engine pass, and
 * the multi-core pass: Algorithm 2 over a 10^6-update Zipf stream
   persisted as a v2 file and memory-mapped, through a ShardedRunner at
-  1, 2 and 4 workers,
+  1, 2 and 4 workers, and
+* the windowed pass: Algorithm 2 under the engine's window policies
+  (tumbling, and the smooth-histogram sliding window) over the same
+  Zipf workload,
 
 then writes a ``BENCH_throughput.json`` artifact (by default into the
 repository root) so the performance trajectory can be tracked across
@@ -25,7 +28,8 @@ sharded pass drops below 1.5x single-core.
 
 Run:  PYTHONPATH=src python scripts/bench_quick.py [--records N]
           [--star-updates N | --skip-star]
-          [--sharded-updates N | --skip-sharded] [--smoke] [--out PATH]
+          [--sharded-updates N | --skip-sharded]
+          [--skip-windowed] [--smoke] [--out PATH]
 
 ``--smoke`` shrinks every workload and disables the speedup gates — the
 CI-sized sanity pass that still exercises all three pipelines.
@@ -66,6 +70,9 @@ from bench_throughput import (  # noqa: E402 (needs the path tweak above)
     measure_rates,
     measure_sharded_rates,
     measure_star_rates,
+    measure_window_rates,
+    WINDOW_RATIO,
+    WINDOW_SPAN,
 )
 
 from repro.streams.columnar import ColumnarEdgeStream  # noqa: E402
@@ -81,6 +88,8 @@ def main() -> int:
     parser.add_argument("--sharded-updates", type=int, default=1_000_000)
     parser.add_argument("--skip-sharded", action="store_true",
                         help="skip the multi-core sharded pass")
+    parser.add_argument("--skip-windowed", action="store_true",
+                        help="skip the window-policy pass")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run: tiny workloads, no speedup gates")
     parser.add_argument(
@@ -152,6 +161,29 @@ def main() -> int:
         }
         results["StarDetection (end-to-end)"] = dict(star_row)
 
+    window_rates = None
+    if not args.skip_windowed:
+        # Smoke runs shrink the stream, so shrink the window with it to
+        # keep several buckets in play.
+        span = min(WINDOW_SPAN, max(64, args.records // 8))
+        window_rates = measure_window_rates(columnar, span=span)
+        artifact["windowed"] = {
+            "config": {
+                "n": N,
+                "records": args.records,
+                "d": D,
+                "alpha": ALPHA,
+                "window": span,
+                "bucket_ratio": WINDOW_RATIO,
+                "chunk_size": CHUNK,
+            },
+            "host": host,
+            "entries": [
+                {"policy": name, "updates_per_s": rate}
+                for name, rate in window_rates.items()
+            ],
+        }
+
     sharded_rates = None
     if not args.skip_sharded:
         with tempfile.TemporaryDirectory() as tmp:
@@ -190,6 +222,11 @@ def main() -> int:
             f"{row['batch_updates_per_s'] / 1e3:14.1f} "
             f"{row['batch_speedup']:7.1f}x"
         )
+    if window_rates is not None:
+        print(f"\nwindowed Algorithm 2 ({args.records} updates, window "
+              f"{artifact['windowed']['config']['window']}):")
+        for name, rate in window_rates.items():
+            print(f"  {name:10s} {rate / 1e3:10.1f} k-upd/s")
     if sharded_rates is not None:
         print(f"\nsharded Algorithm 2 ({args.sharded_updates} updates, "
               f"mmap v2 file, {cores} effective core(s)):")

@@ -35,10 +35,15 @@ from repro.core import (
     verify_neighbourhood,
 )
 from repro.engine import (
+    DecayPolicy,
     FanoutRunner,
     MergeableStreamProcessor,
     ShardedRunner,
+    SlidingPolicy,
     StreamProcessor,
+    TumblingPolicy,
+    WindowPolicy,
+    WindowedProcessor,
     as_chunks,
     run_fanout,
     run_sharded,
@@ -100,12 +105,17 @@ __all__ = [
     "Neighbourhood",
     "SamplingStrategy",
     "ShardedRunner",
+    "DecayPolicy",
+    "SlidingPolicy",
     "StarDetection",
     "StarDetectionResult",
     "StreamItem",
     "StreamProcessor",
     "TopKFEwW",
+    "TumblingPolicy",
     "TumblingWindowFEwW",
+    "WindowPolicy",
+    "WindowedProcessor",
     "adversarial_interleaved_stream",
     "as_chunks",
     "bipartite_double_cover",

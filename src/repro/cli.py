@@ -8,7 +8,12 @@ Subcommands:
   :class:`~repro.engine.ShardedRunner` with ``--workers N``), print the
   verified result and space accounting; ``--save-stream`` persists the
   workload for replay; ``--mmap`` memory-maps a v2 stream file so
-  larger-than-RAM workloads stream without materialising;
+  larger-than-RAM workloads stream without materialising
+  (``--readahead`` overlaps the next chunk's page-in with compute);
+  ``--window-policy tumbling|sliding|decay`` runs the algorithm under
+  an engine window policy (``--window`` span, ``--bucket-ratio`` for
+  the smooth-histogram sliding window, ``--decay-keep`` for
+  count-based decay) and reports per-window answers;
 * ``persist`` — inspect (``info``) and convert (``convert``) persisted
   stream files between the v1 text and v2 columnar NPZ formats;
 * ``bounds`` — print the paper's predicted space bounds for given
@@ -23,6 +28,8 @@ Examples::
     python -m repro run --workload zipf --save-stream zipf.npz
     python -m repro run --stream-file zipf.npz --d 64
     python -m repro run --stream-file zipf.npz --d 64 --workers 4 --mmap
+    python -m repro run --workload zipf --window-policy sliding --window 2048
+    python -m repro run --workload star --window-policy tumbling --window 4096 --workers 4
     python -m repro persist info zipf.npz
     python -m repro persist convert zipf.npz zipf.txt
     python -m repro bounds --n 4096 --d 128 --alpha 2
@@ -39,7 +46,15 @@ from typing import List, Optional
 from repro.core.insertion_deletion import InsertionDeletionFEwW
 from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.neighbourhood import AlgorithmFailed, verify_neighbourhood
-from repro.engine import FanoutRunner, ShardedRunner
+from repro.core.windowed import Alg2WindowFactory, Alg3WindowFactory
+from repro.engine import (
+    DecayPolicy,
+    FanoutRunner,
+    ShardedRunner,
+    SlidingPolicy,
+    TumblingPolicy,
+    WindowedProcessor,
+)
 from repro.engine.sharded import ShardedWorkerError
 from repro.streams.columnar import DEFAULT_CHUNK_SIZE, ColumnarEdgeStream
 from repro.streams.generators import (
@@ -56,6 +71,7 @@ from repro.streams.persist import (
     detect_version,
     dump_stream,
     load_columnar,
+    stream_has_timestamps,
 )
 from repro.theory.bounds import (
     insertion_deletion_lower_bound_words,
@@ -66,6 +82,18 @@ from repro.theory.bounds import (
 
 WORKLOADS = ("star", "cascade", "adversarial", "zipf", "churn")
 ALGORITHMS = ("insertion-only", "insertion-deletion")
+WINDOW_POLICIES = ("tumbling", "sliding", "decay")
+
+
+def make_window_policy(args: argparse.Namespace):
+    """The WindowPolicy a ``--window-policy`` invocation asked for."""
+    if args.window_policy == "tumbling":
+        return TumblingPolicy(args.window)
+    if args.window_policy == "sliding":
+        return SlidingPolicy(args.window, bucket_ratio=args.bucket_ratio)
+    if args.window_policy == "decay":
+        return DecayPolicy(args.window, keep=args.decay_keep)
+    raise ValueError(f"unknown window policy {args.window_policy!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--mmap", action="store_true",
                      help="memory-map the v2 stream file instead of loading "
                           "it (requires --stream-file; the out-of-core path)")
+    run.add_argument("--readahead", action="store_true",
+                     help="prefetch the next chunk on a background thread "
+                          "while the current one is processed (requires "
+                          "--mmap)")
+    run.add_argument("--window-policy", choices=WINDOW_POLICIES,
+                     help="run the algorithm under an engine window policy "
+                          "and report per-window answers")
+    run.add_argument("--window", type=int, default=4096,
+                     help="window span in updates (tumbling/sliding), or "
+                          "bucket size (decay)")
+    run.add_argument("--bucket-ratio", type=float, default=0.25,
+                     help="sliding only: smooth-histogram bucket ratio "
+                          "epsilon; the answer covers the last L updates "
+                          "with window <= L <= (1+epsilon)*window")
+    run.add_argument("--decay-keep", type=int, default=4,
+                     help="decay only: recent buckets kept at full "
+                          "resolution before folding into the tail")
 
     persist = subparsers.add_parser(
         "persist", help="inspect and convert persisted stream files"
@@ -179,12 +224,18 @@ def command_run(args: argparse.Namespace) -> int:
         print("error: --mmap requires --stream-file (it memory-maps a "
               "persisted v2 stream)", file=sys.stderr)
         return 2
+    if args.readahead and not args.mmap:
+        print("error: --readahead requires --mmap (it prefetches the "
+              "memory-mapped reader's next chunk)", file=sys.stderr)
+        return 2
     stream: Optional[ColumnarEdgeStream] = None
     try:
         if args.mmap:
             # Out-of-core path: only the zip directory and npy headers
             # are touched here; chunks page in during the engine pass.
-            reader = ChunkedStreamReader(args.stream_file, mmap=True)
+            reader = ChunkedStreamReader(
+                args.stream_file, mmap=True, readahead=args.readahead
+            )
             if reader.version != 2:
                 print("error: --mmap requires a v2 (NPZ) stream file; "
                       "convert with `persist convert`", file=sys.stderr)
@@ -222,9 +273,23 @@ def command_run(args: argparse.Namespace) -> int:
         algorithm = InsertionDeletionFEwW(
             n, m, d, args.alpha, seed=args.seed, scale=args.scale
         )
+    windowed = args.window_policy is not None
+    if windowed:
+        if args.algorithm == "insertion-only":
+            factory = Alg2WindowFactory(n, d, args.alpha)
+        else:
+            factory = Alg3WindowFactory(n, m, d, args.alpha, args.scale)
+        try:
+            algorithm = WindowedProcessor(
+                factory, make_window_policy(args), seed=args.seed
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     # One engine pass; the runners generalise to N structures per pass.
     # result() is queried directly (not via finalize) so the failure
     # diagnostics reach the user.
+    windowed_answer = None
     try:
         if args.workers > 1:
             # Workers read stream files themselves (no data IPC);
@@ -237,8 +302,11 @@ def command_run(args: argparse.Namespace) -> int:
                 n_workers=args.workers,
                 chunk_size=args.chunk_size,
                 mmap=args.mmap,
+                readahead=args.readahead,
             )
-            sharded.run(source)
+            # run() already finalizes the merged processors; keep the
+            # windowed answer rather than re-merging bucket summaries.
+            windowed_answer = sharded.run(source)["algorithm"]
             algorithm = sharded["algorithm"]
             print(f"sharded over {args.workers} workers "
                   f"(routing: {sharded.routing()!r})")
@@ -260,6 +328,12 @@ def command_run(args: argparse.Namespace) -> int:
                   f"{error.cause_type} in worker:\n{error}", file=sys.stderr)
             return 2
         raise
+    if windowed:
+        if windowed_answer is None:
+            windowed_answer = algorithm.finalize()
+        report_windowed(args.window_policy, windowed_answer)
+        print(f"space: {algorithm.space_words()} words")
+        return 0
     try:
         result = algorithm.result()
     except AlgorithmFailed as failure:
@@ -279,18 +353,66 @@ def command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _describe_window_value(value) -> str:
+    """Human line for one window's finalized answer."""
+    if value is None:
+        return "no qualifying vertex"
+    if hasattr(value, "vertex") and hasattr(value, "size"):
+        return f"vertex {value.vertex} with {value.size} witnesses"
+    return repr(value)
+
+
+def report_windowed(policy_name: str, answer) -> None:
+    """Print a window policy's end-of-stream answer."""
+    if policy_name == "tumbling":
+        print(f"{len(answer)} completed window(s):")
+        for record in answer:
+            print(f"  window {record.window_index} "
+                  f"[{record.start_update}, {record.end_update}): "
+                  f"{_describe_window_value(record.value)}")
+        return
+    if policy_name == "sliding":
+        print(f"sliding window (smooth histogram, {answer.n_buckets} "
+              f"bucket(s) of {answer.bucket}):")
+        print(f"  covered updates [{answer.start_update}, "
+              f"{answer.end_update}) — span {answer.span} for a "
+              f"requested window of {answer.window}")
+        print(f"  answer: {_describe_window_value(answer.value)}")
+        return
+    print(f"decay: {len(answer.recent)} recent bucket(s)"
+          + (", plus decayed tail" if answer.has_tail else ", no tail yet"))
+    for record in answer.recent:
+        print(f"  bucket {record.window_index} "
+              f"[{record.start_update}, {record.end_update}): "
+              f"{_describe_window_value(record.value)}")
+    if answer.has_tail:
+        print(f"  tail [{answer.tail_start_update}, "
+              f"{answer.tail_end_update}): "
+              f"{_describe_window_value(answer.tail_value)}")
+
+
 def command_persist(args: argparse.Namespace) -> int:
     try:
         if args.persist_command == "info":
             version = detect_version(args.file)
             stream = load_columnar(args.file)
-            print(f"{args.file}: feww-stream v{version} "
+            label = "v2.1" if stream.has_timestamps else f"v{version}"
+            print(f"{args.file}: feww-stream {label} "
                   f"n={stream.n} m={stream.m}")
             print(f"  {stream.stats()}")
+            if stream.has_timestamps:
+                print(f"  timestamps: [{int(stream.t[0])}, "
+                      f"{int(stream.t[-1])}]" if len(stream) else
+                      "  timestamps: present (empty stream)")
             return 0
         if args.persist_command == "convert":
             stream = load_columnar(args.source)
             dump_stream(stream, args.destination, format=args.format)
+            if stream.has_timestamps and not stream_has_timestamps(
+                args.destination
+            ):
+                print("note: timestamps dropped (the v1 text format has "
+                      "no timestamp column)")
             print(f"wrote {args.destination} "
                   f"(feww-stream v{detect_version(args.destination)}, "
                   f"{len(stream)} updates)")

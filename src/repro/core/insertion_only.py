@@ -86,6 +86,12 @@ class InsertionOnlyFEwW:
             self.runs.append(
                 DegResSampling(n, d1, self.d2, self.s, run_rng, own_degrees=False)
             )
+        #: Entropy for per-shard RNG derivation (split()), drawn from the
+        #: root so it is deterministic for explicit seeds but fresh (OS
+        #: entropy) for seed=None — unseeded sharded runs must stay
+        #: independent across repetitions, or repeating a failed run
+        #: could never boost the success probability.
+        self._seed_entropy = root.getrandbits(64)
 
     # ------------------------------------------------------------------
     # Stream processing.
@@ -195,16 +201,33 @@ class InsertionOnlyFEwW:
     def split(self, n_shards: int) -> List["InsertionOnlyFEwW"]:
         """``n_shards`` empty same-parameter shard instances.
 
-        Shards replicate the seed-derived run RNGs, so a sharded
-        execution is reproducible; under vertex routing the shards'
-        reservoirs sample disjoint candidate sets, so replicated coins
-        never correlate answers across shards.
+        Each shard's α runs draw from *independently derived* RNG
+        streams — :class:`numpy.random.SeedSequence` children spawned
+        from the master seed, one per shard — instead of replicating
+        the parent's coins.  Replicated coins were harmless for the
+        reservoir contents (vertex routing gives shards disjoint
+        candidate sets) but made shard trajectories perfectly
+        correlated: every shard evicted at the same candidate ordinals,
+        which skews which *positions* of a sub-stream survive when
+        candidate counts are similar across shards.  Derivation is
+        deterministic — the same master seed always produces the same
+        per-shard generators — so sharded runs stay reproducible, and
+        the no-eviction regime (where no coin is ever flipped) remains
+        bit-identical to single-core execution.
         """
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if self._degrees.max_degree() > 0:
             raise RuntimeError("split() must be called before processing")
-        return [copy.deepcopy(self) for _ in range(n_shards)]
+        children = np.random.SeedSequence(self._seed_entropy).spawn(n_shards)
+        shards = []
+        for child in children:
+            shard = copy.deepcopy(self)
+            words = child.generate_state(self.alpha, dtype=np.uint64)
+            for run, word in zip(shard.runs, words.tolist()):
+                run._rng = random.Random(int(word))
+            shards.append(shard)
+        return shards
 
     # ------------------------------------------------------------------
     # Output.

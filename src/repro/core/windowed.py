@@ -1,4 +1,4 @@
-"""Extension: tumbling-window FEwW.
+"""Extension: windowed FEwW (tumbling policy over Algorithm 2).
 
 Monitoring applications care about *recent* frequency: "which
 destination received d packets from distinct sources **this hour**,
@@ -7,10 +7,18 @@ into fixed-size windows and answers FEwW independently per window by
 restarting Algorithm 2 at each boundary, retaining the last completed
 window's answer for queries that arrive mid-window.
 
-This is the straightforward windowing the paper leaves implicit; space
-is twice Algorithm 2's (current + retained answer).  A sliding-window
-variant with overlap would need the smooth-histogram machinery and is
-out of scope — documented here so users know the semantics they get.
+Windowing itself now lives in the engine
+(:mod:`repro.engine.windows`): :class:`TumblingWindowFEwW` is the
+:class:`~repro.engine.windows.TumblingPolicy` composed with Algorithm 2
+through the generic :class:`~repro.engine.windows.WindowedProcessor`,
+and is bit-identical to the pre-refactor bespoke loop (equivalence-
+tested in ``tests/integration/test_window_equivalence.py``).  Sliding
+windows (smooth histograms) and count-based decay come from the same
+subsystem — compose :class:`~repro.engine.windows.SlidingPolicy` or
+:class:`~repro.engine.windows.DecayPolicy` with any processor factory,
+e.g. :class:`Alg2WindowFactory`.
+
+Space is twice Algorithm 2's (current instance + retained answer).
 """
 
 from __future__ import annotations
@@ -20,8 +28,10 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.insertion_deletion import InsertionDeletionFEwW
 from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
+from repro.engine.windows import TumblingPolicy, WindowedProcessor
 from repro.streams.edge import INSERT, StreamItem
 
 
@@ -40,7 +50,40 @@ class WindowResult:
         return self.neighbourhood is not None
 
 
-class TumblingWindowFEwW:
+@dataclass(frozen=True)
+class Alg2WindowFactory:
+    """Picklable per-window Algorithm 2 factory for windowed wrappers.
+
+    ``WindowedProcessor`` calls it with each window's derived seed; a
+    plain dataclass (not a lambda) so sharded worker processes can
+    pickle the wrapper.
+    """
+
+    n: int
+    d: int
+    alpha: int
+
+    def __call__(self, seed: int) -> InsertionOnlyFEwW:
+        return InsertionOnlyFEwW(self.n, self.d, self.alpha, seed=seed)
+
+
+@dataclass(frozen=True)
+class Alg3WindowFactory:
+    """Picklable per-window Algorithm 3 factory (turnstile windows)."""
+
+    n: int
+    m: int
+    d: int
+    alpha: int
+    scale: float = 1.0
+
+    def __call__(self, seed: int) -> InsertionDeletionFEwW:
+        return InsertionDeletionFEwW(
+            self.n, self.m, self.d, self.alpha, seed=seed, scale=self.scale
+        )
+
+
+class TumblingWindowFEwW(WindowedProcessor):
     """FEwW answered independently on consecutive fixed-size windows.
 
     Args:
@@ -56,58 +99,35 @@ class TumblingWindowFEwW:
 
     def __init__(self, n: int, d: int, alpha: int, window: int,
                  seed: int | None = None) -> None:
-        if window < 1:
-            raise ValueError(f"window must be >= 1, got {window}")
         self.n = n
         self.d = d
         self.alpha = alpha
-        self.window = window
-        self._seed = seed if seed is not None else 0
-        #: global index of the window currently being filled, and how
-        #: far to jump when it closes (a shard produced by :meth:`split`
-        #: owns windows ``offset, offset + stride, ...``).
-        self._window_index = 0
-        self._stride = 1
-        self._updates_in_window = 0
-        self._current = self._fresh_instance()
-        self._completed: List[WindowResult] = []
+        super().__init__(
+            Alg2WindowFactory(n, d, alpha), TumblingPolicy(window), seed=seed
+        )
 
     @property
-    def shard_routing(self):
-        """Updates must be routed by global stream position in blocks of
-        ``window`` (see repro.engine.protocol)."""
-        return ("window", self.window)
+    def window(self) -> int:
+        return self.policy.window
 
-    def _fresh_instance(self) -> InsertionOnlyFEwW:
-        derived = (self._seed * 1_000_003 + self._window_index) & 0xFFFFFFFF
-        return InsertionOnlyFEwW(self.n, self.d, self.alpha, seed=derived)
-
-    def _close_window(self) -> None:
-        try:
-            neighbourhood: Optional[Neighbourhood] = self._current.result()
-        except AlgorithmFailed:
-            neighbourhood = None
-        start = self._window_index * self.window
-        self._completed.append(
-            WindowResult(
-                window_index=self._window_index,
-                start_update=start,
-                end_update=start + self._updates_in_window,
-                neighbourhood=neighbourhood,
-            )
+    def _make_record(self, index, start, end, value) -> WindowResult:
+        return WindowResult(
+            window_index=index,
+            start_update=start,
+            end_update=end,
+            neighbourhood=value,
         )
-        self._window_index += self._stride
-        self._updates_in_window = 0
-        self._current = self._fresh_instance()
+
+    # ------------------------------------------------------------------
+    # Stream processing (insertion-only guard kept from the pre-engine
+    # wrapper: the whole chunk is rejected before any state mutates).
+    # ------------------------------------------------------------------
 
     def process_item(self, item: StreamItem) -> None:
         """Feed one update; closes the window at each boundary."""
         if item.is_delete:
             raise ValueError("tumbling-window FEwW is insertion-only")
-        self._current.process_item(item)
-        self._updates_in_window += 1
-        if self._updates_in_window == self.window:
-            self._close_window()
+        super().process_item(item)
 
     def process_batch(
         self,
@@ -115,70 +135,15 @@ class TumblingWindowFEwW:
         b: np.ndarray,
         sign: Optional[np.ndarray] = None,
     ) -> None:
-        """Engine entry point: split the chunk at window boundaries.
-
-        Each maximal run of updates that falls inside one window is fed
-        to the current Algorithm 2 instance as a single sub-batch, and
-        windows are closed exactly where the per-item path would close
-        them — so the sequence of (instance, updates) pairs, and with it
-        every window's result, is bit-identical to item-at-a-time
-        processing at any chunk size.  A shard produced by :meth:`split`
-        must be fed exactly the updates of its own windows, in order
-        (what a ShardedRunner's window routing does).
-        """
         if sign is not None and np.any(sign != INSERT):
             raise ValueError("tumbling-window FEwW is insertion-only")
-        a = np.ascontiguousarray(a, dtype=np.int64)
-        b = np.ascontiguousarray(b, dtype=np.int64)
-        position, n_items = 0, len(a)
-        while position < n_items:
-            room = self.window - self._updates_in_window
-            take = min(room, n_items - position)
-            stop = position + take
-            self._current.process_batch(a[position:stop], b[position:stop])
-            self._updates_in_window += take
-            position = stop
-            if self._updates_in_window == self.window:
-                self._close_window()
-
-    def process(self, stream) -> "TumblingWindowFEwW":
-        """Consume a whole stream through the engine's chunk path.
-
-        Accepts anything :func:`repro.engine.as_chunks` does (columnar
-        or boxed streams, persisted paths, chunk iterables).
-        """
-        from repro.engine import as_chunks
-
-        for a, b, sign in as_chunks(stream):
-            self.process_batch(a, b, sign)
-        return self
-
-    def flush(self) -> None:
-        """Close the in-progress window early (end of stream).
-
-        A no-op when the last window closed exactly at a boundary —
-        except on a completely untouched instance, where (matching the
-        pre-sharding semantics) it records one empty window.
-        """
-        if self._updates_in_window > 0 or (
-            not self._completed and self._window_index == 0
-        ):
-            self._close_window()
+        super().process_batch(a, b, sign)
 
     # ------------------------------------------------------------------
     # Mergeable-summary layer.
     # ------------------------------------------------------------------
 
-    def merge(self, other: "TumblingWindowFEwW") -> "TumblingWindowFEwW":
-        """Interleave the window results of two shards.
-
-        Each operand's in-progress window (if it received updates) is
-        flushed first; the merged instance then holds the union of all
-        completed windows in global order.  Windows are seeded by global
-        index and each is processed wholly by one shard, so the merged
-        result list is bit-identical to a single-core run over the
-        concatenated stream.
-        """
+    def _check_merge_compatible(self, other) -> None:
         if not isinstance(other, TumblingWindowFEwW):
             raise ValueError(
                 f"cannot merge TumblingWindowFEwW with {type(other).__name__}"
@@ -194,47 +159,19 @@ class TumblingWindowFEwW:
                 "cannot merge tumbling-window wrappers with different "
                 "parameters or seeds; split both from the same instance"
             )
-        if self._updates_in_window > 0:
-            self._close_window()
-        if other._updates_in_window > 0:
-            other._close_window()
-        self._completed = sorted(
-            self._completed + other._completed,
-            key=lambda result: result.window_index,
+
+    def _spawn(self) -> "TumblingWindowFEwW":
+        return TumblingWindowFEwW(
+            self.n, self.d, self.alpha, self.window, seed=self._seed
         )
-        return self
 
-    def split(self, n_shards: int) -> List["TumblingWindowFEwW"]:
-        """``n_shards`` shards, shard ``j`` owning windows ``j, j + n, ...``.
-
-        Each shard derives the same per-window seeds a single-core run
-        would, so window results are reproduced exactly no matter which
-        shard computes them.
-        """
-        if n_shards < 1:
-            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-        if self._updates_in_window or self._completed or self._window_index:
-            raise RuntimeError("split() must be called before processing")
-        shards = []
-        for offset in range(n_shards):
-            shard = TumblingWindowFEwW(
-                self.n, self.d, self.alpha, self.window, seed=self._seed
-            )
-            shard._window_index = offset
-            shard._stride = n_shards
-            shard._current = shard._fresh_instance()
-            shards.append(shard)
-        return shards
-
-    def finalize(self) -> List[WindowResult]:
-        """Engine hook (:class:`repro.engine.StreamProcessor`): flush the
-        in-progress window and return all completed windows in order."""
-        self.flush()
-        return self.completed_windows()
+    # ------------------------------------------------------------------
+    # Output.
+    # ------------------------------------------------------------------
 
     def completed_windows(self) -> List[WindowResult]:
         """Results of all closed windows, oldest first."""
-        return list(self._completed)
+        return list(self._state)
 
     def latest(self) -> WindowResult:
         """The most recently completed window's answer.
@@ -242,13 +179,13 @@ class TumblingWindowFEwW:
         Raises:
             AlgorithmFailed: when no window has completed yet.
         """
-        if not self._completed:
+        if not self._state:
             raise AlgorithmFailed("no window completed yet")
-        return self._completed[-1]
+        return self._state[-1]
 
     def space_words(self) -> int:
         """Current instance plus the retained last answer."""
         retained = 0
-        if self._completed and self._completed[-1].neighbourhood is not None:
-            retained = 1 + 2 * self._completed[-1].neighbourhood.size
+        if self._state and self._state[-1].neighbourhood is not None:
+            retained = 1 + 2 * self._state[-1].neighbourhood.size
         return self._current.space_words() + retained

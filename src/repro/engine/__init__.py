@@ -33,17 +33,37 @@ from repro.engine.protocol import (
 )
 from repro.engine.runner import FanoutRunner, as_chunks, run_fanout
 from repro.engine.sharded import ShardedRunner, run_sharded, vertex_shard
+from repro.engine.windows import (
+    DecayAnswer,
+    DecayPolicy,
+    SlidingPolicy,
+    SlidingWindowAnswer,
+    TumblingPolicy,
+    WindowPolicy,
+    WindowRecord,
+    WindowedProcessor,
+    derive_bucket_seed,
+)
 
 __all__ = [
+    "DecayAnswer",
+    "DecayPolicy",
     "FanoutRunner",
     "MergeableStreamProcessor",
     "SHARD_ANY",
     "SHARD_BY_VERTEX",
     "SHARD_BY_WINDOW",
     "ShardedRunner",
+    "SlidingPolicy",
+    "SlidingWindowAnswer",
     "StreamProcessor",
+    "TumblingPolicy",
+    "WindowPolicy",
+    "WindowRecord",
+    "WindowedProcessor",
     "as_chunks",
     "combined_routing",
+    "derive_bucket_seed",
     "ensure_mergeable",
     "ensure_stream_processor",
     "run_fanout",

@@ -53,9 +53,9 @@ al.):
     residency-window witness collection stay *exact* inside its owning
     shard (the paper's Algorithms 1–2 and the witness baselines);
   - ``(SHARD_BY_WINDOW, window)`` — updates must be routed by global
-    stream position in blocks of ``window`` (the tumbling-window
-    wrapper, whose per-window instances are seeded by global window
-    index).
+    stream position in blocks of ``window`` (the windowed wrappers in
+    :mod:`repro.engine.windows`, whose per-bucket instances are seeded
+    by global bucket index; ``window`` is the policy's bucket size).
 """
 
 from __future__ import annotations

@@ -214,13 +214,16 @@ def _drive(
     n_workers: int,
     chunk_size: int,
     mmap: bool,
+    readahead: bool = False,
 ) -> Dict[str, Any]:
     """Run one shard's FanoutRunner over its routed sub-stream."""
     runner = FanoutRunner(shard, chunk_size=chunk_size)
     if isinstance(source, (str, Path)):
         from repro.streams.persist import ChunkedStreamReader
 
-        chunks = ChunkedStreamReader(source, mmap=mmap).chunks(chunk_size)
+        chunks = ChunkedStreamReader(
+            source, mmap=mmap, readahead=readahead
+        ).chunks(chunk_size)
     else:
         chunks = as_chunks(source, chunk_size)
     position = 0
@@ -236,10 +239,11 @@ def _drive(
 
 def _file_worker(args) -> Tuple[int, Any, Any]:
     """Process-pool body for file sources: self-read, filter, return."""
-    worker, n_workers, shard, path, routing, chunk_size, mmap = args
+    worker, n_workers, shard, path, routing, chunk_size, mmap, readahead = args
     try:
         processors = _drive(
-            shard, path, routing, worker, n_workers, chunk_size, mmap
+            shard, path, routing, worker, n_workers, chunk_size, mmap,
+            readahead,
         )
         return worker, processors, None
     except BaseException as exc:
@@ -276,6 +280,9 @@ class ShardedRunner:
         chunk_size: updates per chunk handed to ``process_batch``.
         mmap: memory-map v2 stream files instead of loading them (file
             sources only; the out-of-core path).
+        readahead: prefetch each worker's next chunk on a background
+            thread while the current one is processed (effective for
+            memory-mapped file sources; identical chunk contents).
         backend: ``"process"`` (fork pool; default) or ``"serial"``.
 
     Usage::
@@ -292,6 +299,7 @@ class ShardedRunner:
         n_workers: int = 2,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         mmap: bool = False,
+        readahead: bool = False,
         backend: str = "process",
     ) -> None:
         if n_workers < 1:
@@ -303,6 +311,7 @@ class ShardedRunner:
         self.n_workers = n_workers
         self.chunk_size = chunk_size
         self.mmap = mmap
+        self.readahead = bool(readahead)
         self.backend = backend
         self._processors: Dict[str, Any] = {}
         self._merged: Dict[str, Any] = {}
@@ -372,7 +381,9 @@ class ShardedRunner:
             if self.mmap:
                 from repro.streams.persist import ChunkedStreamReader
 
-                source = ChunkedStreamReader(source, mmap=True)
+                source = ChunkedStreamReader(
+                    source, mmap=True, readahead=self.readahead
+                )
             runner.process(source, chunk_size)
             self._merged = dict(self._processors)
             return runner.finalize()
@@ -423,7 +434,7 @@ class ShardedRunner:
             return [
                 _drive(
                     shard, source, routing, worker, self.n_workers,
-                    chunk_size, mmap,
+                    chunk_size, mmap, self.readahead,
                 )
                 for worker, shard in enumerate(shards)
             ]
@@ -483,6 +494,7 @@ class ShardedRunner:
                 routing,
                 chunk_size,
                 mmap,
+                self.readahead,
             )
             for worker, shard in enumerate(shards)
         ]
@@ -611,6 +623,7 @@ def run_sharded(
     n_workers: int = 2,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     mmap: bool = False,
+    readahead: bool = False,
     backend: str = "process",
 ) -> Dict[str, Any]:
     """One-shot convenience: build a ShardedRunner, run it, return answers."""
@@ -619,5 +632,6 @@ def run_sharded(
         n_workers=n_workers,
         chunk_size=chunk_size,
         mmap=mmap,
+        readahead=readahead,
         backend=backend,
     ).run(source)

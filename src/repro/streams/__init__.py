@@ -39,6 +39,7 @@ from repro.streams.persist import (
     load_columnar,
     load_stream,
     loads_stream,
+    stream_has_timestamps,
 )
 from repro.streams.transforms import (
     interleaved,
@@ -99,6 +100,7 @@ __all__ = [
     "random_bipartite_graph",
     "social_network_stream",
     "stream_from_edges",
+    "stream_has_timestamps",
     "zipf_frequency_columnar",
     "zipf_frequency_stream",
 ]

@@ -183,3 +183,54 @@ class TestSpace:
             algorithm = InsertionOnlyFEwW(256, 128, alpha, seed=18).process(stream)
             words.append(algorithm.space_words())
         assert words[0] > words[1] > words[2]
+
+
+class TestShardSeedDerivation:
+    """split() derives independent per-shard RNG streams (SeedSequence
+    spawn) instead of replicating the parent's coins."""
+
+    @staticmethod
+    def draws(algorithm, run_index=0, count=2000):
+        return [algorithm.runs[run_index]._rng.random() for _ in range(count)]
+
+    def test_shard_streams_pairwise_uncorrelated(self):
+        import numpy as np
+
+        shards = InsertionOnlyFEwW(64, 8, 2, seed=11).split(4)
+        sequences = [np.array(self.draws(shard)) for shard in shards]
+        for i in range(len(sequences)):
+            for j in range(i + 1, len(sequences)):
+                assert not np.array_equal(sequences[i], sequences[j]), (
+                    f"shards {i} and {j} replicate the same coin stream"
+                )
+                correlation = abs(float(np.corrcoef(sequences[i], sequences[j])[0, 1]))
+                assert correlation < 0.1, (
+                    f"shards {i}/{j} correlate at {correlation:.3f}"
+                )
+
+    def test_runs_within_a_shard_are_distinct(self):
+        import numpy as np
+
+        shard = InsertionOnlyFEwW(64, 8, 3, seed=11).split(2)[0]
+        streams = [
+            np.array([run._rng.random() for _ in range(500)])
+            for run in shard.runs
+        ]
+        for i in range(len(streams)):
+            for j in range(i + 1, len(streams)):
+                assert not np.array_equal(streams[i], streams[j])
+
+    def test_derivation_is_deterministic(self):
+        first = InsertionOnlyFEwW(64, 8, 2, seed=11).split(3)
+        second = InsertionOnlyFEwW(64, 8, 2, seed=11).split(3)
+        for mine, theirs in zip(first, second):
+            assert self.draws(mine, count=100) == self.draws(theirs, count=100)
+
+    def test_different_master_seeds_derive_different_shards(self):
+        one = InsertionOnlyFEwW(64, 8, 2, seed=1).split(2)[0]
+        other = InsertionOnlyFEwW(64, 8, 2, seed=2).split(2)[0]
+        assert self.draws(one, count=100) != self.draws(other, count=100)
+
+    def test_negative_seed_is_valid(self):
+        shards = InsertionOnlyFEwW(64, 8, 2, seed=-5).split(2)
+        assert len(shards) == 2

@@ -1,0 +1,323 @@
+"""Unit tests for the window-policy subsystem (repro.engine.windows)."""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.baselines import FullStorage
+from repro.core.windowed import Alg2WindowFactory, TumblingWindowFEwW
+from repro.engine import (
+    DecayPolicy,
+    FanoutRunner,
+    SlidingPolicy,
+    TumblingPolicy,
+    WindowedProcessor,
+    derive_bucket_seed,
+    ensure_mergeable,
+)
+from repro.streams.columnar import ColumnarEdgeStream
+
+
+def full_storage_factory(n, m, seed):
+    """Module-level (picklable) inner factory for a deterministic inner."""
+    return FullStorage(n, m)
+
+
+def make_full(n=16, m=2000):
+    return functools.partial(full_storage_factory, n, m)
+
+
+def make_stream(count, n=16, m=None, seed=3):
+    m = m or count
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, n, size=count)
+    b = np.arange(count, dtype=np.int64)
+    return ColumnarEdgeStream(a, b, n=n, m=m, validate=False)
+
+
+class TestPolicyValidation:
+    def test_tumbling_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window must be >= 1"):
+            TumblingPolicy(0)
+
+    def test_sliding_rejects_bad_ratio(self):
+        with pytest.raises(ValueError, match="bucket_ratio"):
+            SlidingPolicy(100, bucket_ratio=0.0)
+        with pytest.raises(ValueError, match="bucket_ratio"):
+            SlidingPolicy(100, bucket_ratio=1.5)
+
+    def test_decay_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="bucket_size"):
+            DecayPolicy(0)
+        with pytest.raises(ValueError, match="keep"):
+            DecayPolicy(10, keep=0)
+
+    def test_sliding_bucket_arithmetic(self):
+        policy = SlidingPolicy(600, bucket_ratio=0.25)
+        assert policy.bucket == 150
+        assert policy.retained == 5
+        tiny = SlidingPolicy(3, bucket_ratio=0.01)
+        assert tiny.bucket >= 1
+
+    def test_wrapper_rejects_non_policy(self):
+        with pytest.raises(TypeError, match="WindowPolicy"):
+            WindowedProcessor(make_full(), policy=object())
+
+
+class TestInnerValidation:
+    """The ensure_stream_processor / WindowedProcessor interaction."""
+
+    def test_nested_window_routing_is_a_clear_conflict(self):
+        """A window-routed inner processor (e.g. another windowed
+        wrapper) cannot be nested: the outer wrapper already owns the
+        ('window', bucket) partition."""
+        factory = functools.partial(
+            _tumbling_inner_factory, 16, 4, 2, 8
+        )
+        with pytest.raises(ValueError, match="cannot be nested"):
+            WindowedProcessor(factory, TumblingPolicy(32))
+        with pytest.raises(ValueError, match=r"\('window', 8\)"):
+            WindowedProcessor(factory, SlidingPolicy(32))
+
+    def test_vertex_routed_inner_is_fine(self):
+        # Algorithm 2 declares "vertex" routing; inside a bucket there
+        # is no further sharding, so the wrapper accepts it.
+        WindowedProcessor(Alg2WindowFactory(16, 4, 2), TumblingPolicy(8))
+
+    def test_nonconforming_inner_reports_missing_methods(self):
+        with pytest.raises(TypeError, match="process_batch"):
+            WindowedProcessor(lambda seed: object(), TumblingPolicy(8))
+
+    def test_sliding_requires_mergeable_inner(self):
+        with pytest.raises(TypeError, match="no merge"):
+            WindowedProcessor(
+                lambda seed: _UnmergeableProcessor(), SlidingPolicy(8)
+            )
+
+    def test_tumbling_accepts_unmergeable_inner(self):
+        # Tumbling finalizes buckets at close; it never merges inners.
+        WindowedProcessor(lambda seed: _UnmergeableProcessor(), TumblingPolicy(8))
+
+
+def _tumbling_inner_factory(n, d, alpha, window, seed):
+    return TumblingWindowFEwW(n, d, alpha, window, seed=seed)
+
+
+class _UnmergeableProcessor:
+    def process_batch(self, a, b, sign=None):
+        pass
+
+    def finalize(self):
+        return None
+
+
+class TestSeedDerivation:
+    def test_matches_pre_refactor_formula(self):
+        assert derive_bucket_seed(7, 3) == (7 * 1_000_003 + 3) & 0xFFFFFFFF
+
+    def test_buckets_get_global_index_seeds(self):
+        seen = []
+
+        def recording_factory(seed):
+            seen.append(seed)
+            return FullStorage(8, 64)
+
+        wrapper = WindowedProcessor(recording_factory, TumblingPolicy(4), seed=5)
+        stream = make_stream(12, n=8, m=64)
+        wrapper.process_batch(stream.a, stream.b, stream.sign)
+        assert seen == [derive_bucket_seed(5, i) for i in range(4)]
+
+
+class TestTumblingPolicy:
+    def test_records_match_boundaries(self):
+        wrapper = WindowedProcessor(make_full(), TumblingPolicy(5), seed=0)
+        stream = make_stream(12)
+        wrapper.process_batch(stream.a, stream.b, stream.sign)
+        records = wrapper.finalize()
+        assert [(r.window_index, r.start_update, r.end_update) for r in records] == [
+            (0, 0, 5), (1, 5, 10), (2, 10, 12)
+        ]
+
+    def test_empty_stream_records_one_empty_window(self):
+        wrapper = WindowedProcessor(make_full(), TumblingPolicy(5), seed=0)
+        records = wrapper.finalize()
+        assert len(records) == 1
+        assert records[0].end_update == 0
+
+    def test_chunk_size_invariance(self):
+        results = []
+        for chunk in (1, 3, 7, 100):
+            wrapper = WindowedProcessor(make_full(), TumblingPolicy(5), seed=0)
+            stream = make_stream(23)
+            for a, b, sign in stream.chunks(chunk):
+                wrapper.process_batch(a, b, sign)
+            results.append(
+                [
+                    (r.window_index, sorted(
+                        (v, tuple(sorted(ws)))
+                        for v, ws in r.value._neighbours.items()
+                    ))
+                    for r in wrapper.finalize()
+                ]
+            )
+        assert all(result == results[0] for result in results)
+
+
+class TestSlidingPolicy:
+    def test_span_within_bucket_bound(self):
+        policy = SlidingPolicy(600, bucket_ratio=0.25)
+        wrapper = WindowedProcessor(make_full(16, 3000), policy, seed=0)
+        stream = make_stream(2500, m=3000)
+        answer = wrapper.process(stream).finalize()
+        assert 600 <= answer.span <= 600 + policy.bucket
+        assert answer.end_update == 2500
+
+    def test_merged_summary_is_exact_over_span(self):
+        policy = SlidingPolicy(600, bucket_ratio=0.25)
+        wrapper = WindowedProcessor(make_full(16, 3000), policy, seed=0)
+        stream = make_stream(2500, m=3000)
+        answer = wrapper.process(stream).finalize()
+        tail = stream.a[-answer.span:]
+        exact = {
+            int(v): int(c) for v, c in zip(*np.unique(tail, return_counts=True))
+        }
+        got = {
+            v: len(ws)
+            for v, ws in answer.processor._neighbours.items()
+            if ws
+        }
+        assert got == exact
+
+    def test_short_stream_covers_everything(self):
+        policy = SlidingPolicy(600, bucket_ratio=0.25)
+        wrapper = WindowedProcessor(make_full(), policy, seed=0)
+        stream = make_stream(100)
+        answer = wrapper.process(stream).finalize()
+        assert answer.start_update == 0
+        assert answer.span == 100
+
+    def test_memory_is_bounded_by_retained(self):
+        policy = SlidingPolicy(100, bucket_ratio=0.25)
+        wrapper = WindowedProcessor(make_full(16, 5000), policy, seed=0)
+        stream = make_stream(5000, m=5000)
+        wrapper.process(stream)
+        assert len(wrapper._state) <= policy.retained
+
+    def test_finalize_is_repeatable(self):
+        # Buckets stay live (the merge runs over copies), so a second
+        # finalize reports the same answer.
+        policy = SlidingPolicy(60, bucket_ratio=0.5)
+        wrapper = WindowedProcessor(make_full(16, 500), policy, seed=0)
+        stream = make_stream(400, m=500)
+        first = wrapper.process(stream).finalize()
+        second = wrapper.finalize()
+        assert first.span == second.span
+        assert first.processor._neighbours == second.processor._neighbours
+
+
+class TestDecayPolicy:
+    def test_recent_plus_tail_partition_the_stream(self):
+        policy = DecayPolicy(bucket_size=100, keep=3)
+        wrapper = WindowedProcessor(make_full(16, 1000), policy, seed=0)
+        stream = make_stream(950, m=1000)
+        answer = wrapper.process(stream).finalize()
+        assert [r.window_index for r in answer.recent] == [7, 8, 9]
+        assert answer.recent[-1].end_update == 950
+        assert answer.has_tail
+        assert (answer.tail_start_update, answer.tail_end_update) == (0, 700)
+        # Tail + recent cover every update exactly once.
+        tail_degrees = {
+            v: len(ws)
+            for v, ws in answer.tail_processor._neighbours.items()
+            if ws
+        }
+        exact = {
+            int(v): int(c)
+            for v, c in zip(*np.unique(stream.a[:700], return_counts=True))
+        }
+        assert tail_degrees == exact
+
+    def test_no_tail_until_keep_exceeded(self):
+        policy = DecayPolicy(bucket_size=100, keep=5)
+        wrapper = WindowedProcessor(make_full(16, 500), policy, seed=0)
+        stream = make_stream(450, m=500)
+        answer = wrapper.process(stream).finalize()
+        assert not answer.has_tail
+        assert len(answer.recent) == 5
+
+
+class TestMergeableLayer:
+    def test_wrapper_passes_ensure_mergeable(self):
+        wrapper = WindowedProcessor(make_full(), SlidingPolicy(40), seed=0)
+        ensure_mergeable(wrapper)
+        assert wrapper.shard_routing == ("window", SlidingPolicy(40).bucket)
+
+    def test_split_after_processing_raises(self):
+        wrapper = WindowedProcessor(make_full(), TumblingPolicy(4), seed=0)
+        stream = make_stream(6)
+        wrapper.process_batch(stream.a, stream.b, stream.sign)
+        with pytest.raises(RuntimeError, match="before processing"):
+            wrapper.split(2)
+
+    def test_merge_rejects_policy_mismatch(self):
+        one = WindowedProcessor(make_full(), TumblingPolicy(4), seed=0)
+        other = WindowedProcessor(make_full(), TumblingPolicy(8), seed=0)
+        with pytest.raises(ValueError, match="different policies or seeds"):
+            one.merge(other)
+
+    def test_merge_rejects_seed_mismatch(self):
+        one = WindowedProcessor(make_full(), SlidingPolicy(40), seed=1)
+        other = WindowedProcessor(make_full(), SlidingPolicy(40), seed=2)
+        with pytest.raises(ValueError, match="different policies or seeds"):
+            one.merge(other)
+
+    def test_split_merge_equals_single_pass(self):
+        stream = make_stream(1000, m=1000)
+        single = WindowedProcessor(make_full(16, 1000), SlidingPolicy(300), seed=0)
+        single_answer = single.process(stream).finalize()
+
+        shards = WindowedProcessor(
+            make_full(16, 1000), SlidingPolicy(300), seed=0
+        ).split(3)
+        # Feed each shard exactly its own buckets, as window routing does.
+        bucket = SlidingPolicy(300).bucket
+        for start in range(0, 1000, bucket):
+            owner = (start // bucket) % 3
+            shards[owner].process_batch(
+                stream.a[start:start + bucket],
+                stream.b[start:start + bucket],
+                stream.sign[start:start + bucket],
+            )
+        merged = shards[0].merge(shards[1]).merge(shards[2])
+        merged_answer = merged.finalize()
+        assert merged_answer.span == single_answer.span
+        assert (
+            merged_answer.processor._neighbours
+            == single_answer.processor._neighbours
+        )
+
+
+class TestFanoutIntegration:
+    def test_windowed_and_plain_processors_share_one_pass(self):
+        stream = make_stream(500, m=500)
+        results = FanoutRunner(
+            {
+                "sliding": WindowedProcessor(
+                    make_full(16, 500), SlidingPolicy(120), seed=0
+                ),
+                "whole": FullStorage(16, 500),
+            },
+            chunk_size=64,
+        ).run(stream)
+        assert results["sliding"].span >= 120
+        whole = {
+            int(v): int(c)
+            for v, c in zip(*np.unique(stream.a, return_counts=True))
+        }
+        got = {
+            v: len(ws)
+            for v, ws in results["whole"]._neighbours.items()
+            if ws
+        }
+        assert got == whole

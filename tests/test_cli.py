@@ -265,3 +265,108 @@ class TestPersistCommands:
         code = main(["persist", "info", str(junk)])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestWindowPolicyCommands:
+    def test_tumbling_reports_per_window(self, capsys):
+        code = main(
+            ["run", "--workload", "star", "--n", "128", "--m", "512",
+             "--d", "40", "--window-policy", "tumbling", "--window", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed window(s):" in out
+        assert "window 0 [0, 300)" in out
+
+    def test_sliding_reports_span_and_bound(self, capsys):
+        code = main(
+            ["run", "--workload", "zipf", "--n", "64", "--m", "4000",
+             "--window-policy", "sliding", "--window", "500",
+             "--bucket-ratio", "0.25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sliding window (smooth histogram" in out
+        assert "requested window of 500" in out
+
+    def test_decay_reports_recent_and_tail(self, capsys):
+        code = main(
+            ["run", "--workload", "zipf", "--n", "64", "--m", "4000",
+             "--window-policy", "decay", "--window", "200",
+             "--decay-keep", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decay: 2 recent bucket(s)" in out
+        assert "tail [0," in out
+
+    def test_windowed_with_workers(self, capsys):
+        code = main(
+            ["run", "--workload", "star", "--n", "128", "--m", "512",
+             "--d", "40", "--window-policy", "tumbling", "--window", "256",
+             "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routing: ('window', 256)" in out
+        assert "completed window(s):" in out
+
+    def test_bad_window_parameter_is_a_friendly_error(self, capsys):
+        code = main(
+            ["run", "--workload", "star", "--window-policy", "tumbling",
+             "--window", "0"]
+        )
+        assert code == 2
+        assert "window must be >= 1" in capsys.readouterr().err
+
+    def test_readahead_requires_mmap(self, capsys):
+        code = main(["run", "--workload", "star", "--readahead"])
+        assert code == 2
+        assert "--readahead requires --mmap" in capsys.readouterr().err
+
+    def test_mmap_readahead_runs(self, capsys, tmp_path):
+        path = tmp_path / "stream.npz"
+        assert main(
+            ["run", "--workload", "star", "--n", "128", "--m", "512",
+             "--d", "32", "--save-stream", str(path)]
+        ) == 0
+        code = main(
+            ["run", "--stream-file", str(path), "--n", "128", "--d", "32",
+             "--mmap", "--readahead"]
+        )
+        assert code == 0
+
+    def test_persist_info_reports_timestamps(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.streams.columnar import ColumnarEdgeStream
+        from repro.streams.persist import dump_stream
+
+        path = tmp_path / "timestamped.npz"
+        stream = ColumnarEdgeStream(
+            np.array([0, 1, 2]), np.array([0, 1, 2]), n=4, m=4,
+            t=np.array([5, 6, 7]),
+        )
+        dump_stream(stream, path, format="v2")
+        assert main(["persist", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "v2.1" in out
+        assert "timestamps: [5, 7]" in out
+
+    def test_persist_convert_notes_dropped_timestamps(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.streams.columnar import ColumnarEdgeStream
+        from repro.streams.persist import dump_stream
+
+        source = tmp_path / "timestamped.npz"
+        stream = ColumnarEdgeStream(
+            np.array([0, 1, 2]), np.array([0, 1, 2]), n=4, m=4,
+            t=np.array([5, 6, 7]),
+        )
+        dump_stream(stream, source, format="v2")
+        destination = tmp_path / "stream.txt"
+        assert main(
+            ["persist", "convert", str(source), str(destination)]
+        ) == 0
+        assert "timestamps dropped" in capsys.readouterr().out

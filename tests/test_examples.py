@@ -16,6 +16,7 @@ EXPECTED_FRAGMENTS = {
     "turnstile_updates.py": "every witness survives all deletions",
     "lower_bound_reductions.py": "Figure 3",
     "windowed_monitoring.py": "each window's hot row detected in order",
+    "sliding_window_monitoring.py": "sliding verdict reflects only the recent hot row",
     "distributed_merge.py": "all three views agree on the heavy item",
 }
 
