@@ -30,14 +30,8 @@ from repro.baselines import (
 from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.insertion_deletion import InsertionDeletionFEwW
 from repro.core.star_detection import StarDetection
-from repro.core.windowed import Alg2WindowFactory
-from repro.engine import (
-    FanoutRunner,
-    ShardedRunner,
-    SlidingPolicy,
-    TumblingPolicy,
-    WindowedProcessor,
-)
+from repro.engine import FanoutRunner
+from repro.pipeline import Pipeline
 from repro.streams.adapters import bipartite_double_cover_columnar
 from repro.streams.columnar import ColumnarEdgeStream
 from repro.streams.generators import (
@@ -190,32 +184,35 @@ def measure_star_rates(cover: ColumnarEdgeStream, repeats: int = 1):
     return len(cover) / best_item, len(cover) / best_batch
 
 
-def window_policies(span: int = WINDOW_SPAN):
-    """The windowed-pass contenders: policy name -> policy factory."""
+def window_pipeline(columnar, policy: str, span: int = WINDOW_SPAN) -> Pipeline:
+    """The declarative pipeline of one windowed pass (Algorithm 2
+    under ``policy`` over an in-memory columnar stream)."""
     return (
-        ("tumbling", lambda: TumblingPolicy(span)),
-        ("sliding", lambda: SlidingPolicy(span, bucket_ratio=WINDOW_RATIO)),
+        Pipeline.builder()
+        .memory(columnar)
+        .chunk_size(CHUNK)
+        .processor("insertion-only", label="win", n=N, d=D, alpha=ALPHA)
+        .window(policy, span, bucket_ratio=WINDOW_RATIO, seed=3)
+        .build()
     )
 
 
 def measure_window_rates(columnar, span: int = WINDOW_SPAN, repeats: int = 1):
     """Algorithm 2 under each window policy: engine updates per second.
 
-    Every run must produce a non-empty windowed answer (tumbling: at
-    least one completed window; sliding: a covered span within the
+    Each pass is a :class:`~repro.pipeline.Pipeline` run; every run
+    must produce a non-empty windowed answer (tumbling: at least one
+    completed window; sliding: a covered span within the
     smooth-histogram bucket bound of the requested window).
     """
     rates = {}
-    for name, make_policy in window_policies(span):
+    for name in ("tumbling", "sliding"):
+        pipeline = window_pipeline(columnar, name, span)
         best = float("inf")
         for _ in range(repeats):
-            processor = WindowedProcessor(
-                Alg2WindowFactory(N, D, ALPHA), make_policy(), seed=3
-            )
-            runner = FanoutRunner({"win": processor}, chunk_size=CHUNK)
-            start = time.perf_counter()
-            answer = runner.run(columnar)["win"]
-            best = min(best, time.perf_counter() - start)
+            result = pipeline.run()
+            answer = result["win"]
+            best = min(best, result.report.elapsed_s)
         if name == "tumbling":
             assert len(answer) >= 1, "tumbling pass completed no windows"
         else:
@@ -240,35 +237,42 @@ def make_sharded_file(
     return destination
 
 
+def sharded_pipeline(path: Path, workers: int) -> Pipeline:
+    """The declarative pipeline of one sharded pass (Algorithm 2 over
+    a memory-mapped v2 file).  Every worker count uses the sharded
+    backend — 1 worker is its degenerate single-core path — so the
+    auto-enabled mmap readahead applies uniformly and the
+    speedup-vs-single ratios compare identical I/O configurations."""
+    return (
+        Pipeline.builder()
+        .file(path, mmap=True)
+        .chunk_size(CHUNK)
+        .processor("insertion-only", label="alg2", n=N, d=D, alpha=ALPHA,
+                   seed=3)
+        .sharded(workers)
+        .build()
+    )
+
+
 def measure_sharded_rates(path: Path, worker_counts=SHARDED_WORKERS):
     """Algorithm 2 throughput at each worker count, mmap-fed from disk.
 
-    Workers read the file themselves (no data IPC).  Every worker count
-    must succeed and report a neighbourhood meeting the ``d/alpha``
-    witness threshold (Algorithm 2 returns *any* successful run's
-    answer, so different worker counts may legitimately name different
-    heavy vertices — the guarantee, not the identity, is asserted; the
+    Each pass is a :class:`~repro.pipeline.Pipeline` run; workers read
+    the file themselves (no data IPC).  Every worker count must succeed
+    and report a neighbourhood meeting the ``d/alpha`` witness
+    threshold (Algorithm 2 returns *any* successful run's answer, so
+    different worker counts may legitimately name different heavy
+    vertices — the guarantee, not the identity, is asserted; the
     bit-level equivalences live in
     tests/integration/test_sharded_equivalence.py).
     """
     import math
 
-    from repro.streams.persist import ChunkedStreamReader
-
-    n_updates = len(ChunkedStreamReader(path, mmap=True))
     rates = {}
     for workers in worker_counts:
-        runner = ShardedRunner(
-            {"alg2": InsertionOnlyFEwW(N, D, ALPHA, seed=3)},
-            n_workers=workers,
-            chunk_size=CHUNK,
-            mmap=True,
-        )
-        start = time.perf_counter()
-        results = runner.run(path)
-        elapsed = time.perf_counter() - start
-        rates[workers] = n_updates / elapsed
-        answer = results["alg2"]
+        result = sharded_pipeline(path, workers).run()
+        rates[workers] = result.report.updates_per_s
+        answer = result["alg2"]
         assert answer is not None, f"{workers}-worker run failed"
         assert answer.size >= math.ceil(D / ALPHA), (
             f"{workers}-worker answer below threshold: {answer.size}"

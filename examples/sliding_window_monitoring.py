@@ -8,18 +8,24 @@ at query time, covering the last ``L`` updates with
 ``W <= L <= (1 + ratio) * W`` — a (1+ε)-approximate window at a
 fraction of the cost of one instance per offset.
 
-The workload shifts its hot row over three phases; the sliding answer
-must reflect only the *latest* phase, while a whole-stream run still
-reports the all-time heavy row.
+The whole run is assembled through the declarative Pipeline API: an
+in-memory source, Algorithm 2 resolved by registry name, the sliding
+window policy, one fanout pass — plus ``probe_every``, which snapshots
+the windowed answer *mid-stream* (``WindowedProcessor.query()``, the
+smooth histogram's query-at-any-point) once per phase.
+
+The workload shifts its hot row over three phases; each probe must see
+the phase that just ended, the final sliding answer must reflect only
+the *latest* phase, while a whole-stream run still reports the
+all-time heavy row.
 
 Run:  python examples/sliding_window_monitoring.py
 """
 
 import numpy as np
 
-from repro.core.insertion_only import InsertionOnlyFEwW
-from repro.core.windowed import Alg2WindowFactory
-from repro.engine import FanoutRunner, SlidingPolicy, WindowedProcessor
+from repro.engine import SlidingPolicy
+from repro.pipeline import Pipeline
 from repro.streams.columnar import ColumnarEdgeStream
 
 N_ROWS = 64
@@ -50,25 +56,55 @@ def main() -> None:
           f"updates via {policy.retained} smooth-histogram buckets of "
           f"{policy.bucket}")
 
-    monitor = WindowedProcessor(
-        Alg2WindowFactory(N_ROWS, D, 2), policy, seed=1
+    pipeline = (
+        Pipeline.builder()
+        .memory(stream)
+        .chunk_size(150)  # aligns probe quantization with the phases
+        .processor("insertion-only", label="sliding", n=N_ROWS, d=D, alpha=2)
+        .window("sliding", PHASE, bucket_ratio=0.25, seed=1)
+        .build()
     )
-    all_time = InsertionOnlyFEwW(N_ROWS, D, 2, seed=2)
-    answers = FanoutRunner({"sliding": monitor, "all-time": all_time}).run(stream)
+    # One probe per phase: the mid-stream sliding answer at each point.
+    result = pipeline.run(probe_every=PHASE)
 
-    sliding = answers["sliding"]
+    print("\nmid-stream probes (query-at-any-point):")
+    for probe in result.probes:
+        answer = probe.answers["sliding"]
+        hot = answer.value
+        label = f"row {hot.vertex}" if hot is not None else "none"
+        print(f"  at update {probe.position}: covered "
+              f"[{answer.start_update}, {answer.end_update}) -> {label}")
+
+    sliding = result["sliding"]
     print(f"\nsliding answer covers updates [{sliding.start_update}, "
           f"{sliding.end_update}) — span {sliding.span} "
           f"(bound: {PHASE} <= span <= {PHASE + policy.bucket})")
     hot = sliding.value
     print(f"  hot row now: {hot.vertex} with {hot.size} recent users")
-    whole = answers["all-time"]
+    # For contrast, a whole-stream (unwindowed) pipeline over the same
+    # source still reports the all-time heavy row.
+    whole = (
+        Pipeline.builder()
+        .memory(stream)
+        .processor("insertion-only", label="whole", n=N_ROWS, d=D, alpha=2,
+                   seed=2)
+        .build()
+        .run()["whole"]
+    )
     print(f"  whole-stream answer (for contrast): row {whole.vertex}")
 
     assert PHASE <= sliding.span <= PHASE + policy.bucket
     assert hot.vertex == 11, "sliding window should see only the last phase"
     # Witnesses are arrival indices, so "recent" is checkable directly.
     assert min(hot.witnesses) >= sliding.start_update
+    # Each probe's covered span must end exactly at the probe position —
+    # the query-at-any-point property.
+    assert [probe.position for probe in result.probes] \
+        == [PHASE, 2 * PHASE, 3 * PHASE]
+    assert all(
+        probe.answers["sliding"].end_update == probe.position
+        for probe in result.probes
+    )
     print("\nsliding verdict reflects only the recent hot row — OK")
 
 

@@ -14,7 +14,11 @@ workloads and the acceptance bars), runs
   1, 2 and 4 workers, and
 * the windowed pass: Algorithm 2 under the engine's window policies
   (tumbling, and the smooth-histogram sliding window) over the same
-  Zipf workload,
+  Zipf workload, and
+* the spec-driven pass: a declarative JSON job spec executed through
+  ``repro.pipeline.Pipeline.from_dict`` (generator source resolved by
+  registry, sliding window, fanout backend), recording that the
+  pipeline front door sustains engine rates,
 
 then writes a ``BENCH_throughput.json`` artifact (by default into the
 repository root) so the performance trajectory can be tracked across
@@ -75,7 +79,60 @@ from bench_throughput import (  # noqa: E402 (needs the path tweak above)
     WINDOW_SPAN,
 )
 
+from repro.pipeline import Pipeline  # noqa: E402
 from repro.streams.columnar import ColumnarEdgeStream  # noqa: E402
+
+
+def pipeline_spec(records: int, span: int) -> dict:
+    """The JSON job spec of the declarative-pipeline pass: the zipf
+    workload resolved through the generator registry, Algorithm 2 under
+    the sliding window, one fanout pass.  Exactly what a user would put
+    in a ``repro run --spec job.json`` file.
+
+    The registry workload derives ``n_records = min(m, 8 * d)`` (the
+    CLI's sizing rule), so the generator ``d`` is set to ``records/8``
+    to make the stream exactly ``records`` updates long — comparable
+    with the other passes.  The processor keeps the benchmark's real
+    threshold ``D``.  No processor seed: windowed specs seed buckets
+    from ``window.seed``.
+    """
+    return {
+        "source": {
+            "kind": "generator",
+            "generator": "zipf",
+            "params": {"n": N, "m": records,
+                       "d": max(D, -(-records // 8)), "alpha": ALPHA,
+                       "seed": 61},
+            "chunk_size": CHUNK,
+        },
+        "processors": [
+            {
+                "name": "insertion-only",
+                "label": "alg2",
+                "params": {"n": N, "d": D, "alpha": ALPHA},
+            }
+        ],
+        "window": {
+            "policy": "sliding",
+            "window": span,
+            "bucket_ratio": WINDOW_RATIO,
+            "seed": 3,
+        },
+    }
+
+
+def measure_pipeline(records: int, span: int) -> dict:
+    """Run the spec-driven pass and summarise it for the artifact."""
+    spec = pipeline_spec(records, span)
+    result = Pipeline.from_dict(spec).run()
+    answer = result["alg2"]
+    assert answer is not None, "spec-driven sliding pass produced no answer"
+    return {
+        "spec": spec,
+        "updates_per_s": result.report.updates_per_s,
+        "updates": result.report.n_updates,
+        "answer": result.to_dict()["answers"]["alg2"],
+    }
 
 
 def main() -> int:
@@ -184,6 +241,13 @@ def main() -> int:
             ],
         }
 
+    # Spec-driven pass: the same workload family through a JSON job
+    # spec (Pipeline.from_dict), so the artifact records that the
+    # declarative front door sustains engine rates.
+    pipeline_span = min(WINDOW_SPAN, max(64, args.records // 8))
+    pipeline_row = measure_pipeline(args.records, pipeline_span)
+    artifact["pipeline"] = {"host": host, **pipeline_row}
+
     sharded_rates = None
     if not args.skip_sharded:
         with tempfile.TemporaryDirectory() as tmp:
@@ -227,6 +291,9 @@ def main() -> int:
               f"{artifact['windowed']['config']['window']}):")
         for name, rate in window_rates.items():
             print(f"  {name:10s} {rate / 1e3:10.1f} k-upd/s")
+    print(f"\nspec-driven pipeline (sliding window over "
+          f"{pipeline_row['updates']} zipf updates): "
+          f"{pipeline_row['updates_per_s'] / 1e3:10.1f} k-upd/s")
     if sharded_rates is not None:
         print(f"\nsharded Algorithm 2 ({args.sharded_updates} updates, "
               f"mmap v2 file, {cores} effective core(s)):")

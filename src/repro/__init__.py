@@ -17,6 +17,18 @@ Quickstart::
     result = algorithm.process(stream).result()
     print(result.vertex, result.size)   # the heavy vertex + >=100 witnesses
 
+Or declaratively — every run is a serializable spec (source x window x
+backend x processors) executed through :class:`repro.Pipeline`::
+
+    from repro import Pipeline
+
+    result = (Pipeline.builder()
+              .generator("star", n=1000, m=2000, d=200, seed=7)
+              .processor("insertion-only", n=1000, d=200, alpha=2, seed=1)
+              .build()
+              .run())
+    print(result["insertion-only"])     # same answer, plus a RunReport
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced claim.
 """
@@ -47,6 +59,19 @@ from repro.engine import (
     as_chunks,
     run_fanout,
     run_sharded,
+)
+from repro.pipeline import (
+    ExecSpec,
+    Pipeline,
+    PipelineBuilder,
+    PipelineResult,
+    PipelineSpec,
+    ProcessorSpec,
+    SourceSpec,
+    WindowSpec,
+    register_generator,
+    register_processor,
+    run_spec,
 )
 from repro.streams import (
     DELETE,
@@ -92,9 +117,11 @@ __all__ = [
     "ChunkedStreamReader",
     "ColumnarEdgeStream",
     "DELETE",
+    "DecayPolicy",
     "DegResSampling",
     "Edge",
     "EdgeStream",
+    "ExecSpec",
     "FanoutRunner",
     "GeneratorConfig",
     "INSERT",
@@ -103,10 +130,15 @@ __all__ = [
     "LabelCodec",
     "MergeableStreamProcessor",
     "Neighbourhood",
+    "Pipeline",
+    "PipelineBuilder",
+    "PipelineResult",
+    "PipelineSpec",
+    "ProcessorSpec",
     "SamplingStrategy",
     "ShardedRunner",
-    "DecayPolicy",
     "SlidingPolicy",
+    "SourceSpec",
     "StarDetection",
     "StarDetectionResult",
     "StreamItem",
@@ -115,6 +147,7 @@ __all__ = [
     "TumblingPolicy",
     "TumblingWindowFEwW",
     "WindowPolicy",
+    "WindowSpec",
     "WindowedProcessor",
     "adversarial_interleaved_stream",
     "as_chunks",
@@ -134,8 +167,11 @@ __all__ = [
     "process_columnar",
     "random_bipartite_columnar",
     "random_bipartite_graph",
+    "register_generator",
+    "register_processor",
     "run_fanout",
     "run_sharded",
+    "run_spec",
     "social_network_stream",
     "stream_from_edges",
     "verify_neighbourhood",

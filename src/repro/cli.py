@@ -1,15 +1,16 @@
-"""Command-line interface: run FEwW algorithms on synthetic workloads.
+"""Command-line interface: a thin client of :mod:`repro.pipeline`.
 
 Subcommands:
 
-* ``run`` — build a workload (generated, or loaded with
-  ``--stream-file``), stream it through the batch execution engine
-  (:class:`~repro.engine.FanoutRunner`, or a multi-core
-  :class:`~repro.engine.ShardedRunner` with ``--workers N``), print the
-  verified result and space accounting; ``--save-stream`` persists the
-  workload for replay; ``--mmap`` memory-maps a v2 stream file so
-  larger-than-RAM workloads stream without materialising
-  (``--readahead`` overlaps the next chunk's page-in with compute);
+* ``run`` — assemble a declarative :class:`~repro.pipeline.Pipeline`
+  from the flags (workload/file source × optional window policy ×
+  serial-or-sharded backend × algorithm) and execute it, printing the
+  verified result and space accounting; ``--spec job.json`` runs a
+  JSON pipeline spec directly instead of flags.  ``--save-stream``
+  persists the workload for replay; ``--mmap`` memory-maps a v2 stream
+  file so larger-than-RAM workloads stream without materialising
+  (``--readahead`` overlaps upcoming chunks' page-in with compute,
+  ``--readahead-depth`` sets how many stay in flight);
   ``--window-policy tumbling|sliding|decay`` runs the algorithm under
   an engine window policy (``--window`` span, ``--bucket-ratio`` for
   the smooth-histogram sliding window, ``--decay-keep`` for
@@ -30,6 +31,7 @@ Examples::
     python -m repro run --stream-file zipf.npz --d 64 --workers 4 --mmap
     python -m repro run --workload zipf --window-policy sliding --window 2048
     python -m repro run --workload star --window-policy tumbling --window 4096 --workers 4
+    python -m repro run --spec job.json
     python -m repro persist info zipf.npz
     python -m repro persist convert zipf.npz zipf.txt
     python -m repro bounds --n 4096 --d 128 --alpha 2
@@ -39,34 +41,26 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.insertion_deletion import InsertionDeletionFEwW
-from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.neighbourhood import AlgorithmFailed, verify_neighbourhood
-from repro.core.windowed import Alg2WindowFactory, Alg3WindowFactory
-from repro.engine import (
-    DecayPolicy,
-    FanoutRunner,
-    ShardedRunner,
-    SlidingPolicy,
-    TumblingPolicy,
-    WindowedProcessor,
-)
 from repro.engine.sharded import ShardedWorkerError
-from repro.streams.columnar import DEFAULT_CHUNK_SIZE, ColumnarEdgeStream
-from repro.streams.generators import (
-    GeneratorConfig,
-    adversarial_interleaved_stream,
-    degree_cascade_graph,
-    deletion_churn_stream,
-    planted_star_graph,
-    zipf_frequency_stream,
+from repro.pipeline import (
+    ExecSpec,
+    Pipeline,
+    PipelineSpec,
+    ProcessorSpec,
+    SourceSpec,
+    SpecError,
+    WindowSpec,
 )
+from repro.pipeline import pipeline as pipeline_module
+from repro.streams.columnar import DEFAULT_CHUNK_SIZE
 from repro.streams.persist import (
-    ChunkedStreamReader,
     StreamFormatError,
     detect_version,
     dump_stream,
@@ -86,14 +80,17 @@ WINDOW_POLICIES = ("tumbling", "sliding", "decay")
 
 
 def make_window_policy(args: argparse.Namespace):
-    """The WindowPolicy a ``--window-policy`` invocation asked for."""
-    if args.window_policy == "tumbling":
-        return TumblingPolicy(args.window)
-    if args.window_policy == "sliding":
-        return SlidingPolicy(args.window, bucket_ratio=args.bucket_ratio)
-    if args.window_policy == "decay":
-        return DecayPolicy(args.window, keep=args.decay_keep)
-    raise ValueError(f"unknown window policy {args.window_policy!r}")
+    """Deprecated shim: the WindowPolicy a ``--window-policy`` run asks
+    for.  Use :func:`repro.pipeline.make_window_policy` on a
+    :class:`~repro.pipeline.WindowSpec` instead."""
+    warnings.warn(
+        "repro.cli.make_window_policy is deprecated; build a "
+        "repro.pipeline.WindowSpec and use "
+        "repro.pipeline.make_window_policy",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return pipeline_module.make_window_policy(_window_spec_from_args(args))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="run an algorithm on a workload")
+    run.add_argument("--spec", type=Path, metavar="PATH",
+                     help="run a JSON pipeline spec (see the README's "
+                          "Pipeline API section); all other run flags "
+                          "are ignored")
     run.add_argument("--workload", choices=WORKLOADS, default="star")
     run.add_argument("--algorithm", choices=ALGORITHMS, default="insertion-only")
     run.add_argument("--n", type=int, default=512, help="number of items (A-vertices)")
@@ -129,9 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="memory-map the v2 stream file instead of loading "
                           "it (requires --stream-file; the out-of-core path)")
     run.add_argument("--readahead", action="store_true",
-                     help="prefetch the next chunk on a background thread "
+                     help="prefetch upcoming chunks on background threads "
                           "while the current one is processed (requires "
-                          "--mmap)")
+                          "--mmap; sharded mmap runs enable this "
+                          "automatically)")
+    run.add_argument("--readahead-depth", type=int, default=1,
+                     help="chunks the prefetcher keeps in flight "
+                          "(with --readahead or auto-enabled sharded "
+                          "readahead)")
     run.add_argument("--window-policy", choices=WINDOW_POLICIES,
                      help="run the algorithm under an engine window policy "
                           "and report per-window answers")
@@ -173,45 +179,97 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def make_workload(args: argparse.Namespace):
-    """Build the stream for the requested workload (ground truth known)."""
-    config = GeneratorConfig(n=args.n, m=args.m, seed=args.seed)
-    if args.workload == "star":
-        return planted_star_graph(config, star_degree=args.d,
-                                  background_degree=min(5, args.d - 1))
-    if args.workload == "cascade":
-        return degree_cascade_graph(config, d=args.d, alpha=max(2, args.alpha))
-    if args.workload == "adversarial":
-        return adversarial_interleaved_stream(
-            config, star_degree=args.d,
-            n_decoys=min(args.n - 1, 30),
-            decoy_degree=max(1, args.d // 2),
-        )
-    if args.workload == "zipf":
-        return zipf_frequency_stream(config, n_records=min(args.m, 8 * args.d))
-    if args.workload == "churn":
-        return deletion_churn_stream(config, star_degree=args.d,
-                                     churn_edges=4 * args.d)
-    raise ValueError(f"unknown workload {args.workload!r}")
+    """Deprecated shim: build the stream for the requested workload.
+
+    Use a ``generator`` :class:`~repro.pipeline.SourceSpec` (the CLI
+    workloads are registered in :data:`repro.pipeline.GENERATORS`
+    under the same names with the same parameter derivations).
+    """
+    warnings.warn(
+        "repro.cli.make_workload is deprecated; use a generator "
+        "SourceSpec resolved through repro.pipeline.GENERATORS",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.pipeline import GENERATORS, UnknownNameError
+
+    try:
+        return GENERATORS.build(args.workload, _workload_params(args))
+    except UnknownNameError as error:
+        # Shim fidelity: the old factory's error contract.
+        raise ValueError(f"unknown workload {args.workload!r}") from error
 
 
-def _load_run_stream(args: argparse.Namespace) -> ColumnarEdgeStream:
-    """The columnar stream a `run` invocation operates on."""
+def _workload_params(args: argparse.Namespace) -> dict:
+    """Generator-registry parameters of a flag-driven workload."""
+    return {
+        "n": args.n,
+        "m": args.m,
+        "d": args.d,
+        "alpha": args.alpha,
+        "seed": args.seed,
+    }
+
+
+def _window_spec_from_args(args: argparse.Namespace) -> WindowSpec:
+    return WindowSpec(
+        policy=args.window_policy,
+        window=args.window,
+        bucket_ratio=args.bucket_ratio,
+        keep=args.decay_keep,
+        seed=args.seed,
+    )
+
+
+def _source_spec_from_args(args: argparse.Namespace) -> SourceSpec:
     if args.stream_file is not None:
-        return load_columnar(args.stream_file)
-    generated = make_workload(args)
-    columnar = ColumnarEdgeStream.from_edge_stream(generated)
-    if args.save_stream is not None:
-        dump_stream(
-            columnar,
-            args.save_stream,
-            format="auto",
-            trailer=f"workload={args.workload} seed={args.seed}",
+        return SourceSpec.from_file(
+            args.stream_file,
+            chunk_size=args.chunk_size,
+            mmap=args.mmap,
+            # None = auto: sharded mmap passes prefetch on their own.
+            readahead=True if args.readahead else None,
+            readahead_depth=args.readahead_depth,
         )
-        print(f"stream saved to {args.save_stream}")
-    return columnar
+    return SourceSpec.from_generator(
+        args.workload, _workload_params(args), chunk_size=args.chunk_size
+    )
+
+
+def _pipeline_from_args(
+    args: argparse.Namespace, source_spec: SourceSpec, d: int, n: int, m: int
+) -> Pipeline:
+    """The declarative pipeline a flag-driven ``run`` describes."""
+    window = (
+        _window_spec_from_args(args) if args.window_policy is not None
+        else None
+    )
+    if args.algorithm == "insertion-only":
+        params = {"n": n, "d": d, "alpha": args.alpha}
+    else:
+        params = {"n": n, "m": m, "d": d, "alpha": args.alpha,
+                  "scale": args.scale}
+    if window is None:
+        # Windowed runs seed per-bucket instances from window.seed; a
+        # processor-level seed there is a validation conflict.
+        params["seed"] = args.seed
+    processor = ProcessorSpec(args.algorithm, params, label="algorithm")
+    execution = (
+        ExecSpec("sharded", args.workers) if args.workers > 1 else ExecSpec()
+    )
+    return Pipeline(
+        PipelineSpec(
+            source=source_spec,
+            processors=(processor,),
+            window=window,
+            execution=execution,
+        )
+    )
 
 
 def command_run(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        return _run_spec_file(args.spec)
     if args.stream_file is not None and args.save_stream is not None:
         print("error: --save-stream only applies to generated workloads; "
               "use `persist convert` to re-encode an existing stream file",
@@ -226,94 +284,53 @@ def command_run(args: argparse.Namespace) -> int:
         return 2
     if args.readahead and not args.mmap:
         print("error: --readahead requires --mmap (it prefetches the "
-              "memory-mapped reader's next chunk)", file=sys.stderr)
+              "memory-mapped reader's next chunks)", file=sys.stderr)
         return 2
-    stream: Optional[ColumnarEdgeStream] = None
+    if args.readahead_depth < 1:
+        print("error: --readahead-depth must be >= 1", file=sys.stderr)
+        return 2
+    source_spec = _source_spec_from_args(args)
     try:
-        if args.mmap:
-            # Out-of-core path: only the zip directory and npy headers
-            # are touched here; chunks page in during the engine pass.
-            reader = ChunkedStreamReader(
-                args.stream_file, mmap=True, readahead=args.readahead
-            )
-            if reader.version != 2:
-                print("error: --mmap requires a v2 (NPZ) stream file; "
-                      "convert with `persist convert`", file=sys.stderr)
-                return 2
-            n, m = reader.n, reader.m
-            print(f"file {args.stream_file} (mmap): feww-stream v2 "
-                  f"n={n} m={m}, {len(reader)} updates")
-        else:
-            stream = _load_run_stream(args)
-            n, m = stream.n, stream.m
-            source_label = (
-                f"file {args.stream_file}" if args.stream_file is not None
-                else f"workload '{args.workload}'"
-            )
-            print(f"{source_label}: {stream.stats()}")
-    except (StreamFormatError, OSError) as error:
+        source = pipeline_module.open_source(source_spec)
+    except (StreamFormatError, OSError, SpecError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    stream = source.stream
+    n, m = source.n, source.m
+    if stream is None:
+        print(f"file {args.stream_file} (mmap): feww-stream v2 "
+              f"n={n} m={m}, {len(source)} updates")
+    else:
+        if args.save_stream is not None:
+            dump_stream(
+                stream,
+                args.save_stream,
+                format="auto",
+                trailer=f"workload={args.workload} seed={args.seed}",
+            )
+            print(f"stream saved to {args.save_stream}")
+        source_label = (
+            f"file {args.stream_file}" if args.stream_file is not None
+            else f"workload '{args.workload}'"
+        )
+        print(f"{source_label}: {stream.stats()}")
     d = args.d
     if args.workload == "zipf" and args.stream_file is None:
         d = stream.max_degree()
     if args.algorithm == "insertion-only":
         # In mmap mode the check pages in just the sign column — still
         # far cheaper than crashing mid-run on the first deletion.
-        source_is_insertion_only = (
-            stream.insertion_only if stream is not None
-            else reader.insertion_only
-        )
-        if not source_is_insertion_only:
+        if not source.insertion_only:
             print("error: workload contains deletions; "
                   "use --algorithm insertion-deletion", file=sys.stderr)
             return 2
-        algorithm = InsertionOnlyFEwW(n, d, args.alpha, seed=args.seed)
-    else:
-        algorithm = InsertionDeletionFEwW(
-            n, m, d, args.alpha, seed=args.seed, scale=args.scale
-        )
-    windowed = args.window_policy is not None
-    if windowed:
-        if args.algorithm == "insertion-only":
-            factory = Alg2WindowFactory(n, d, args.alpha)
-        else:
-            factory = Alg3WindowFactory(n, m, d, args.alpha, args.scale)
-        try:
-            algorithm = WindowedProcessor(
-                factory, make_window_policy(args), seed=args.seed
-            )
-        except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-    # One engine pass; the runners generalise to N structures per pass.
-    # result() is queried directly (not via finalize) so the failure
-    # diagnostics reach the user.
-    windowed_answer = None
     try:
-        if args.workers > 1:
-            # Workers read stream files themselves (no data IPC);
-            # generated workloads stream through per-worker queues.
-            source = (
-                args.stream_file if args.stream_file is not None else stream
-            )
-            sharded = ShardedRunner(
-                {"algorithm": algorithm},
-                n_workers=args.workers,
-                chunk_size=args.chunk_size,
-                mmap=args.mmap,
-                readahead=args.readahead,
-            )
-            # run() already finalizes the merged processors; keep the
-            # windowed answer rather than re-merging bucket summaries.
-            windowed_answer = sharded.run(source)["algorithm"]
-            algorithm = sharded["algorithm"]
-            print(f"sharded over {args.workers} workers "
-                  f"(routing: {sharded.routing()!r})")
-        else:
-            runner = FanoutRunner({"algorithm": algorithm},
-                                  chunk_size=args.chunk_size)
-            runner.process(reader if args.mmap else stream)
+        pipeline = _pipeline_from_args(args, source_spec, d, n, m)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = pipeline.run(source=source)
     except (StreamFormatError, OSError) as error:
         # mmap readers defer range validation to chunk iteration, so a
         # corrupt file can surface here rather than at open time.
@@ -328,20 +345,24 @@ def command_run(args: argparse.Namespace) -> int:
                   f"{error.cause_type} in worker:\n{error}", file=sys.stderr)
             return 2
         raise
-    if windowed:
-        if windowed_answer is None:
-            windowed_answer = algorithm.finalize()
-        report_windowed(args.window_policy, windowed_answer)
+    algorithm = result.processors["algorithm"]
+    if args.workers > 1:
+        print(f"sharded over {args.workers} workers "
+              f"(routing: {result.report.routing!r})")
+    if args.window_policy is not None:
+        report_windowed(args.window_policy, result["algorithm"])
         print(f"space: {algorithm.space_words()} words")
         return 0
+    # result() is queried directly (not via the finalized answer) so
+    # the failure diagnostics reach the user.
     try:
-        result = algorithm.result()
+        answer = algorithm.result()
     except AlgorithmFailed as failure:
         print(f"algorithm reported fail: {failure}")
         return 1
-    print(f"reported: {result}")
+    print(f"reported: {answer}")
     if stream is not None:
-        verify_neighbourhood(result, stream.to_edge_stream(), d, args.alpha)
+        verify_neighbourhood(answer, stream.to_edge_stream(), d, args.alpha)
         print(f"threshold d/alpha = {d / args.alpha:.1f}; verified against "
               f"ground truth: OK")
     else:
@@ -350,6 +371,36 @@ def command_run(args: argparse.Namespace) -> int:
               f"stream)")
     print(f"space: {algorithm.space_words()} words")
     print(algorithm.space_breakdown())
+    return 0
+
+
+def _run_spec_file(path: Path) -> int:
+    """``run --spec job.json``: execute a JSON pipeline spec."""
+    try:
+        pipeline = Pipeline.from_spec_file(path)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except SpecError as error:
+        print(f"error: invalid spec {path}: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = pipeline.run()
+    except ShardedWorkerError as error:
+        if error.is_stream_error:
+            print(f"error: {error.cause_type} in worker:\n{error}",
+                  file=sys.stderr)
+            return 2
+        raise
+    except (StreamFormatError, OSError, ValueError) as error:
+        # ValueError covers input mismatches a spec can't express
+        # statically — e.g. a deletion-bearing source fed to an
+        # insertion-only processor (the flag path pre-checks this, the
+        # spec path surfaces the processor's own diagnostic).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"spec: {path}")
+    print(json.dumps(result.to_dict(), indent=2))
     return 0
 
 

@@ -32,7 +32,13 @@ from repro.engine.protocol import (
     shard_routing_of,
 )
 from repro.engine.runner import FanoutRunner, as_chunks, run_fanout
-from repro.engine.sharded import ShardedRunner, run_sharded, vertex_shard
+from repro.engine.sharded import (
+    ShardedRunner,
+    ShardedWorkerError,
+    fork_available,
+    run_sharded,
+    vertex_shard,
+)
 from repro.engine.windows import (
     DecayAnswer,
     DecayPolicy,
@@ -54,6 +60,7 @@ __all__ = [
     "SHARD_BY_VERTEX",
     "SHARD_BY_WINDOW",
     "ShardedRunner",
+    "ShardedWorkerError",
     "SlidingPolicy",
     "SlidingWindowAnswer",
     "StreamProcessor",
@@ -66,6 +73,7 @@ __all__ = [
     "derive_bucket_seed",
     "ensure_mergeable",
     "ensure_stream_processor",
+    "fork_available",
     "run_fanout",
     "run_sharded",
     "shard_routing_of",

@@ -215,6 +215,7 @@ def _drive(
     chunk_size: int,
     mmap: bool,
     readahead: bool = False,
+    readahead_depth: int = 1,
 ) -> Dict[str, Any]:
     """Run one shard's FanoutRunner over its routed sub-stream."""
     runner = FanoutRunner(shard, chunk_size=chunk_size)
@@ -222,7 +223,8 @@ def _drive(
         from repro.streams.persist import ChunkedStreamReader
 
         chunks = ChunkedStreamReader(
-            source, mmap=mmap, readahead=readahead
+            source, mmap=mmap, readahead=readahead,
+            readahead_depth=readahead_depth,
         ).chunks(chunk_size)
     else:
         chunks = as_chunks(source, chunk_size)
@@ -239,11 +241,12 @@ def _drive(
 
 def _file_worker(args) -> Tuple[int, Any, Any]:
     """Process-pool body for file sources: self-read, filter, return."""
-    worker, n_workers, shard, path, routing, chunk_size, mmap, readahead = args
+    (worker, n_workers, shard, path, routing, chunk_size, mmap, readahead,
+     readahead_depth) = args
     try:
         processors = _drive(
             shard, path, routing, worker, n_workers, chunk_size, mmap,
-            readahead,
+            readahead, readahead_depth,
         )
         return worker, processors, None
     except BaseException as exc:
@@ -280,9 +283,15 @@ class ShardedRunner:
         chunk_size: updates per chunk handed to ``process_batch``.
         mmap: memory-map v2 stream files instead of loading them (file
             sources only; the out-of-core path).
-        readahead: prefetch each worker's next chunk on a background
-            thread while the current one is processed (effective for
+        readahead: prefetch each worker's upcoming chunks on background
+            threads while the current one is processed (effective for
             memory-mapped file sources; identical chunk contents).
+            ``None`` (default) auto-enables readahead exactly when the
+            workers will memory-map a file source — the cold-cache
+            pass whose page-in latency readahead exists to hide; pass
+            ``False`` to force it off.
+        readahead_depth: chunks each worker's prefetcher keeps in
+            flight (default 1, the classic double buffer).
         backend: ``"process"`` (fork pool; default) or ``"serial"``.
 
     Usage::
@@ -299,19 +308,25 @@ class ShardedRunner:
         n_workers: int = 2,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         mmap: bool = False,
-        readahead: bool = False,
+        readahead: Optional[bool] = None,
+        readahead_depth: int = 1,
         backend: str = "process",
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if readahead_depth < 1:
+            raise ValueError(
+                f"readahead_depth must be >= 1, got {readahead_depth}"
+            )
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.n_workers = n_workers
         self.chunk_size = chunk_size
         self.mmap = mmap
-        self.readahead = bool(readahead)
+        self.readahead = None if readahead is None else bool(readahead)
+        self.readahead_depth = int(readahead_depth)
         self.backend = backend
         self._processors: Dict[str, Any] = {}
         self._merged: Dict[str, Any] = {}
@@ -382,7 +397,10 @@ class ShardedRunner:
                 from repro.streams.persist import ChunkedStreamReader
 
                 source = ChunkedStreamReader(
-                    source, mmap=True, readahead=self.readahead
+                    source,
+                    mmap=True,
+                    readahead=self._effective_readahead(True),
+                    readahead_depth=self.readahead_depth,
                 )
             runner.process(source, chunk_size)
             self._merged = dict(self._processors)
@@ -431,10 +449,11 @@ class ShardedRunner:
         """
         if isinstance(source, (str, Path)):
             mmap = self._worker_mmap(source)
+            readahead = self._effective_readahead(mmap)
             return [
                 _drive(
                     shard, source, routing, worker, self.n_workers,
-                    chunk_size, mmap, self.readahead,
+                    chunk_size, mmap, readahead, self.readahead_depth,
                 )
                 for worker, shard in enumerate(shards)
             ]
@@ -465,6 +484,18 @@ class ShardedRunner:
         except OSError:
             return False
 
+    def _effective_readahead(self, mmap: bool) -> bool:
+        """Resolve the auto (``None``) readahead setting.
+
+        Cold memory-mapped file passes are exactly where prefetch pays:
+        every chunk's first touch is a page-in that would otherwise
+        stall the worker's compute.  Eager and in-memory sources have
+        no deferred I/O, so auto resolves to off there.
+        """
+        if self.readahead is not None:
+            return self.readahead
+        return bool(mmap)
+
     def _run_processes(
         self,
         shards: List[Dict[str, Any]],
@@ -485,6 +516,7 @@ class ShardedRunner:
     ) -> List[Dict[str, Any]]:
         """Workers read the stream file themselves — zero data IPC."""
         mmap = self._worker_mmap(source)
+        readahead = self._effective_readahead(mmap)
         tasks = [
             (
                 worker,
@@ -494,7 +526,8 @@ class ShardedRunner:
                 routing,
                 chunk_size,
                 mmap,
-                self.readahead,
+                readahead,
+                self.readahead_depth,
             )
             for worker, shard in enumerate(shards)
         ]
@@ -623,15 +656,22 @@ def run_sharded(
     n_workers: int = 2,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     mmap: bool = False,
-    readahead: bool = False,
+    readahead: Optional[bool] = None,
+    readahead_depth: int = 1,
     backend: str = "process",
 ) -> Dict[str, Any]:
-    """One-shot convenience: build a ShardedRunner, run it, return answers."""
+    """One-shot convenience: build a ShardedRunner, run it, return answers.
+
+    Prefer assembling runs through :class:`repro.pipeline.Pipeline`,
+    which adds spec validation, registries, and typed results on top of
+    the same execution path; this helper remains for direct engine use.
+    """
     return ShardedRunner(
         processors,
         n_workers=n_workers,
         chunk_size=chunk_size,
         mmap=mmap,
         readahead=readahead,
+        readahead_depth=readahead_depth,
         backend=backend,
     ).run(source)

@@ -194,6 +194,21 @@ class WindowPolicy:
         """The policy's end-of-stream answer."""
         raise NotImplementedError
 
+    def query(
+        self, state: Any, partial: Optional[Bucket], make_record: Callable
+    ) -> Any:
+        """The policy's answer *mid-stream*, without closing anything.
+
+        ``partial`` is the in-progress bucket (a deep copy of the live
+        instance; ``None`` when it is empty).  The base behaviour —
+        kept by tumbling, matching the pre-refactor "query the last
+        completed window" semantics — ignores it; policies whose
+        retention merges summaries (sliding, decay) override to
+        include the partial bucket so the answer covers the stream up
+        to the current update.  Must not mutate ``state``.
+        """
+        return self.result(state, make_record)
+
 
 @dataclass(frozen=True)
 class TumblingPolicy(WindowPolicy):
@@ -312,6 +327,16 @@ class SlidingPolicy(WindowPolicy):
             value=merged.finalize(),
         )
 
+    def query(self, state, partial, make_record):
+        """Query-at-any-point: the smooth-histogram answer over the
+        trailing buckets *plus* the in-progress one, so the covered
+        span always ends at the current update (the end-of-stream
+        ``result`` path sees the same union once ``flush`` closes the
+        last bucket)."""
+        if partial is not None:
+            state = list(state) + [partial]
+        return self.result(state, make_record)
+
 
 @dataclass(frozen=True)
 class DecayPolicy(WindowPolicy):
@@ -370,6 +395,15 @@ class DecayPolicy(WindowPolicy):
         while len(state["recent"]) > self.keep:
             self._fold(state, state["recent"].pop(0))
         return state
+
+    def query(self, state, partial, make_record):
+        """Mid-stream answer: the in-progress bucket appears as the
+        newest recent bucket (retention folding only happens when it
+        actually closes, so ``recent`` may transiently show ``keep + 1``
+        buckets; ``state`` itself is never touched)."""
+        if partial is not None:
+            state = dict(state, recent=state["recent"] + [partial])
+        return self.result(state, make_record)
 
     def result(self, state, make_record) -> DecayAnswer:
         tail = state["tail"]
@@ -586,6 +620,29 @@ class WindowedProcessor:
         answer)."""
         self.flush()
         return self.policy.result(self._state, self._make_record)
+
+    def query(self) -> Any:
+        """The policy's answer at the *current* stream position.
+
+        Unlike :meth:`finalize`, nothing closes and no state mutates:
+        the wrapper keeps streaming afterwards, so callers can probe as
+        often as they like (monitoring dashboards, the Pipeline's
+        ``probe_every`` hook).  The in-progress bucket is handed to the
+        policy as a deep copy — for the smooth-histogram sliding policy
+        that makes this exact query-at-any-point: the answer covers the
+        trailing span ending at the update fed last.  Tumbling keeps
+        its historical semantics (completed windows only).
+        """
+        partial = None
+        if self._updates > 0:
+            start = self._bucket_index * self.policy.bucket
+            partial = Bucket(
+                self._bucket_index,
+                start,
+                start + self._updates,
+                copy.deepcopy(self._current),
+            )
+        return self.policy.query(self._state, partial, self._make_record)
 
     # ------------------------------------------------------------------
     # Mergeable-summary layer.

@@ -1,0 +1,75 @@
+"""Pipeline error taxonomy: every failure names its fix.
+
+The pipeline subsystem diagnoses problems *eagerly* — at registry
+lookup, spec deserialization, or :class:`~repro.pipeline.Pipeline`
+construction — rather than mid-run, in the spirit of consistency-based
+configuration diagnosis (CoreDiag, Felfernig et al.): an invalid spec
+is reported as the set of conflicting assignments, each with the field
+that must change, instead of as the first downstream crash it would
+eventually cause.
+
+All pipeline errors subclass :class:`PipelineError`; the registry and
+spec layers additionally subclass :class:`ValueError` so existing
+``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+class PipelineError(Exception):
+    """Base class of every pipeline-layer failure."""
+
+
+class RegistryError(PipelineError, ValueError):
+    """A registry lookup or parameter binding failed."""
+
+
+class UnknownNameError(RegistryError):
+    """An unregistered name was requested; carries close-match hints."""
+
+    def __init__(self, message: str, name: str, suggestions: Sequence[str] = ()):
+        super().__init__(message)
+        self.name = name
+        self.suggestions = tuple(suggestions)
+
+
+class ParamError(RegistryError):
+    """A registry entry was given unknown, missing, or mistyped params."""
+
+
+class SpecError(PipelineError, ValueError):
+    """A spec cannot be built, serialized, or deserialized."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding: the spec field at fault, what conflicts,
+    and (when known) what to change."""
+
+    field: str
+    problem: str
+    hint: str = ""
+
+    def __str__(self) -> str:
+        text = f"{self.field}: {self.problem}"
+        if self.hint:
+            text += f" ({self.hint})"
+        return text
+
+
+class PipelineValidationError(SpecError):
+    """A spec failed cross-field validation.
+
+    Carries *every* diagnostic found, not just the first — a spec
+    edited from the message should build on the next attempt.
+    """
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+        lines = "\n".join(f"  - {diagnostic}" for diagnostic in self.diagnostics)
+        count = len(self.diagnostics)
+        noun = "conflict" if count == 1 else "conflicts"
+        super().__init__(f"invalid pipeline spec ({count} {noun}):\n{lines}")

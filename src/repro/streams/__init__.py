@@ -66,41 +66,47 @@ from repro.streams.generators import (
 )
 
 __all__ = [
+    "ChunkedStreamReader",
+    "ColumnarEdgeStream",
     "DEFAULT_CHUNK_SIZE",
     "DELETE",
-    "INSERT",
-    "ColumnarEdgeStream",
     "Edge",
     "EdgeStream",
     "GeneratorConfig",
+    "INSERT",
     "LabelCodec",
     "StreamFormatError",
     "StreamItem",
     "StreamStats",
-    "dump_stream",
-    "dumps_stream",
-    "interleaved",
-    "load_stream",
-    "loads_stream",
-    "reversed_stream",
-    "shuffled",
-    "subsampled",
-    "with_duplicates",
     "adversarial_interleaved_stream",
     "bipartite_double_cover",
+    "bipartite_double_cover_columnar",
     "churn_columnar",
     "database_log_stream",
     "degree_cascade_graph",
     "deletion_churn_stream",
+    "detect_version",
     "dos_attack_log",
+    "dump_columnar",
+    "dump_stream",
+    "dumps_stream",
+    "interleaved",
+    "load_columnar",
+    "load_stream",
+    "loads_stream",
     "log_records_to_stream",
     "planted_star_graph",
+    "planted_star_undirected",
     "process_columnar",
     "random_bipartite_columnar",
     "random_bipartite_graph",
+    "reversed_stream",
+    "shuffled",
     "social_network_stream",
     "stream_from_edges",
     "stream_has_timestamps",
+    "subsampled",
+    "with_duplicates",
     "zipf_frequency_columnar",
     "zipf_frequency_stream",
 ]

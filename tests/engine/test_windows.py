@@ -321,3 +321,90 @@ class TestFanoutIntegration:
             if ws
         }
         assert got == whole
+
+
+class TestMidStreamQuery:
+    """WindowedProcessor.query(): answers at any point, no state change."""
+
+    def _fed(self, policy, count=500):
+        processor = WindowedProcessor(make_full(16, 500), policy, seed=0)
+        stream = make_stream(count, m=500)
+        processor.process_batch(stream.a, stream.b, stream.sign)
+        return processor
+
+    def test_sliding_query_covers_up_to_current_update(self):
+        policy = SlidingPolicy(120)
+        processor = WindowedProcessor(make_full(16, 500), policy, seed=0)
+        stream = make_stream(500, m=500)
+        # Feed to a position that is NOT a bucket boundary.
+        position = 4 * policy.bucket + 7
+        processor.process_batch(
+            stream.a[:position], stream.b[:position], stream.sign[:position]
+        )
+        answer = processor.query()
+        assert answer.end_update == position
+        assert 120 <= answer.span <= 120 + policy.bucket
+        # The merged summary is exact over the covered span.
+        covered = slice(answer.start_update, answer.end_update)
+        expect = {
+            int(v): int(c)
+            for v, c in zip(*np.unique(stream.a[covered], return_counts=True))
+        }
+        got = {
+            v: len(ws)
+            for v, ws in answer.processor._neighbours.items()
+            if ws
+        }
+        assert got == expect
+
+    def test_query_does_not_disturb_the_final_answer(self):
+        policy = SlidingPolicy(120)
+        probed = WindowedProcessor(make_full(16, 500), policy, seed=0)
+        plain = WindowedProcessor(make_full(16, 500), policy, seed=0)
+        stream = make_stream(500, m=500)
+        step = 83
+        for start in range(0, 500, step):
+            stop = min(start + step, 500)
+            for processor in (probed, plain):
+                processor.process_batch(
+                    stream.a[start:stop], stream.b[start:stop],
+                    stream.sign[start:stop],
+                )
+            probed.query()  # repeated queries must be side-effect free
+            probed.query()
+        final_probed = probed.finalize()
+        final_plain = plain.finalize()
+        assert final_probed.span == final_plain.span
+        assert (
+            final_probed.processor._neighbours
+            == final_plain.processor._neighbours
+        )
+
+    def test_tumbling_query_reports_completed_windows_only(self):
+        processor = self._fed(TumblingPolicy(150), count=500)
+        records = processor.query()
+        # 500 updates = 3 closed windows + 50 in flight: the historical
+        # "query the completed windows" semantics.
+        assert [record.window_index for record in records] == [0, 1, 2]
+        assert processor.query() == records
+
+    def test_decay_query_includes_partial_bucket(self):
+        processor = self._fed(DecayPolicy(100, keep=2), count=250)
+        answer = processor.query()
+        # Buckets 0..1 closed and retained (folding starts beyond
+        # keep); bucket 2 in flight appears as the newest recent entry,
+        # so recent transiently shows keep + 1 buckets.
+        assert [record.end_update for record in answer.recent] == [100, 200, 250]
+        assert not answer.has_tail
+        final = processor.finalize()
+        # finalize closes bucket 2 for real and folds bucket 0 away.
+        assert final.has_tail
+        assert [record.end_update for record in final.recent] == [200, 250]
+
+    def test_query_on_empty_processor(self):
+        sliding = WindowedProcessor(make_full(16, 500), SlidingPolicy(120),
+                                    seed=0)
+        assert sliding.query() is None
+        tumbling = WindowedProcessor(make_full(16, 500), TumblingPolicy(100),
+                                     seed=0)
+        assert tumbling.query() == []

@@ -1,0 +1,159 @@
+"""Registry behaviour: lookup, typed parameter binding, extension."""
+
+import pickle
+
+import pytest
+
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.pipeline import (
+    GENERATORS,
+    PROCESSORS,
+    Param,
+    ParamError,
+    RegistryWindowFactory,
+    UnknownNameError,
+    register_processor,
+)
+
+
+class TestLookup:
+    def test_builtin_processors_present(self):
+        for name in ("insertion-only", "insertion-deletion", "misra-gries",
+                     "count-min", "count-sketch", "space-saving", "topk",
+                     "star-detection", "full-storage"):
+            assert name in PROCESSORS
+
+    def test_builtin_generators_present(self):
+        for name in ("star", "cascade", "adversarial", "zipf", "churn",
+                     "random-bipartite"):
+            assert name in GENERATORS
+
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            PROCESSORS.get("insertion-onli")
+        assert "insertion-only" in str(excinfo.value)
+        assert "insertion-only" in excinfo.value.suggestions
+
+    def test_unknown_name_without_match_lists_registry(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            GENERATORS.get("qqqqq")
+        assert "zipf" in str(excinfo.value)  # the full inventory
+
+    def test_describe_lists_every_entry(self):
+        text = PROCESSORS.describe()
+        for name in PROCESSORS.names():
+            assert name in text
+
+
+class TestParamBinding:
+    def test_defaults_applied(self):
+        entry = PROCESSORS.get("insertion-only")
+        bound = entry.bind({"n": 8, "d": 4})
+        assert bound == {"n": 8, "d": 4, "alpha": 2, "seed": 0}
+
+    def test_missing_required_is_reported(self):
+        with pytest.raises(ParamError, match=r"missing required.*\['n', 'd'\]"):
+            PROCESSORS.get("insertion-only").bind({})
+
+    def test_unknown_param_lists_accepted(self):
+        with pytest.raises(ParamError, match=r"unknown parameter.*alphas"):
+            PROCESSORS.get("insertion-only").bind({"n": 8, "d": 4, "alphas": 2})
+
+    def test_wrong_type_is_reported(self):
+        with pytest.raises(ParamError, match="must be int, got str"):
+            PROCESSORS.get("insertion-only").bind({"n": "8", "d": 4})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ParamError, match="must be int, got bool"):
+            PROCESSORS.get("insertion-only").bind({"n": True, "d": 4})
+
+    def test_int_accepted_for_float(self):
+        bound = PROCESSORS.get("count-min").bind({"epsilon": 1, "delta": 0.1})
+        assert bound["epsilon"] == 1.0 and isinstance(bound["epsilon"], float)
+
+    def test_build_constructs_the_real_class(self):
+        algorithm = PROCESSORS.build("insertion-only", {"n": 8, "d": 4})
+        assert isinstance(algorithm, InsertionOnlyFEwW)
+        assert algorithm.n == 8
+
+    def test_workload_defaults_match_cli_flag_defaults(self):
+        # The registry promises "an all-defaults spec equals a bare
+        # `repro run`"; the values live in two places, so pin them.
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run"])
+        for name in ("star", "cascade", "adversarial", "zipf", "churn"):
+            defaults = {
+                param.name: param.default
+                for param in GENERATORS.get(name).params
+            }
+            assert defaults == {"n": args.n, "m": args.m, "d": args.d,
+                                "alpha": args.alpha, "seed": args.seed}
+
+    def test_generator_matches_direct_call(self):
+        from repro.streams.generators import GeneratorConfig, planted_star_graph
+
+        via_registry = GENERATORS.build(
+            "star", {"n": 32, "m": 128, "d": 8, "seed": 3}
+        )
+        direct = planted_star_graph(
+            GeneratorConfig(n=32, m=128, seed=3),
+            star_degree=8, background_degree=min(5, 7),
+        )
+        assert list(via_registry) == list(direct)
+
+
+class TestExtension:
+    def test_register_and_build_custom_entry(self):
+        class Doubler:
+            def __init__(self, factor):
+                self.factor = factor
+
+        entry = register_processor(
+            "test-doubler", Doubler, (Param("factor", int, 2),),
+            kind="test", routing="any", doc="test entry",
+        )
+        try:
+            assert PROCESSORS.get("test-doubler") is entry
+            assert PROCESSORS.build("test-doubler", {}).factor == 2
+            with pytest.raises(ValueError, match="already registered"):
+                register_processor("test-doubler", Doubler)
+        finally:
+            PROCESSORS.unregister("test-doubler")
+        assert "test-doubler" not in PROCESSORS
+
+
+class TestWindowFactory:
+    def test_injects_derived_seed(self):
+        factory = RegistryWindowFactory.of(
+            "insertion-only", {"n": 16, "d": 4, "alpha": 2}
+        )
+        instance = factory(12345)
+        assert isinstance(instance, InsertionOnlyFEwW)
+        # _seed_entropy is a deterministic function of the seed, so an
+        # equal value proves the injected seed reached the constructor.
+        direct = InsertionOnlyFEwW(16, 4, 2, seed=12345)
+        assert instance._seed_entropy == direct._seed_entropy
+
+    def test_matches_legacy_alg2_factory_bit_for_bit(self):
+        from repro.core.windowed import Alg2WindowFactory
+
+        legacy = Alg2WindowFactory(16, 4, 2)(999)
+        modern = RegistryWindowFactory.of(
+            "insertion-only", {"n": 16, "d": 4, "alpha": 2}
+        )(999)
+        assert legacy._seed_entropy == modern._seed_entropy
+        assert (legacy.n, legacy.d, legacy.alpha) == (
+            modern.n, modern.d, modern.alpha
+        )
+
+    def test_picklable(self):
+        factory = RegistryWindowFactory.of("insertion-only", {"n": 8, "d": 2})
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone == factory
+        assert isinstance(clone(7), InsertionOnlyFEwW)
+
+    def test_deterministic_entry_ignores_seed(self):
+        factory = RegistryWindowFactory.of("misra-gries", {"k": 4})
+        summary = factory(31337)
+        assert summary.k == 4

@@ -370,3 +370,120 @@ class TestWindowPolicyCommands:
             ["persist", "convert", str(source), str(destination)]
         ) == 0
         assert "timestamps dropped" in capsys.readouterr().out
+
+
+class TestSpecRuns:
+    def _write_spec(self, tmp_path, spec=None):
+        import json
+
+        spec = spec or {
+            "source": {"kind": "generator", "generator": "star",
+                       "params": {"n": 64, "m": 256, "d": 16, "seed": 1}},
+            "processors": [{"name": "insertion-only", "label": "alg2",
+                            "params": {"n": 64, "d": 16, "seed": 1}}],
+        }
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_spec_run_succeeds_and_reports_json(self, capsys, tmp_path):
+        import json
+
+        path = self._write_spec(tmp_path)
+        code = main(["run", "--spec", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"spec: {path}" in out
+        payload = json.loads(out.split("\n", 1)[1])
+        assert payload["answers"]["alg2"]["type"] == "neighbourhood"
+        assert payload["report"]["backend"] == "fanout"
+
+    def test_spec_run_windowed_sharded(self, capsys, tmp_path):
+        import json
+
+        path = self._write_spec(tmp_path, {
+            "source": {"kind": "generator", "generator": "star",
+                       "params": {"n": 64, "m": 256, "d": 16, "seed": 1}},
+            "processors": [{"name": "insertion-only", "label": "alg2",
+                            "params": {"n": 64, "d": 16}}],
+            "window": {"policy": "tumbling", "window": 128, "seed": 1},
+            "execution": {"backend": "sharded", "workers": 2},
+        })
+        assert main(["run", "--spec", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out.split("\n", 1)[1])
+        assert payload["report"]["workers"] == 2
+        assert payload["report"]["routing"] == ["window", 128]
+
+    def test_missing_spec_file_reports_error(self, capsys, tmp_path):
+        code = main(["run", "--spec", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_spec_reports_diagnostics(self, capsys, tmp_path):
+        path = self._write_spec(tmp_path, {
+            "source": {"kind": "generator", "generator": "nope"},
+            "processors": [],
+        })
+        code = main(["run", "--spec", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid spec" in err
+        assert "source.generator" in err
+
+    def test_spec_deletion_mismatch_is_a_friendly_error(self, capsys, tmp_path):
+        path = self._write_spec(tmp_path, {
+            "source": {"kind": "generator", "generator": "churn",
+                       "params": {"n": 32, "m": 64, "d": 8, "seed": 1}},
+            "processors": [{"name": "insertion-only",
+                            "params": {"n": 32, "d": 8, "seed": 1}}],
+        })
+        code = main(["run", "--spec", str(path)])
+        assert code == 2
+        assert "insertion-only" in capsys.readouterr().err
+
+    def test_spec_missing_required_field_is_a_friendly_error(
+        self, capsys, tmp_path
+    ):
+        path = self._write_spec(tmp_path, {
+            "source": {},
+            "processors": [{"name": "insertion-only",
+                            "params": {"n": 8, "d": 2}}],
+        })
+        code = main(["run", "--spec", str(path)])
+        assert code == 2
+        assert "missing required field" in capsys.readouterr().err
+
+    def test_malformed_json_reports_error(self, capsys, tmp_path):
+        path = tmp_path / "job.json"
+        path.write_text("{not json")
+        code = main(["run", "--spec", str(path)])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_bad_readahead_depth_is_a_friendly_error(self, capsys, tmp_path):
+        path = tmp_path / "stream.npz"
+        assert main(
+            ["run", "--workload", "star", "--n", "64", "--m", "256",
+             "--d", "16", "--save-stream", str(path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["run", "--stream-file", str(path), "--d", "16", "--mmap",
+             "--readahead", "--readahead-depth", "0"]
+        )
+        assert code == 2
+        assert "--readahead-depth must be >= 1" in capsys.readouterr().err
+
+    def test_readahead_depth_flag(self, capsys, tmp_path):
+        path = tmp_path / "stream.npz"
+        assert main(
+            ["run", "--workload", "star", "--n", "64", "--m", "256",
+             "--d", "16", "--save-stream", str(path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["run", "--stream-file", str(path), "--d", "16", "--mmap",
+             "--readahead", "--readahead-depth", "3"]
+        )
+        assert code == 0
+        assert "verification skipped" in capsys.readouterr().out

@@ -15,6 +15,7 @@ EXPECTED_FRAGMENTS = {
     "social_influencer.py": "verification: centre and all followers confirmed",
     "turnstile_updates.py": "every witness survives all deletions",
     "lower_bound_reductions.py": "Figure 3",
+    "pipeline_spec.py": "fluent builder and JSON spec agree",
     "windowed_monitoring.py": "each window's hot row detected in order",
     "sliding_window_monitoring.py": "sliding verdict reflects only the recent hot row",
     "distributed_merge.py": "all three views agree on the heavy item",

@@ -1,0 +1,61 @@
+"""Public-API hygiene: ``__all__`` is sorted and matches reality.
+
+For each curated package namespace, three invariants:
+
+* every name in ``__all__`` actually exists on the module,
+* ``__all__`` is sorted (so diffs stay reviewable as the API grows),
+* every public symbol the module's namespace carries (anything not
+  underscore-prefixed and not a submodule) appears in ``__all__`` —
+  an import added to the package without an export decision is a bug
+  one way or the other.
+"""
+
+import types
+
+import pytest
+
+import repro
+import repro.engine
+import repro.pipeline
+import repro.streams
+
+MODULES = [repro, repro.engine, repro.pipeline, repro.streams]
+
+
+def public_symbols(module) -> set:
+    return {
+        name
+        for name, value in vars(module).items()
+        if not name.startswith("_")
+        and not isinstance(value, types.ModuleType)
+    }
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_all_names_exist(module):
+    missing = [name for name in module.__all__ if not hasattr(module, name)]
+    assert not missing, f"{module.__name__}.__all__ lists missing {missing}"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_all_is_sorted(module):
+    assert list(module.__all__) == sorted(module.__all__), (
+        f"{module.__name__}.__all__ is not sorted"
+    )
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_all_has_no_duplicates(module):
+    assert len(module.__all__) == len(set(module.__all__))
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_all_matches_public_namespace(module):
+    public = public_symbols(module)
+    exported = set(module.__all__)
+    unexported = sorted(public - exported)
+    phantom = sorted(exported - public)
+    assert not unexported and not phantom, (
+        f"{module.__name__}: public-but-unexported {unexported}, "
+        f"exported-but-absent {phantom}"
+    )
