@@ -1,0 +1,91 @@
+"""Fault tolerance: surviving crashes without losing the answer.
+
+Three acts over the same persisted stream:
+
+1. *crash*: a checkpointed single-process run is killed mid-stream by
+   a deterministic injected fault, leaving snapshots behind;
+2. *resume*: the run is rebuilt from the checkpoint directory and
+   finishes from the saved offset — the final sketch is bit-identical
+   to an uninterrupted run;
+3. *retry*: a sharded run loses a worker to SIGKILL and transparently
+   re-runs just that shard, again to bit-identical answers.
+
+Run:  python examples/crash_and_resume.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import CountMinSketch
+from repro.engine import FanoutRunner, FaultPlan, ShardedRunner
+from repro.streams.columnar import ColumnarEdgeStream
+from repro.streams.persist import dump_stream
+
+N, UPDATES, CHUNK = 64, 4000, 256
+
+
+def fresh_sketch() -> CountMinSketch:
+    return CountMinSketch(0.01, 0.01, seed=5)
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    stream = ColumnarEdgeStream(
+        rng.integers(0, N, size=UPDATES),
+        np.arange(UPDATES, dtype=np.int64),
+        n=N,
+        m=UPDATES,
+    )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "traffic.npz"
+        dump_stream(stream, path, format="v2")
+        reference = fresh_sketch()
+        reference.process_batch(stream.a, stream.b, stream.sign)
+
+        # --- 1. a checkpointed run dies mid-stream --------------------
+        ckpt = Path(scratch) / "ckpt"
+        doomed = FanoutRunner(
+            {"cm": fresh_sketch()},
+            chunk_size=CHUNK,
+            checkpoint_dir=ckpt,
+            checkpoint_every=4,
+            fault_plan=FaultPlan.read_error(worker=0, chunk=10),
+        )
+        try:
+            doomed.run(str(path))
+        except OSError as error:
+            print(f"run crashed mid-stream: {error}")
+        snapshots = sorted(p.name for p in ckpt.glob("*.manifest.json"))
+        print(f"checkpoints left behind: {snapshots}")
+
+        # --- 2. resume from the snapshots -----------------------------
+        resumed = FanoutRunner.resume(ckpt)
+        results = resumed.run()
+        identical = np.array_equal(results["cm"]._table, reference._table)
+        print(f"resumed from the saved offset; bit-identical to an "
+              f"uninterrupted run: {identical}")
+
+        # --- 3. sharded retry after a killed worker -------------------
+        runner = ShardedRunner(
+            {"cm": fresh_sketch()},
+            n_workers=2,
+            chunk_size=CHUNK,
+            retries=2,
+            on_failure="retry",
+            fault_plan=FaultPlan.kill(worker=0, chunk=3),
+        )
+        sharded = runner.run(str(path))
+        identical = np.array_equal(sharded["cm"]._table, reference._table)
+        print(f"worker 0 was SIGKILLed and retried "
+              f"({runner.retries_used} retry); recovered answers are "
+              f"bit-identical: {identical}")
+
+        if identical:
+            print("crash, resume and retry all preserved the exact answer")
+
+
+if __name__ == "__main__":
+    main()

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import tempfile
@@ -275,7 +276,12 @@ def main() -> int:
             ],
         }
 
-    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+    # Atomic publish: a run interrupted mid-write must never leave a
+    # torn artifact where a previous good one stood.
+    out = Path(args.out)
+    scratch = out.with_name(out.name + ".tmp")
+    scratch.write_text(json.dumps(artifact, indent=2) + "\n")
+    os.replace(scratch, out)
 
     header = f"{'structure':32s} {'item k-upd/s':>13s} {'batch k-upd/s':>14s} {'speedup':>8s}"
     print(header)

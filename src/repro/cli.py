@@ -15,6 +15,13 @@ Subcommands:
   an engine window policy (``--window`` span, ``--bucket-ratio`` for
   the smooth-histogram sliding window, ``--decay-keep`` for
   count-based decay) and reports per-window answers;
+  ``--checkpoint-dir``/``--checkpoint-every`` snapshot progress so an
+  interrupted run continues with ``--resume``, and
+  ``--retries``/``--timeout-s``/``--on-failure`` govern sharded-worker
+  failure recovery (all of these also override a ``--spec`` file's own
+  settings);
+* ``pipeline describe`` — print the processor/generator registries
+  (every name a spec can reference, with parameters);
 * ``persist`` — inspect (``info``) and convert (``convert``) persisted
   stream files between the v1 text and v2 columnar NPZ formats;
 * ``bounds`` — print the paper's predicted space bounds for given
@@ -32,6 +39,10 @@ Examples::
     python -m repro run --workload zipf --window-policy sliding --window 2048
     python -m repro run --workload star --window-policy tumbling --window 4096 --workers 4
     python -m repro run --spec job.json
+    python -m repro run --spec job.json --checkpoint-dir ckpt --checkpoint-every 8
+    python -m repro run --spec job.json --checkpoint-dir ckpt --resume
+    python -m repro run --stream-file zipf.npz --workers 4 --retries 3 --timeout-s 60
+    python -m repro pipeline describe
     python -m repro persist info zipf.npz
     python -m repro persist convert zipf.npz zipf.txt
     python -m repro bounds --n 4096 --d 128 --alpha 2
@@ -48,8 +59,11 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core.neighbourhood import AlgorithmFailed, verify_neighbourhood
-from repro.engine.sharded import ShardedWorkerError
+from repro.engine.sharded import ON_FAILURE_POLICIES, ShardedWorkerError
 from repro.pipeline import (
+    GENERATORS,
+    PROCESSORS,
+    CheckpointSpec,
     ExecSpec,
     Pipeline,
     PipelineSpec,
@@ -151,6 +165,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--decay-keep", type=int, default=4,
                      help="decay only: recent buckets kept at full "
                           "resolution before folding into the tail")
+    fault = run.add_argument_group(
+        "fault tolerance",
+        "checkpoint/resume and shard-failure policy; with --spec these "
+        "override the spec's own checkpoint/execution settings",
+    )
+    fault.add_argument("--checkpoint-dir", type=Path, metavar="DIR",
+                       help="snapshot processor summaries + stream offset "
+                            "into DIR as the run progresses (file sources "
+                            "only)")
+    fault.add_argument("--checkpoint-every", type=int, metavar="N",
+                       help="source chunks between snapshots (requires "
+                            "--checkpoint-dir or a spec checkpoint)")
+    fault.add_argument("--resume", action="store_true",
+                       help="continue from the snapshots in the checkpoint "
+                            "directory instead of starting over; a resumed "
+                            "run's answers are bit-identical to an "
+                            "uninterrupted one")
+    fault.add_argument("--retries", type=int, metavar="K",
+                       help="sharded runs: respawn a dead/timed-out shard "
+                            "worker up to K times with exponential backoff")
+    fault.add_argument("--timeout-s", type=float, metavar="S",
+                       help="sharded runs: per-shard-attempt wall-clock "
+                            "timeout in seconds")
+    fault.add_argument("--on-failure", choices=ON_FAILURE_POLICIES,
+                       help="sharded runs: what to do with a shard that "
+                            "still fails after K retries (raise, retry = "
+                            "fail fast only after retries, serial_fallback "
+                            "= re-run the shard in-process)")
 
     persist = subparsers.add_parser(
         "persist", help="inspect and convert persisted stream files"
@@ -173,6 +215,18 @@ def build_parser() -> argparse.ArgumentParser:
     bounds.add_argument("--m", type=int, default=4096)
     bounds.add_argument("--d", type=int, default=128)
     bounds.add_argument("--alpha", type=int, default=2)
+
+    pipeline = subparsers.add_parser(
+        "pipeline", help="inspect the declarative pipeline registries"
+    )
+    pipeline_commands = pipeline.add_subparsers(
+        dest="pipeline_command", required=True
+    )
+    pipeline_commands.add_parser(
+        "describe",
+        help="print every registered processor and generator with its "
+             "parameters",
+    )
 
     subparsers.add_parser("figures", help="print the paper's Figures 1-3")
     return parser
@@ -254,22 +308,49 @@ def _pipeline_from_args(
         # processor-level seed there is a validation conflict.
         params["seed"] = args.seed
     processor = ProcessorSpec(args.algorithm, params, label="algorithm")
+    exec_overrides = {
+        key: value
+        for key, value in (
+            ("retries", args.retries),
+            ("timeout_s", args.timeout_s),
+            ("on_failure", args.on_failure),
+        )
+        if value is not None
+    }
     execution = (
-        ExecSpec("sharded", args.workers) if args.workers > 1 else ExecSpec()
+        ExecSpec("sharded", args.workers, **exec_overrides)
+        if args.workers > 1
+        else ExecSpec(**exec_overrides)
     )
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        checkpoint = (
+            CheckpointSpec(args.checkpoint_dir, every=args.checkpoint_every)
+            if args.checkpoint_every is not None
+            else CheckpointSpec(args.checkpoint_dir)
+        )
     return Pipeline(
         PipelineSpec(
             source=source_spec,
             processors=(processor,),
             window=window,
             execution=execution,
+            checkpoint=checkpoint,
         )
     )
 
 
 def command_run(args: argparse.Namespace) -> int:
     if args.spec is not None:
-        return _run_spec_file(args.spec)
+        return _run_spec_file(args)
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        print("error: --checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir (the snapshots "
+              "to resume from)", file=sys.stderr)
+        return 2
     if args.stream_file is not None and args.save_stream is not None:
         print("error: --save-stream only applies to generated workloads; "
               "use `persist convert` to re-encode an existing stream file",
@@ -330,7 +411,7 @@ def command_run(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     try:
-        result = pipeline.run(source=source)
+        result = pipeline.run(source=source, resume=args.resume)
     except (StreamFormatError, OSError) as error:
         # mmap readers defer range validation to chunk iteration, so a
         # corrupt file can surface here rather than at open time.
@@ -349,6 +430,11 @@ def command_run(args: argparse.Namespace) -> int:
     if args.workers > 1:
         print(f"sharded over {args.workers} workers "
               f"(routing: {result.report.routing!r})")
+    if result.report.checkpoint is not None:
+        verb = "resumed from" if result.report.resumed else "checkpointed to"
+        print(f"{verb} {result.report.checkpoint['dir']}")
+    if result.report.shard_retries:
+        print(f"shard retries: {result.report.shard_retries}")
     if args.window_policy is not None:
         report_windowed(args.window_policy, result["algorithm"])
         print(f"space: {algorithm.space_words()} words")
@@ -374,18 +460,77 @@ def command_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_spec_file(path: Path) -> int:
-    """``run --spec job.json``: execute a JSON pipeline spec."""
+def _apply_spec_overrides(data, args: argparse.Namespace) -> None:
+    """Merge the fault-tolerance flags into a spec dict, in place.
+
+    Overrides land before :meth:`PipelineSpec.from_dict`, so the merged
+    spec is validated as a whole (e.g. ``--on-failure retry`` against a
+    serial-backend spec fails eagerly with the spec layer's own
+    diagnostic).  A section that is present but not an object is left
+    untouched for ``from_dict`` to diagnose.
+    """
+    if not isinstance(data, dict):
+        return
+    execution = {
+        key: value
+        for key, value in (
+            ("retries", args.retries),
+            ("timeout_s", args.timeout_s),
+            ("on_failure", args.on_failure),
+        )
+        if value is not None
+    }
+    base = data.get("execution")
+    if execution and (base is None or isinstance(base, dict)):
+        merged = dict(base or {})
+        merged.update(execution)
+        data["execution"] = merged
+    checkpoint = {}
+    if args.checkpoint_dir is not None:
+        checkpoint["dir"] = str(args.checkpoint_dir)
+    if args.checkpoint_every is not None:
+        checkpoint["every"] = args.checkpoint_every
+    base = data.get("checkpoint")
+    if checkpoint and (base is None or isinstance(base, dict)):
+        merged = dict(base or {})
+        merged.update(checkpoint)
+        data["checkpoint"] = merged
+
+
+def _run_spec_file(args: argparse.Namespace) -> int:
+    """``run --spec job.json``: execute a JSON pipeline spec.
+
+    The fault-tolerance flags compose with the file:
+    ``--checkpoint-dir``/``--checkpoint-every`` and
+    ``--retries``/``--timeout-s``/``--on-failure`` override the spec's
+    own sections, and ``--resume`` continues from the (possibly
+    overridden) checkpoint directory.
+    """
+    path = args.spec
     try:
-        pipeline = Pipeline.from_spec_file(path)
+        text = path.read_text(encoding="utf-8")
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        print(f"error: invalid spec {path}: spec is not valid JSON: "
+              f"{error}", file=sys.stderr)
+        return 2
+    try:
+        _apply_spec_overrides(data, args)
+        pipeline = Pipeline.from_dict(data)
     except SpecError as error:
         print(f"error: invalid spec {path}: {error}", file=sys.stderr)
         return 2
     try:
-        result = pipeline.run()
+        result = pipeline.run(resume=args.resume)
+    except SpecError as error:
+        # Run-time spec conflicts, e.g. --resume against a spec with no
+        # checkpoint section (and no --checkpoint-dir override).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except ShardedWorkerError as error:
         if error.is_stream_error:
             print(f"error: {error.cause_type} in worker:\n{error}",
@@ -474,6 +619,20 @@ def command_persist(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled persist command {args.persist_command!r}")
 
 
+def command_pipeline(args: argparse.Namespace) -> int:
+    if args.pipeline_command == "describe":
+        print("processors:")
+        for line in PROCESSORS.describe().splitlines():
+            print(f"  {line}")
+        print("generators:")
+        for line in GENERATORS.describe().splitlines():
+            print(f"  {line}")
+        return 0
+    raise AssertionError(
+        f"unhandled pipeline command {args.pipeline_command!r}"
+    )
+
+
 def command_bounds(args: argparse.Namespace) -> int:
     n, m, d, alpha = args.n, args.m, args.d, args.alpha
     print(f"paper bounds for n={n}, m={m}, d={d}, alpha={alpha} (words):")
@@ -502,6 +661,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return command_run(args)
     if args.command == "persist":
         return command_persist(args)
+    if args.command == "pipeline":
+        return command_pipeline(args)
     if args.command == "bounds":
         return command_bounds(args)
     if args.command == "figures":

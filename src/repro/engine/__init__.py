@@ -20,6 +20,13 @@ On top of the protocol sits the mergeable-summary layer
 back into the single-core answers (see :mod:`repro.engine.sharded`).
 """
 
+from repro.engine.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+)
+from repro.engine.faults import Fault, FaultPlan
 from repro.engine.protocol import (
     SHARD_ANY,
     SHARD_BY_VERTEX,
@@ -52,9 +59,15 @@ from repro.engine.windows import (
 )
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "DEFAULT_CHECKPOINT_EVERY",
     "DecayAnswer",
     "DecayPolicy",
     "FanoutRunner",
+    "Fault",
+    "FaultPlan",
     "MergeableStreamProcessor",
     "SHARD_ANY",
     "SHARD_BY_VERTEX",

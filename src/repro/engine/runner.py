@@ -21,6 +21,17 @@ Chunk sources are normalised by :func:`as_chunks`:
   engine without ever materialising per-item lists;
 * any object with a ``chunks(chunk_size)`` method, or any iterable of
   ``(a, b, sign)`` column triples.
+
+For long file passes the runner can snapshot its progress: construct
+it with ``checkpoint_dir=`` (and optionally ``checkpoint_every=N``
+chunks) and every processor's summary plus the stream offset is
+written atomically through
+:class:`~repro.engine.checkpoint.CheckpointStore` as the pass runs.
+A killed run restarts with :meth:`FanoutRunner.resume`, which rebuilds
+the processors from the latest snapshot and re-opens the file at the
+saved offset — the resumed pass is bit-identical to an uninterrupted
+one, because summaries carry *all* their state (including windowed
+bucket/RNG state) and chunk boundaries line up.
 """
 
 from __future__ import annotations
@@ -61,6 +72,10 @@ def as_chunks(
     )
 
 
+#: Checkpoint tag a (single-worker) fanout pass snapshots under.
+FANOUT_TAG = "fanout"
+
+
 class FanoutRunner:
     """Stream one source into N registered processors in a single pass.
 
@@ -68,6 +83,15 @@ class FanoutRunner:
         processors: optional initial ``name -> processor`` mapping (the
             iteration order of the mapping is preserved in results).
         chunk_size: default number of updates per fan-out step.
+        checkpoint_dir: when set, snapshot every processor's summary
+            and the stream offset into this directory as the pass runs
+            (file sources only; see :mod:`repro.engine.checkpoint`).
+        checkpoint_every: source chunks between snapshots (default
+            :data:`~repro.engine.checkpoint.DEFAULT_CHECKPOINT_EVERY`;
+            requires ``checkpoint_dir``).
+        fault_plan: optional :class:`~repro.engine.faults.FaultPlan`
+            consulted before each chunk — deterministic fault injection
+            for chaos tests; omit for the no-op default.
 
     Usage::
 
@@ -81,14 +105,80 @@ class FanoutRunner:
         processors: Optional[Mapping[str, Any]] = None,
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        checkpoint_dir: Optional[Any] = None,
+        checkpoint_every: Optional[int] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
+        if checkpoint_dir is not None and checkpoint_every is None:
+            from repro.engine.checkpoint import DEFAULT_CHECKPOINT_EVERY
+
+            checkpoint_every = DEFAULT_CHECKPOINT_EVERY
         self.chunk_size = chunk_size
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
+        self.checkpoint_every = checkpoint_every
+        self.fault_plan = fault_plan
+        self.resumed = False
+        self._start_chunk = 0
+        self._start_position = 0
+        self._resume_source: Optional[str] = None
         self._processors: Dict[str, Any] = {}
         if processors is not None:
             for name, processor in processors.items():
                 self.add(name, processor)
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_dir: Any,
+        *,
+        source: Any = None,
+        fault_plan: Optional[Any] = None,
+    ) -> "FanoutRunner":
+        """Rebuild a runner from the latest checkpoint in ``checkpoint_dir``.
+
+        The returned runner carries the snapshotted processors and the
+        saved stream offset; calling :meth:`run` (with no source — the
+        checkpointed path is remembered, or pass one to override, e.g.
+        after moving the file) continues the pass from that offset,
+        bit-identical to a run that was never interrupted.
+
+        Raises:
+            repro.engine.checkpoint.CheckpointError: when the
+                checkpoint is absent, torn, or version-incompatible.
+        """
+        from repro.engine.checkpoint import (
+            DEFAULT_CHECKPOINT_EVERY,
+            CheckpointStore,
+        )
+
+        snapshot = CheckpointStore(checkpoint_dir).load(FANOUT_TAG)
+        runner = cls(
+            snapshot.state,
+            chunk_size=int(snapshot.meta.get("chunk_size", DEFAULT_CHUNK_SIZE)),
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=int(
+                snapshot.meta.get("checkpoint_every", DEFAULT_CHECKPOINT_EVERY)
+            ),
+            fault_plan=fault_plan,
+        )
+        runner._start_chunk = snapshot.chunk_index
+        runner._start_position = snapshot.position
+        runner._resume_source = snapshot.meta.get("source")
+        if source is not None:
+            runner._resume_source = str(source)
+        runner.resumed = True
+        return runner
 
     # ------------------------------------------------------------------
     # Registration.
@@ -124,11 +214,99 @@ class FanoutRunner:
         for processor in self._processors.values():
             processor.process_batch(a, b, sign)
 
-    def process(self, source: Any, chunk_size: Optional[int] = None) -> "FanoutRunner":
+    def process(
+        self, source: Any = None, chunk_size: Optional[int] = None
+    ) -> "FanoutRunner":
         """Stream ``source`` through every processor (no finalize)."""
-        for a, b, sign in as_chunks(source, chunk_size or self.chunk_size):
-            self.process_chunk(a, b, sign)
+        source = self._default_source(source)
+        chunk_size = chunk_size or self.chunk_size
+        plan = self.fault_plan
+        plain = (
+            self.checkpoint_dir is None
+            and (plan is None or plan.is_noop)
+            and self._start_position == 0
+        )
+        if plain:
+            for a, b, sign in as_chunks(source, chunk_size):
+                self.process_chunk(a, b, sign)
+            return self
+        store = self._checkpoint_store()
+        chunks, path = self._offset_chunks(source, chunk_size)
+        chunk_index = self._start_chunk
+        position = self._start_position
+        meta = {
+            "source": path,
+            "chunk_size": chunk_size,
+            "checkpoint_every": self.checkpoint_every,
+        }
+        if store is not None:
+            # Initial snapshot: a run killed before the first periodic
+            # checkpoint still resumes (from the start).
+            store.save(
+                FANOUT_TAG, dict(self._processors),
+                chunk_index=chunk_index, position=position, meta=meta,
+            )
+        for chunk in chunks:
+            if plan is not None:
+                plan.fire(0, chunk_index, 0, in_process=True)
+            self.process_chunk(*chunk)
+            position += len(chunk[0])
+            chunk_index += 1
+            if store is not None and chunk_index % self.checkpoint_every == 0:
+                store.save(
+                    FANOUT_TAG, dict(self._processors),
+                    chunk_index=chunk_index, position=position, meta=meta,
+                )
+        if store is not None:
+            store.save(
+                FANOUT_TAG, dict(self._processors),
+                chunk_index=chunk_index, position=position,
+                complete=True, meta=meta,
+            )
         return self
+
+    def _default_source(self, source: Any) -> Any:
+        if source is not None:
+            return source
+        if self._resume_source is not None:
+            return self._resume_source
+        raise TypeError(
+            "process() requires a source (or a runner built by "
+            "FanoutRunner.resume(), which remembers its file)"
+        )
+
+    def _checkpoint_store(self):
+        if self.checkpoint_dir is None:
+            return None
+        from repro.engine.checkpoint import CheckpointStore
+
+        return CheckpointStore(self.checkpoint_dir)
+
+    def _offset_chunks(self, source: Any, chunk_size: int):
+        """Chunk iterator honouring the resume offset, plus the source
+        path (``None`` for in-memory sources).
+
+        Checkpointing and resuming need a re-openable, seekable source:
+        a path or a :class:`~repro.streams.persist.ChunkedStreamReader`.
+        Fault injection alone works on any source.
+        """
+        from repro.streams.persist import ChunkedStreamReader
+
+        if isinstance(source, (str, Path)):
+            reader = ChunkedStreamReader(source)
+        elif isinstance(source, ChunkedStreamReader):
+            reader = source
+        elif self.checkpoint_dir is None and self._start_position == 0:
+            return as_chunks(source, chunk_size), None
+        else:
+            raise ValueError(
+                "checkpointing requires a stream-file source (a path or "
+                "ChunkedStreamReader)"
+            )
+        return (
+            reader.chunks(chunk_size, start=self._start_position),
+            str(reader.path),
+        )
 
     def finalize(self) -> Dict[str, Any]:
         """Call every processor's ``finalize``; returns ``name -> answer``."""
@@ -137,7 +315,9 @@ class FanoutRunner:
             for name, processor in self._processors.items()
         }
 
-    def run(self, source: Any, chunk_size: Optional[int] = None) -> Dict[str, Any]:
+    def run(
+        self, source: Any = None, chunk_size: Optional[int] = None
+    ) -> Dict[str, Any]:
         """Single-pass ingestion plus finalization, in one call."""
         if not self._processors:
             raise RuntimeError("no processors registered; call add() first")

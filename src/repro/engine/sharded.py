@@ -46,17 +46,46 @@ Two execution backends:
 With ``n_workers=1`` the runner degenerates to a plain
 :class:`~repro.engine.runner.FanoutRunner` pass (no split, no merge) —
 the single-core reference path the equivalence suite compares against.
+
+**Fault tolerance.**  File-source shard workers are side-effect-free
+(each re-reads its own sub-stream from the persisted file), so a dead
+worker is recoverable: with ``on_failure="retry"`` the parent respawns
+just the failed shard with bounded retries and exponential backoff
+(``retries``, :data:`ShardedRunner.RETRY_BACKOFF_S`), optionally under
+a per-shard wall-clock ``timeout_s``; ``on_failure="serial_fallback"``
+additionally re-runs a shard whose worker keeps dying in-process; the
+default ``on_failure="raise"`` keeps the historical fail-fast
+behaviour.  Python-level worker exceptions travel back with their full
+formatted traceback in :class:`ShardedWorkerError` and are never
+retried (a deterministic error would fail every attempt) — except
+``OSError``, the transient-I/O case retry exists for.  Progress can be
+made durable with ``checkpoint_dir=``/``checkpoint_every=``: each
+worker snapshots its shard summaries + stream offset through
+:class:`~repro.engine.checkpoint.CheckpointStore`, and
+:meth:`ShardedRunner.resume` rebuilds the whole run (pristine shard
+splits included, so resumed answers stay bit-identical) and continues
+every unfinished shard from its latest snapshot.  All recovery paths
+are exercised deterministically via
+:class:`~repro.engine.faults.FaultPlan` injection.
 """
 
 from __future__ import annotations
 
 import queue as queue_module
+import secrets
+import time
 import traceback
+from multiprocessing import connection as mp_connection
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.engine.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CheckpointStore,
+)
+from repro.engine.faults import FaultPlan
 from repro.engine.protocol import (
     SHARD_ANY,
     SHARD_BY_VERTEX,
@@ -79,6 +108,19 @@ _QUEUE_DEPTH = 8
 
 BACKENDS = ("process", "serial")
 
+#: Dead/timed-out worker policies: fail fast, respawn the shard with
+#: bounded retries, or retry then re-run the shard in-process.
+ON_FAILURE_POLICIES = ("raise", "retry", "serial_fallback")
+
+#: Checkpoint tag of the job-level manifest (processors + pristine
+#: shard splits + run configuration).
+RUN_TAG = "run"
+
+
+def shard_checkpoint_tag(worker: int) -> str:
+    """Checkpoint tag worker ``worker`` snapshots its shard under."""
+    return f"shard-{worker}"
+
 
 class ShardedWorkerError(RuntimeError):
     """A shard worker failed; carries structured cause information.
@@ -86,15 +128,20 @@ class ShardedWorkerError(RuntimeError):
     ``cause_type`` is the original exception class name;
     ``is_stream_error`` is True for input problems (stream format,
     I/O) that callers like the CLI handle with a friendly message
-    rather than a traceback.
+    rather than a traceback; ``worker`` is the shard index when known.
     """
 
     def __init__(
-        self, message: str, cause_type: str, is_stream_error: bool = False
+        self,
+        message: str,
+        cause_type: str,
+        is_stream_error: bool = False,
+        worker: Optional[int] = None,
     ) -> None:
         super().__init__(message)
         self.cause_type = cause_type
         self.is_stream_error = is_stream_error
+        self.worker = worker
 
 
 def _fork_context():
@@ -112,15 +159,22 @@ def fork_available() -> bool:
     return _fork_context() is not None
 
 
-def _describe_error(exc: BaseException) -> Tuple[str, bool, str]:
+def _describe_error(exc: BaseException) -> Tuple[str, bool, str, bool]:
     """Structured worker-failure report: (class name, is-stream-error,
-    formatted traceback)."""
+    formatted traceback, retryable).
+
+    Only ``OSError`` counts as retryable: transient I/O is what a
+    respawn can fix, while a deterministic Python error (including
+    :class:`~repro.streams.persist.StreamFormatError`, a ``ValueError``)
+    would fail every attempt identically.
+    """
     from repro.streams.persist import StreamFormatError
 
     return (
         type(exc).__name__,
         isinstance(exc, (StreamFormatError, OSError)),
         traceback.format_exc(),
+        isinstance(exc, OSError) and not isinstance(exc, StreamFormatError),
     )
 
 
@@ -216,8 +270,22 @@ def _drive(
     mmap: bool,
     readahead: bool = False,
     readahead_depth: int = 1,
+    *,
+    start_chunk: int = 0,
+    start_position: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    attempt: int = 0,
+    checkpoint: Optional[Tuple[str, int, str, Dict[str, Any]]] = None,
+    in_process: bool = False,
 ) -> Dict[str, Any]:
-    """Run one shard's FanoutRunner over its routed sub-stream."""
+    """Run one shard's FanoutRunner over its routed sub-stream.
+
+    ``start_chunk``/``start_position`` resume the pass at a checkpoint
+    boundary (file sources only); ``fault_plan`` is consulted before
+    every chunk; ``checkpoint`` — a ``(directory, every, tag, meta)``
+    tuple — snapshots the shard's summaries through a
+    :class:`~repro.engine.checkpoint.CheckpointStore` as it goes.
+    """
     runner = FanoutRunner(shard, chunk_size=chunk_size)
     if isinstance(source, (str, Path)):
         from repro.streams.persist import ChunkedStreamReader
@@ -225,51 +293,106 @@ def _drive(
         chunks = ChunkedStreamReader(
             source, mmap=mmap, readahead=readahead,
             readahead_depth=readahead_depth,
-        ).chunks(chunk_size)
+        ).chunks(chunk_size, start=start_position)
     else:
+        if start_position:
+            raise ValueError(
+                "resume offsets require a stream-file path source"
+            )
         chunks = as_chunks(source, chunk_size)
-    position = 0
-    for chunk_index, chunk in enumerate(chunks):
+    store: Optional[CheckpointStore] = None
+    if checkpoint is not None:
+        directory, every, tag, meta = checkpoint
+        store = CheckpointStore(directory)
+    chunk_index = start_chunk
+    position = start_position
+    for chunk in chunks:
+        if fault_plan is not None:
+            fault_plan.fire(worker, chunk_index, attempt, in_process=in_process)
         routed = route_chunk(
             chunk, routing, worker, n_workers, chunk_index, position
         )
         position += len(chunk[0])
+        chunk_index += 1
         if routed is not None:
             runner.process_chunk(*routed)
+        if store is not None and chunk_index % every == 0:
+            store.save(
+                tag, dict(runner._processors),
+                chunk_index=chunk_index, position=position, meta=meta,
+            )
+    if store is not None:
+        store.save(
+            tag, dict(runner._processors),
+            chunk_index=chunk_index, position=position,
+            complete=True, meta=meta,
+        )
     return dict(runner._processors)
 
 
-def _file_worker(args) -> Tuple[int, Any, Any]:
-    """Process-pool body for file sources: self-read, filter, return."""
-    (worker, n_workers, shard, path, routing, chunk_size, mmap, readahead,
-     readahead_depth) = args
+def _file_worker(conn, task) -> None:
+    """Process body for file sources: self-read, filter, report.
+
+    The outcome ``(worker, attempt, processors, error)`` travels over a
+    dedicated one-shot pipe owned by this attempt alone; a superseded
+    attempt's message dies with its pipe, and a worker that vanishes
+    without reporting (SIGKILL, dropped result) surfaces to the parent
+    as EOF rather than as silence on a shared queue.
+    """
+    (worker, attempt, n_workers, shard, path, routing, chunk_size, mmap,
+     readahead, readahead_depth, start_chunk, start_position, fault_plan,
+     checkpoint) = task
     try:
         processors = _drive(
             shard, path, routing, worker, n_workers, chunk_size, mmap,
             readahead, readahead_depth,
+            start_chunk=start_chunk, start_position=start_position,
+            fault_plan=fault_plan, attempt=attempt, checkpoint=checkpoint,
         )
-        return worker, processors, None
+        outcome = (worker, attempt, processors, None)
     except BaseException as exc:
-        return worker, None, _describe_error(exc)
+        outcome = (worker, attempt, None, _describe_error(exc))
+    if fault_plan is not None:
+        if fault_plan.drops_result(worker, attempt):
+            return
+        if fault_plan.corrupts_result(worker, attempt):
+            conn.send("injected-garbage-result")
+            return
+    conn.send(outcome)
+    conn.close()
 
 
-def _queue_worker(worker, shard, chunk_size, in_queue, out_queue) -> None:
+def _queue_worker(
+    worker, shard, chunk_size, in_queue, out_queue, fault_plan=None
+) -> None:
     """Process body for in-memory sources: consume routed chunks."""
+    outcome = None
     try:
         runner = FanoutRunner(shard, chunk_size=chunk_size)
+        consumed = 0
         while True:
             chunk = in_queue.get()
             if chunk is None:
                 break
+            if fault_plan is not None:
+                fault_plan.fire(worker, consumed, 0)
+            consumed += 1
             runner.process_chunk(*chunk)
-        out_queue.put((worker, dict(runner._processors), None))
+        outcome = (worker, dict(runner._processors), None)
     except BaseException as exc:
         error = _describe_error(exc)
         # Keep draining until the sentinel so the parent's bounded-queue
         # puts never block on a worker that has stopped consuming.
         while in_queue.get() is not None:
             pass
-        out_queue.put((worker, None, error))
+        outcome = (worker, None, error)
+    if fault_plan is not None:
+        if fault_plan.drops_result(worker, 0):
+            return
+        if fault_plan.corrupts_result(worker, 0):
+            out_queue.put("injected-garbage-result")
+            return
+    out_queue.put(outcome)
 
 
 class ShardedRunner:
@@ -293,6 +416,41 @@ class ShardedRunner:
         readahead_depth: chunks each worker's prefetcher keeps in
             flight (default 1, the classic double buffer).
         backend: ``"process"`` (fork pool; default) or ``"serial"``.
+        retries: times a dead/timed-out file-source shard worker is
+            respawned before the ``on_failure`` policy decides (the
+            workers are side-effect-free, so a re-run is safe).
+        timeout_s: per-shard wall-clock budget; a worker exceeding it
+            is terminated and handled like a dead worker (``None``
+            disables the deadline).
+        on_failure: ``"raise"`` (default — fail fast, the historical
+            behaviour), ``"retry"`` (exhaust ``retries`` then raise),
+            or ``"serial_fallback"`` (exhaust ``retries`` then re-run
+            the shard in-process).
+        checkpoint_dir: when set, every file-source shard worker
+            snapshots its summaries + stream offset into this
+            directory; see :meth:`resume`.
+        checkpoint_every: source chunks between shard snapshots
+            (default
+            :data:`~repro.engine.checkpoint.DEFAULT_CHECKPOINT_EVERY`;
+            requires ``checkpoint_dir``).
+        fault_plan: optional :class:`~repro.engine.faults.FaultPlan`
+            threaded into every worker for deterministic chaos tests;
+            omit for the no-op default.
+
+    Overridable timing knobs (class attributes, seconds; override on an
+    instance to tune a specific run or speed up tests):
+
+    * ``QUEUE_PUT_TIMEOUT_S`` — bounded-queue put poll interval;
+    * ``QUEUE_PUT_DEADLINE_S`` — give up routing to a worker that is
+      alive but has not consumed anything for this long;
+    * ``RESULT_POLL_TIMEOUT_S`` — result wait slice between per-shard
+      deadline scans;
+    * ``RESULT_GRACE_TIMEOUT_S`` — extra wait for an in-flight result
+      after its sender died (in-memory queue pool);
+    * ``WORKER_JOIN_TIMEOUT_S`` — orderly worker join deadline;
+    * ``TERMINATE_JOIN_TIMEOUT_S`` — join deadline after terminate;
+    * ``RETRY_BACKOFF_S`` — base of the exponential retry backoff
+      (attempt ``k`` sleeps ``RETRY_BACKOFF_S * 2**(k-1)``).
 
     Usage::
 
@@ -300,6 +458,14 @@ class ShardedRunner:
         results = runner.run("workload.npz")   # same answers as FanoutRunner
         merged = runner["alg2"]                # the merged processor
     """
+
+    QUEUE_PUT_TIMEOUT_S = 1.0
+    QUEUE_PUT_DEADLINE_S = 120.0
+    RESULT_POLL_TIMEOUT_S = 0.25
+    RESULT_GRACE_TIMEOUT_S = 2.0
+    WORKER_JOIN_TIMEOUT_S = 30.0
+    TERMINATE_JOIN_TIMEOUT_S = 5.0
+    RETRY_BACKOFF_S = 0.05
 
     def __init__(
         self,
@@ -311,6 +477,12 @@ class ShardedRunner:
         readahead: Optional[bool] = None,
         readahead_depth: int = 1,
         backend: str = "process",
+        retries: int = 2,
+        timeout_s: Optional[float] = None,
+        on_failure: str = "raise",
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -322,14 +494,48 @@ class ShardedRunner:
             )
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if timeout_s is not None and not timeout_s > 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        if on_failure not in ON_FAILURE_POLICIES:
+            raise ValueError(
+                f"on_failure must be one of {ON_FAILURE_POLICIES}, "
+                f"got {on_failure!r}"
+            )
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
+        if checkpoint_dir is not None and checkpoint_every is None:
+            checkpoint_every = DEFAULT_CHECKPOINT_EVERY
         self.n_workers = n_workers
         self.chunk_size = chunk_size
         self.mmap = mmap
         self.readahead = None if readahead is None else bool(readahead)
         self.readahead_depth = int(readahead_depth)
         self.backend = backend
+        self.retries = int(retries)
+        self.timeout_s = timeout_s
+        self.on_failure = on_failure
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
+        self.checkpoint_every = checkpoint_every
+        self.fault_plan = fault_plan
+        #: Shard re-runs performed (for run reports / diagnostics).
+        self.retries_used = 0
+        #: Shards that ended up on the in-process fallback path.
+        self.fallbacks_used = 0
         self._processors: Dict[str, Any] = {}
         self._merged: Dict[str, Any] = {}
+        self._resuming = False
+        self._resume_shards: Optional[List[Dict[str, Any]]] = None
+        self._resume_source: Optional[str] = None
+        self._run_id: Optional[str] = None
         if processors is not None:
             for name, processor in processors.items():
                 self.add(name, processor)
@@ -370,10 +576,142 @@ class ShardedRunner:
         )
 
     # ------------------------------------------------------------------
+    # Checkpoint/resume.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_dir: Union[str, Path],
+        *,
+        source: Any = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> "ShardedRunner":
+        """Rebuild a checkpointed sharded run for continuation.
+
+        The job manifest (tag ``"run"``) carries the run configuration,
+        the registered processors, and the *pristine* shard splits —
+        resuming never re-splits, so seed-derived shard state is
+        exactly what the interrupted run used and the final answers
+        stay bit-identical.  Call :meth:`run` on the result (with no
+        source — the checkpointed path is remembered — or pass one to
+        override); shards that already completed are not re-run, and
+        unfinished shards continue from their latest snapshot.
+
+        Raises:
+            repro.engine.checkpoint.CheckpointError: when the job
+                manifest is absent, torn, or version-incompatible.
+        """
+        store = CheckpointStore(checkpoint_dir)
+        snapshot = store.load(RUN_TAG)
+        meta = snapshot.meta
+        runner = cls(
+            None,
+            n_workers=int(meta["n_workers"]),
+            chunk_size=int(meta["chunk_size"]),
+            mmap=bool(meta["mmap"]),
+            readahead=meta["readahead"],
+            readahead_depth=int(meta["readahead_depth"]),
+            backend=str(meta["backend"]),
+            retries=int(meta["retries"]),
+            timeout_s=meta["timeout_s"],
+            on_failure=str(meta["on_failure"]),
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=int(meta["checkpoint_every"]),
+            fault_plan=fault_plan,
+        )
+        runner._processors = dict(snapshot.state["processors"])
+        runner._resume_shards = [
+            dict(shard) for shard in snapshot.state["shards"]
+        ]
+        runner._resume_source = str(meta["source"])
+        if source is not None:
+            runner._resume_source = str(source)
+        runner._run_id = meta["run_id"]
+        runner._resuming = True
+        return runner
+
+    def _checkpoint_store(self) -> Optional[CheckpointStore]:
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointStore(self.checkpoint_dir)
+
+    def _shard_checkpoint(
+        self, worker: int
+    ) -> Optional[Tuple[str, int, str, Dict[str, Any]]]:
+        """The ``checkpoint=`` tuple handed to a shard's drive loop."""
+        if self.checkpoint_dir is None:
+            return None
+        return (
+            str(self.checkpoint_dir),
+            int(self.checkpoint_every),
+            shard_checkpoint_tag(worker),
+            {"run_id": self._run_id},
+        )
+
+    def _shard_start(
+        self, store: Optional[CheckpointStore], worker: int,
+        pristine: Dict[str, Any],
+    ) -> Tuple[Dict[str, Any], int, int, bool]:
+        """Where worker ``worker`` starts: (state, chunk, position, done).
+
+        Fresh runs start every shard pristine at offset 0; resumed runs
+        continue from the shard's latest snapshot — but only one
+        stamped with this run's id, so leftovers from an older run in a
+        reused directory are ignored rather than merged in.
+        """
+        if store is None or not self._resuming:
+            return pristine, 0, 0, False
+        snapshot = store.try_load(shard_checkpoint_tag(worker))
+        if snapshot is None or snapshot.meta.get("run_id") != self._run_id:
+            return pristine, 0, 0, False
+        return (
+            snapshot.state, snapshot.chunk_index, snapshot.position,
+            snapshot.complete,
+        )
+
+    def _save_run_checkpoint(
+        self,
+        store: CheckpointStore,
+        shards: List[Dict[str, Any]],
+        source: Any,
+        chunk_size: int,
+    ) -> None:
+        """Write the job manifest before any worker starts.
+
+        A run killed at *any* later instant therefore resumes: worker
+        snapshots only refine the starting points this manifest already
+        guarantees.
+        """
+        self._run_id = secrets.token_hex(8)
+        meta = {
+            "run_id": self._run_id,
+            "source": str(source),
+            "n_workers": self.n_workers,
+            "chunk_size": chunk_size,
+            "backend": self.backend,
+            "mmap": bool(self.mmap),
+            "readahead": self.readahead,
+            "readahead_depth": self.readahead_depth,
+            "retries": self.retries,
+            "timeout_s": self.timeout_s,
+            "on_failure": self.on_failure,
+            "checkpoint_every": self.checkpoint_every,
+            "labels": list(self._processors),
+        }
+        store.save(
+            RUN_TAG,
+            {"processors": dict(self._processors), "shards": shards},
+            chunk_index=0, position=0, meta=meta,
+        )
+
+    # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
 
-    def run(self, source: Any, chunk_size: Optional[int] = None) -> Dict[str, Any]:
+    def run(
+        self, source: Any = None, chunk_size: Optional[int] = None
+    ) -> Dict[str, Any]:
         """Shard, execute, merge, finalize: ``name -> answer``.
 
         Answers match a single-core
@@ -382,6 +720,13 @@ class ShardedRunner:
         guarantee-identically for the sampled/counter summaries (see
         ``tests/integration/test_sharded_equivalence.py``).
         """
+        if source is None:
+            source = self._resume_source
+        if source is None:
+            raise TypeError(
+                "run() requires a source (or a runner built by "
+                "ShardedRunner.resume(), which remembers its file)"
+            )
         if not self._processors:
             raise RuntimeError("no processors registered; call add() first")
         chunk_size = chunk_size or self.chunk_size
@@ -389,8 +734,18 @@ class ShardedRunner:
             raise ValueError(
                 "mmap streaming requires a stream-file path source"
             )
+        store = self._checkpoint_store()
+        if store is not None and not isinstance(source, (str, Path)):
+            raise ValueError(
+                "checkpointing requires a stream-file path source"
+            )
         routing = self.routing()
-        if self.n_workers == 1:
+        plain = (
+            store is None
+            and (self.fault_plan is None or self.fault_plan.is_noop)
+            and not self._resuming
+        )
+        if self.n_workers == 1 and plain:
             # Degenerate case: the exact single-core reference path.
             runner = FanoutRunner(self._processors, chunk_size=chunk_size)
             if self.mmap:
@@ -406,7 +761,17 @@ class ShardedRunner:
             self._merged = dict(self._processors)
             return runner.finalize()
 
-        shards = self._split_shards()
+        if self._resuming:
+            shards = self._resume_shards
+        elif self.n_workers == 1:
+            # Single checkpointed/faulted worker: no split (stays
+            # bit-identical to the FanoutRunner reference even for
+            # seed-splitting summaries), same machinery otherwise.
+            shards = [dict(self._processors)]
+        else:
+            shards = self._split_shards()
+        if store is not None and not self._resuming:
+            self._save_run_checkpoint(store, shards, source, chunk_size)
         if self.backend == "serial":
             completed = self._run_serial(shards, source, routing, chunk_size)
         else:
@@ -448,20 +813,35 @@ class ShardedRunner:
         are re-read per shard, exactly like the process backend.
         """
         if isinstance(source, (str, Path)):
+            store = self._checkpoint_store()
             mmap = self._worker_mmap(source)
             readahead = self._effective_readahead(mmap)
-            return [
-                _drive(
-                    shard, source, routing, worker, self.n_workers,
-                    chunk_size, mmap, readahead, self.readahead_depth,
+            completed = []
+            for worker, shard in enumerate(shards):
+                state, start_chunk, start_position, done = self._shard_start(
+                    store, worker, shard
                 )
-                for worker, shard in enumerate(shards)
-            ]
+                if done:
+                    completed.append(state)
+                    continue
+                completed.append(
+                    _drive(
+                        state, source, routing, worker, self.n_workers,
+                        chunk_size, mmap, readahead, self.readahead_depth,
+                        start_chunk=start_chunk,
+                        start_position=start_position,
+                        fault_plan=self.fault_plan,
+                        checkpoint=self._shard_checkpoint(worker),
+                        in_process=True,
+                    )
+                )
+            return completed
         chunks = list(as_chunks(source, chunk_size))
         return [
             _drive(
                 shard, iter(chunks), routing, worker, self.n_workers,
                 chunk_size, False,
+                fault_plan=self.fault_plan, in_process=True,
             )
             for worker, shard in enumerate(shards)
         ]
@@ -514,31 +894,210 @@ class ShardedRunner:
     def _run_file_pool(
         self, context, shards, source, routing, chunk_size
     ) -> List[Dict[str, Any]]:
-        """Workers read the stream file themselves — zero data IPC."""
+        """Workers read the stream file themselves — zero data IPC.
+
+        One explicitly managed process per shard (rather than a
+        ``Pool``), each reporting over a dedicated one-shot pipe
+        created fresh per attempt.  The private pipe makes failure
+        detection an event rather than a poll: a worker killed by the
+        OS (or whose result was dropped by fault injection) closes its
+        write end without sending, which the parent sees as EOF and —
+        the workers being side-effect-free — answers by relaunching
+        the shard under the retry policy with exponential backoff.  A
+        message from a superseded attempt is impossible: it would have
+        gone to a pipe the parent no longer holds.
+        """
         mmap = self._worker_mmap(source)
         readahead = self._effective_readahead(mmap)
-        tasks = [
-            (
-                worker,
-                self.n_workers,
-                shard,
-                str(source),
-                routing,
-                chunk_size,
-                mmap,
-                readahead,
-                self.readahead_depth,
+        store = self._checkpoint_store()
+        completed: List[Optional[Dict[str, Any]]] = [None] * self.n_workers
+        starts: Dict[int, Tuple[Dict[str, Any], int, int]] = {}
+        pending = set()
+        for worker, shard in enumerate(shards):
+            state, start_chunk, start_position, done = self._shard_start(
+                store, worker, shard
             )
-            for worker, shard in enumerate(shards)
-        ]
-        with context.Pool(processes=self.n_workers) as pool:
-            outcomes = pool.map(_file_worker, tasks)
-        return self._collect(outcomes)
+            if done:
+                completed[worker] = state
+            else:
+                starts[worker] = (state, start_chunk, start_position)
+                pending.add(worker)
+        if not pending:
+            return completed  # type: ignore[return-value]
+
+        procs: Dict[int, Any] = {}
+        results: Dict[int, Any] = {}
+        deadlines: Dict[int, Optional[float]] = {}
+        attempts = {worker: 0 for worker in pending}
+        fallback: List[int] = []
+
+        def launch(worker: int) -> None:
+            state, start_chunk, start_position = starts[worker]
+            task = (
+                worker, attempts[worker], self.n_workers, state,
+                str(source), routing, chunk_size, mmap, readahead,
+                self.readahead_depth, start_chunk, start_position,
+                self.fault_plan, self._shard_checkpoint(worker),
+            )
+            recv_end, send_end = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_file_worker, args=(send_end, task), daemon=True
+            )
+            process.start()
+            # The child's inherited copy is now the only writer, so the
+            # read end hits EOF the moment the worker is gone.
+            send_end.close()
+            procs[worker] = process
+            results[worker] = recv_end
+            deadlines[worker] = (
+                None if self.timeout_s is None
+                else time.monotonic() + self.timeout_s
+            )
+
+        def reap(worker: int, kill: bool = False) -> None:
+            process = procs.pop(worker, None)
+            recv_end = results.pop(worker, None)
+            deadlines.pop(worker, None)
+            if recv_end is not None:
+                recv_end.close()
+            if process is None:
+                return
+            if kill and process.is_alive():
+                process.terminate()
+            process.join(timeout=self.WORKER_JOIN_TIMEOUT_S)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=self.TERMINATE_JOIN_TIMEOUT_S)
+
+        def fail(worker: int, retryable: bool, error: Exception) -> None:
+            reap(worker, kill=True)
+            if not retryable or self.on_failure == "raise":
+                raise error
+            if attempts[worker] < self.retries:
+                attempts[worker] += 1
+                self.retries_used += 1
+                time.sleep(self.RETRY_BACKOFF_S * 2 ** (attempts[worker] - 1))
+                launch(worker)
+                return
+            if self.on_failure == "serial_fallback":
+                pending.discard(worker)
+                fallback.append(worker)
+                return
+            raise error
+
+        def absorb(worker: int) -> None:
+            process = procs[worker]
+            try:
+                message = results[worker].recv()
+            except (EOFError, OSError):
+                fail(
+                    worker, True,
+                    ShardedWorkerError(
+                        f"sharded worker {worker} terminated abnormally "
+                        f"without reporting a result "
+                        f"(exit code {process.exitcode})",
+                        cause_type="WorkerDied",
+                        worker=worker,
+                    ),
+                )
+                return
+            if (
+                not isinstance(message, tuple)
+                or len(message) != 4
+                or message[0] != worker
+                or message[1] != attempts[worker]
+            ):
+                raise ShardedWorkerError(
+                    f"sharded worker returned a corrupt result message: "
+                    f"{message!r}",
+                    cause_type="CorruptResult",
+                    worker=worker,
+                )
+            _worker, _attempt, processors, error = message
+            if error is None:
+                completed[worker] = processors
+                pending.discard(worker)
+                reap(worker)
+                return
+            cause_type, is_stream_error, formatted, retryable = error
+            fail(
+                worker, retryable,
+                ShardedWorkerError(
+                    f"sharded worker {worker} failed:\n{formatted}",
+                    cause_type=cause_type,
+                    is_stream_error=is_stream_error,
+                    worker=worker,
+                ),
+            )
+
+        try:
+            for worker in sorted(pending):
+                launch(worker)
+            while pending and procs:
+                readers = {
+                    results[worker]: worker
+                    for worker in sorted(pending)
+                    if worker in procs
+                }
+                ready = mp_connection.wait(
+                    list(readers), timeout=self.RESULT_POLL_TIMEOUT_S
+                )
+                if ready:
+                    # One event per iteration: absorbing can relaunch
+                    # processes and recycle pipes, so recompute the
+                    # wait set rather than trusting the rest of
+                    # ``ready``.
+                    absorb(readers[ready[0]])
+                    continue
+                if self.timeout_s is None:
+                    continue
+                now = time.monotonic()
+                for worker in sorted(pending):
+                    deadline = deadlines.get(worker)
+                    if (
+                        worker in procs
+                        and deadline is not None
+                        and now >= deadline
+                    ):
+                        fail(
+                            worker, True,
+                            ShardedWorkerError(
+                                f"sharded worker {worker} exceeded the "
+                                f"per-shard timeout of {self.timeout_s}s",
+                                cause_type="TimeoutError",
+                                worker=worker,
+                            ),
+                        )
+                        break
+        finally:
+            for worker in list(procs):
+                reap(worker, kill=True)
+
+        for worker in fallback:
+            # Last resort after `retries` dead workers: run the shard
+            # in-process.  Deterministic in-process kill faults are
+            # rejected by the plan itself (see FaultPlan.fire).
+            self.fallbacks_used += 1
+            state, start_chunk, start_position = starts[worker]
+            completed[worker] = _drive(
+                state, source, routing, worker, self.n_workers,
+                chunk_size, mmap, readahead, self.readahead_depth,
+                start_chunk=start_chunk, start_position=start_position,
+                fault_plan=self.fault_plan, attempt=attempts[worker] + 1,
+                checkpoint=self._shard_checkpoint(worker), in_process=True,
+            )
+        return completed  # type: ignore[return-value]
 
     def _run_queue_pool(
         self, context, shards, source, routing, chunk_size
     ) -> List[Dict[str, Any]]:
-        """Parent routes chunks to bounded per-worker queues."""
+        """Parent routes chunks to bounded per-worker queues.
+
+        In-memory sources are consumed exactly once, so a dead queue
+        worker is not retryable — failures raise regardless of the
+        ``on_failure`` policy (persist the stream to a file to get
+        retry semantics).
+        """
         in_queues = [
             context.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.n_workers)
         ]
@@ -546,7 +1105,8 @@ class ShardedRunner:
         workers = [
             context.Process(
                 target=_queue_worker,
-                args=(worker, shards[worker], chunk_size, in_queues[worker], out_queue),
+                args=(worker, shards[worker], chunk_size, in_queues[worker],
+                      out_queue, self.fault_plan),
                 daemon=True,
             )
             for worker in range(self.n_workers)
@@ -573,26 +1133,29 @@ class ShardedRunner:
             for process in workers:
                 # On an error path the surviving workers may still be
                 # blocked waiting for chunks that will never come —
-                # don't stall 30 s per worker before surfacing it.
+                # don't stall a full join timeout per worker before
+                # surfacing it.
                 if not clean and process.is_alive():
                     process.terminate()
-                process.join(timeout=30)
+                process.join(timeout=self.WORKER_JOIN_TIMEOUT_S)
                 if process.is_alive():
                     process.terminate()
-                    process.join(timeout=5)
+                    process.join(timeout=self.TERMINATE_JOIN_TIMEOUT_S)
         return self._collect(outcomes)
 
-    @staticmethod
-    def _put_alive(queue, item, process, worker) -> None:
-        """Bounded-queue put that notices a dead consumer.
+    def _put_alive(self, queue, item, process, worker) -> None:
+        """Bounded-queue put that notices a dead or wedged consumer.
 
         A worker killed abnormally (OOM, segfault) never drains its
         queue; an unconditional blocking put would hang the parent
-        forever once the queue fills.
+        forever once the queue fills.  A worker that is alive but has
+        stopped consuming (deadlocked processor) is given up on after
+        ``QUEUE_PUT_DEADLINE_S``.
         """
+        deadline = time.monotonic() + self.QUEUE_PUT_DEADLINE_S
         while True:
             try:
-                queue.put(item, timeout=1.0)
+                queue.put(item, timeout=self.QUEUE_PUT_TIMEOUT_S)
                 return
             except queue_module.Full:
                 if not process.is_alive():
@@ -600,6 +1163,12 @@ class ShardedRunner:
                         f"sharded worker {worker} terminated abnormally "
                         f"(exit code {process.exitcode}) while the stream "
                         f"was still being routed to it"
+                    ) from None
+                if time.monotonic() >= deadline:
+                    raise RuntimeError(
+                        f"sharded worker {worker} stopped consuming its "
+                        f"chunk queue for {self.QUEUE_PUT_DEADLINE_S:g}s "
+                        f"while still alive; giving up routing to it"
                     ) from None
 
     def _gather_outcomes(self, out_queue, workers):
@@ -613,14 +1182,16 @@ class ShardedRunner:
         pending = set(range(self.n_workers))
         while pending:
             try:
-                outcome = out_queue.get(timeout=1.0)
+                outcome = out_queue.get(timeout=self.RESULT_POLL_TIMEOUT_S)
             except queue_module.Empty:
                 dead = [w for w in pending if not workers[w].is_alive()]
                 if dead:
                     # Grace period: a result already sent may still be
                     # in the pipe after the sender exited.
                     try:
-                        outcome = out_queue.get(timeout=2.0)
+                        outcome = out_queue.get(
+                            timeout=self.RESULT_GRACE_TIMEOUT_S
+                        )
                     except queue_module.Empty:
                         codes = {w: workers[w].exitcode for w in dead}
                         raise RuntimeError(
@@ -630,6 +1201,17 @@ class ShardedRunner:
                         ) from None
                 else:
                     continue
+            if (
+                not isinstance(outcome, tuple)
+                or len(outcome) != 3
+                or not isinstance(outcome[0], int)
+                or not 0 <= outcome[0] < self.n_workers
+            ):
+                raise ShardedWorkerError(
+                    f"sharded worker returned a corrupt result message: "
+                    f"{outcome!r}",
+                    cause_type="CorruptResult",
+                )
             outcomes.append(outcome)
             pending.discard(outcome[0])
         return outcomes
@@ -639,11 +1221,12 @@ class ShardedRunner:
         completed: List[Optional[Dict[str, Any]]] = [None] * self.n_workers
         for worker, processors, error in outcomes:
             if error is not None:
-                cause_type, is_stream_error, formatted = error
+                cause_type, is_stream_error, formatted, _retryable = error
                 raise ShardedWorkerError(
                     f"sharded worker {worker} failed:\n{formatted}",
                     cause_type=cause_type,
                     is_stream_error=is_stream_error,
+                    worker=worker,
                 )
             completed[worker] = processors
         return completed  # type: ignore[return-value]
@@ -659,6 +1242,12 @@ def run_sharded(
     readahead: Optional[bool] = None,
     readahead_depth: int = 1,
     backend: str = "process",
+    retries: int = 2,
+    timeout_s: Optional[float] = None,
+    on_failure: str = "raise",
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Dict[str, Any]:
     """One-shot convenience: build a ShardedRunner, run it, return answers.
 
@@ -674,4 +1263,10 @@ def run_sharded(
         readahead=readahead,
         readahead_depth=readahead_depth,
         backend=backend,
+        retries=retries,
+        timeout_s=timeout_s,
+        on_failure=on_failure,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        fault_plan=fault_plan,
     ).run(source)

@@ -47,6 +47,7 @@ from repro.pipeline.result import (
 )
 from repro.pipeline.spec import (
     BACKENDS,
+    CheckpointSpec,
     ExecSpec,
     PipelineSpec,
     ProcessorSpec,
@@ -59,6 +60,7 @@ from repro.pipeline.spec import (
 
 __all__ = [
     "BACKENDS",
+    "CheckpointSpec",
     "Diagnostic",
     "Entry",
     "ExecSpec",

@@ -43,9 +43,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.faults import FaultPlan
 from repro.engine.protocol import combined_routing, shard_routing_of
-from repro.engine.runner import FanoutRunner, as_chunks
-from repro.engine.sharded import ShardedRunner
+from repro.engine.runner import FANOUT_TAG, FanoutRunner, as_chunks
+from repro.engine.sharded import RUN_TAG, ShardedRunner
 from repro.engine.windows import (
     DecayPolicy,
     SlidingPolicy,
@@ -61,6 +63,7 @@ from repro.pipeline.registry import (
 )
 from repro.pipeline.result import PipelineResult, ProbeRecord, RunReport
 from repro.pipeline.spec import (
+    CheckpointSpec,
     ExecSpec,
     PipelineSpec,
     ProcessorSpec,
@@ -282,6 +285,8 @@ class Pipeline:
         *,
         source: Optional[OpenSource] = None,
         probe_every: Optional[int] = None,
+        resume: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> PipelineResult:
         """Execute the pipeline and return a :class:`PipelineResult`.
 
@@ -296,6 +301,16 @@ class Pipeline:
                 fanout backend — sharded state is distributed until
                 the merge, so there is no mid-stream whole-answer to
                 probe.
+            resume: continue a checkpointed run from the snapshots in
+                the spec's ``checkpoint.dir`` instead of starting over
+                (requires a checkpoint spec).  When no checkpoint has
+                been written yet — e.g. the previous run died before
+                its first snapshot, or never started — the run simply
+                starts fresh (and still checkpoints).  The resumed
+                answers are bit-identical to an uninterrupted run.
+            fault_plan: a deterministic
+                :class:`~repro.engine.faults.FaultPlan` threaded into
+                the execution engine (chaos testing; None = no faults).
         """
         spec = self.spec
         if probe_every is not None:
@@ -314,47 +329,85 @@ class Pipeline:
                     f"{spec.execution.backend!r}; sharded/serial passes "
                     f"have no single mid-stream state to probe"
                 )
+            if spec.checkpoint is not None:
+                raise SpecError(
+                    "probe_every cannot be combined with checkpointing; "
+                    "the probe loop bypasses the checkpointed drive loop"
+                )
+        if resume and spec.checkpoint is None:
+            raise SpecError(
+                "resume=True requires a checkpoint spec (the snapshots "
+                "to resume from live in checkpoint.dir)"
+            )
+        if resume:
+            # A resume with nothing to resume from degrades to a fresh
+            # (checkpointed) run — the crash-before-first-snapshot case.
+            tag = RUN_TAG if spec.execution.backend == "sharded" else FANOUT_TAG
+            resume = CheckpointStore(spec.checkpoint.dir).has(tag)
         if source is not None:
             opened = source
-        elif (
-            spec.execution.backend == "sharded"
-            and spec.source.kind == "file"
+        elif spec.source.kind == "file" and (
+            spec.execution.backend == "sharded" or spec.checkpoint is not None
         ):
-            # Sharded workers read the file themselves; opening it here
-            # is for report metadata only, so never materialise the
-            # columns (a non-mmap eager load would double the I/O and
-            # pin a full copy for the result's lifetime).
+            # Sharded workers (and the checkpointed fanout drive loop)
+            # read the file themselves; opening it here is for report
+            # metadata only, so never materialise the columns (a
+            # non-mmap eager load would double the I/O and pin a full
+            # copy for the result's lifetime).
             opened = _open_file_header(spec.source)
         else:
             opened = self.open_source()
         processors = self.build_processors()
         execution = spec.execution
+        checkpoint = spec.checkpoint
         chunk_size = spec.source.chunk_size
         probes: List[ProbeRecord] = []
         routing: Optional[Any] = None
+        shard_retries = 0
 
         start = time.perf_counter()
         if execution.backend == "sharded":
-            runner = ShardedRunner(
-                processors,
-                n_workers=execution.workers,
-                chunk_size=chunk_size,
-                mmap=spec.source.mmap,
-                readahead=spec.source.readahead,
-                readahead_depth=spec.source.readahead_depth,
-            )
-            engine_source = (
-                Path(spec.source.path)
-                if spec.source.kind == "file"
-                else opened.stream
-            )
-            answers = runner.run(engine_source)
-            merged = {label: runner[label] for label in processors}
+            if resume:
+                runner = ShardedRunner.resume(
+                    checkpoint.dir,
+                    source=spec.source.path,
+                    fault_plan=fault_plan,
+                )
+                answers = runner.run()
+            else:
+                runner = ShardedRunner(
+                    processors,
+                    n_workers=execution.workers,
+                    chunk_size=chunk_size,
+                    mmap=spec.source.mmap,
+                    readahead=spec.source.readahead,
+                    readahead_depth=spec.source.readahead_depth,
+                    retries=execution.retries,
+                    timeout_s=execution.timeout_s,
+                    on_failure=execution.on_failure,
+                    checkpoint_dir=(
+                        None if checkpoint is None else checkpoint.dir
+                    ),
+                    checkpoint_every=(
+                        None if checkpoint is None else checkpoint.every
+                    ),
+                    fault_plan=fault_plan,
+                )
+                engine_source = (
+                    Path(spec.source.path)
+                    if spec.source.kind == "file"
+                    else opened.stream
+                )
+                answers = runner.run(engine_source)
+            merged = {label: runner[label] for label in runner.names()}
             routing = runner.routing()
+            shard_retries = runner.retries_used
         elif execution.backend == "serial":
             for label, processor in processors.items():
                 FanoutRunner(
-                    {label: processor}, chunk_size=chunk_size
+                    {label: processor},
+                    chunk_size=chunk_size,
+                    fault_plan=fault_plan,
                 ).process(opened.chunk_source())
             answers = {
                 label: processor.finalize()
@@ -363,17 +416,40 @@ class Pipeline:
             merged = processors
             routing = self._static_routing(processors)
         else:
-            runner = FanoutRunner(processors, chunk_size=chunk_size)
-            if probe_every is not None:
-                self._run_with_probes(
-                    runner, opened, processors, chunk_size, probe_every,
-                    probes,
+            if resume:
+                runner = FanoutRunner.resume(
+                    checkpoint.dir,
+                    source=spec.source.path,
+                    fault_plan=fault_plan,
                 )
+                answers = runner.run()
+                merged = {label: runner[label] for label in runner.names()}
             else:
-                runner.process(opened.chunk_source())
-            answers = runner.finalize()
-            merged = processors
-            routing = self._static_routing(processors)
+                runner = FanoutRunner(
+                    processors,
+                    chunk_size=chunk_size,
+                    checkpoint_dir=(
+                        None if checkpoint is None else checkpoint.dir
+                    ),
+                    checkpoint_every=(
+                        None if checkpoint is None else checkpoint.every
+                    ),
+                    fault_plan=fault_plan,
+                )
+                if probe_every is not None:
+                    self._run_with_probes(
+                        runner, opened, processors, chunk_size, probe_every,
+                        probes,
+                    )
+                    answers = runner.finalize()
+                else:
+                    answers = runner.run(
+                        spec.source.path
+                        if checkpoint is not None
+                        else opened.chunk_source()
+                    )
+                merged = processors
+            routing = self._static_routing(merged)
         elapsed = time.perf_counter() - start
 
         report = RunReport(
@@ -385,6 +461,9 @@ class Pipeline:
             source=opened.describe(),
             routing=routing,
             window=spec.window.to_dict() if spec.window is not None else None,
+            resumed=bool(resume),
+            shard_retries=shard_retries,
+            checkpoint=checkpoint.to_dict() if checkpoint is not None else None,
         )
         return PipelineResult(
             answers=answers,
@@ -452,6 +531,7 @@ class PipelineBuilder:
         self._processors: List[ProcessorSpec] = []
         self._window: Optional[WindowSpec] = None
         self._execution = ExecSpec()
+        self._checkpoint: Optional[CheckpointSpec] = None
         self._chunk_size: Optional[int] = None
 
     # -- source --------------------------------------------------------
@@ -517,15 +597,40 @@ class PipelineBuilder:
 
     # -- execution -----------------------------------------------------
 
-    def execution(self, backend: str, workers: int = 1) -> "PipelineBuilder":
-        self._execution = ExecSpec(backend=backend, workers=workers)
+    def execution(
+        self,
+        backend: str,
+        workers: int = 1,
+        *,
+        retries: int = 2,
+        timeout_s: Optional[float] = None,
+        on_failure: str = "raise",
+    ) -> "PipelineBuilder":
+        self._execution = ExecSpec(
+            backend=backend,
+            workers=workers,
+            retries=retries,
+            timeout_s=timeout_s,
+            on_failure=on_failure,
+        )
         return self
 
     def serial(self) -> "PipelineBuilder":
         return self.execution("serial")
 
-    def sharded(self, workers: int) -> "PipelineBuilder":
-        return self.execution("sharded", workers)
+    def sharded(self, workers: int, **kwargs: Any) -> "PipelineBuilder":
+        return self.execution("sharded", workers, **kwargs)
+
+    # -- checkpointing -------------------------------------------------
+
+    def checkpoint(
+        self, directory: Union[str, Path], *, every: Optional[int] = None
+    ) -> "PipelineBuilder":
+        if every is None:
+            self._checkpoint = CheckpointSpec(dir=str(directory))
+        else:
+            self._checkpoint = CheckpointSpec(dir=str(directory), every=every)
+        return self
 
     # -- assembly ------------------------------------------------------
 
@@ -544,6 +649,7 @@ class PipelineBuilder:
                 processors=tuple(self._processors),
                 window=self._window,
                 execution=self._execution,
+                checkpoint=self._checkpoint,
             )
         )
 

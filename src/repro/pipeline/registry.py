@@ -379,6 +379,40 @@ def _builtin_processors() -> None:
         seed_param="seed",
         doc="CountSketch frequency sketch",
     )
+    from repro.sketch.bloom import BloomDedup
+    from repro.sketch.l0 import L0EdgeBank
+
+    register_processor(
+        "l0-bank",
+        L0EdgeBank,
+        (
+            Param("n", int, doc="number of A-vertices"),
+            Param("m", int, doc="number of B-vertices"),
+            Param("count", int, doc="number of independent samplers"),
+            Param("delta", float, 0.05, "per-sampler failure probability"),
+            Param("seed", int, 0),
+            Param("mode", str, "fast", "'exact' sketches or 'fast' simulation"),
+        ),
+        kind="sketch",
+        routing="any",
+        seed_param="seed",
+        doc="bank of l0-samplers over the edge-incidence vector",
+    )
+    register_processor(
+        "bloom-dedup",
+        BloomDedup,
+        (
+            Param("n", int, doc="number of A-vertices"),
+            Param("m", int, doc="number of B-vertices"),
+            Param("capacity", int, doc="expected distinct pairs"),
+            Param("fp_rate", float, 0.01, "false-positive target"),
+            Param("seed", int, 0),
+        ),
+        kind="sketch",
+        routing="vertex",
+        seed_param="seed",
+        doc="Bloom-filter pair dedup (admitted/suppressed counting)",
+    )
     register_processor(
         "full-storage",
         FullStorage,

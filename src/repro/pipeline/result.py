@@ -107,7 +107,13 @@ class ProbeRecord:
 
 @dataclass
 class RunReport:
-    """Execution metadata for one pipeline pass."""
+    """Execution metadata for one pipeline pass.
+
+    The fault-tolerance fields default to their "nothing happened"
+    values: ``resumed`` is True when the pass continued from a
+    checkpoint, ``shard_retries`` counts shard-worker re-runs, and
+    ``checkpoint`` echoes the checkpoint spec when one was active.
+    """
 
     n_updates: int
     elapsed_s: float
@@ -117,6 +123,9 @@ class RunReport:
     source: Dict[str, Any]
     routing: Optional[Any] = None
     window: Optional[Dict[str, Any]] = None
+    resumed: bool = False
+    shard_retries: int = 0
+    checkpoint: Optional[Dict[str, Any]] = None
 
     @property
     def updates_per_s(self) -> float:

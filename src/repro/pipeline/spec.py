@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.engine.checkpoint import DEFAULT_CHECKPOINT_EVERY
+from repro.engine.sharded import ON_FAILURE_POLICIES
 from repro.pipeline.errors import (
     Diagnostic,
     RegistryError,
@@ -295,10 +297,21 @@ class ExecSpec:
       or timing).  Requires a re-iterable source.
     * ``"sharded"`` — a :class:`~repro.engine.sharded.ShardedRunner`
       over ``workers`` processes, merging shard summaries.
+
+    The fault-tolerance knobs apply to the sharded backend's
+    file-source workers (see :mod:`repro.engine.sharded`):
+
+    * ``retries`` — respawns of a dead/timed-out shard worker;
+    * ``timeout_s`` — per-shard wall-clock budget (``None`` = none);
+    * ``on_failure`` — ``"raise"`` (default), ``"retry"``, or
+      ``"serial_fallback"``.
     """
 
     backend: str = "fanout"
     workers: int = 1
+    retries: int = 2
+    timeout_s: Optional[float] = None
+    on_failure: str = "raise"
 
     def to_dict(self) -> Dict[str, Any]:
         return _compact_dict(self, always=("backend",))
@@ -306,6 +319,38 @@ class ExecSpec:
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "ExecSpec":
         return _build_spec(ExecSpec, data)
+
+
+# ----------------------------------------------------------------------
+# Checkpointing.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """Durable-progress configuration for a run.
+
+    Attributes:
+        dir: directory the
+            :class:`~repro.engine.checkpoint.CheckpointStore` writes
+            snapshots into.
+        every: source chunks between snapshots.
+    """
+
+    dir: str
+    every: int = DEFAULT_CHECKPOINT_EVERY
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dir, (str, Path)):
+            return  # left for validate_spec to diagnose
+        object.__setattr__(self, "dir", str(self.dir))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _compact_dict(self, always=("dir",))
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "CheckpointSpec":
+        return _build_spec(CheckpointSpec, data)
 
 
 # ----------------------------------------------------------------------
@@ -321,6 +366,7 @@ class PipelineSpec:
     processors: Tuple[ProcessorSpec, ...]
     window: Optional[WindowSpec] = None
     execution: ExecSpec = field(default_factory=ExecSpec)
+    checkpoint: Optional[CheckpointSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.processors, tuple):
@@ -337,6 +383,8 @@ class PipelineSpec:
             out["window"] = self.window.to_dict()
         if self.execution != ExecSpec():
             out["execution"] = self.execution.to_dict()
+        if self.checkpoint is not None:
+            out["checkpoint"] = self.checkpoint.to_dict()
         return out
 
     @staticmethod
@@ -370,6 +418,11 @@ class PipelineSpec:
                 if "execution" in data
                 else ExecSpec()
             ),
+            checkpoint=(
+                CheckpointSpec.from_dict(data["checkpoint"])
+                if data.get("checkpoint") is not None
+                else None
+            ),
         )
 
 
@@ -389,7 +442,11 @@ _SCALAR_FIELDS = {
         ("policy", str), ("window", int), ("bucket_ratio", (int, float)),
         ("keep", int), ("seed", int),
     ),
-    "execution": (("backend", str), ("workers", int)),
+    "execution": (
+        ("backend", str), ("workers", int), ("retries", int),
+        ("timeout_s", (int, float, type(None))), ("on_failure", str),
+    ),
+    "checkpoint": (("dir", str), ("every", int)),
 }
 
 
@@ -420,6 +477,8 @@ def _scalar_type_diagnostics(spec: PipelineSpec) -> List[Diagnostic]:
     if spec.window is not None:
         check("window", spec.window, _SCALAR_FIELDS["window"])
     check("execution", spec.execution, _SCALAR_FIELDS["execution"])
+    if spec.checkpoint is not None:
+        check("checkpoint", spec.checkpoint, _SCALAR_FIELDS["checkpoint"])
     for index, processor in enumerate(spec.processors):
         prefix = f"processors[{index}]"
         if not isinstance(processor.name, str):
@@ -563,5 +622,36 @@ def validate_spec(spec: PipelineSpec) -> List[Diagnostic]:
                     f"{entry.name!r} is not mergeable and cannot run on "
                     f"the sharded backend",
                     "use the fanout or serial backend")
+    if execution.retries < 0:
+        bad("execution.retries",
+            f"retries must be >= 0, got {execution.retries}")
+    if execution.timeout_s is not None and not execution.timeout_s > 0:
+        bad("execution.timeout_s",
+            f"timeout_s must be > 0, got {execution.timeout_s}")
+    if execution.on_failure not in ON_FAILURE_POLICIES:
+        bad("execution.on_failure",
+            f"unknown failure policy {execution.on_failure!r}",
+            f"expected one of {ON_FAILURE_POLICIES}")
+    elif execution.on_failure != "raise" and execution.backend != "sharded":
+        bad("execution.on_failure",
+            f"on_failure={execution.on_failure!r} requires the sharded "
+            f"backend, got backend={execution.backend!r}",
+            "only sharded file-source workers can be retried")
+
+    checkpoint = spec.checkpoint
+    if checkpoint is not None:
+        if checkpoint.every < 1:
+            bad("checkpoint.every",
+                f"every must be >= 1, got {checkpoint.every}")
+        if source.kind != "file":
+            bad("checkpoint.dir",
+                f"checkpointing requires a file source, got "
+                f"kind={source.kind!r}",
+                "resume re-opens the stream file at the saved offset, "
+                "which only a persisted stream supports")
+        if execution.backend == "serial":
+            bad("checkpoint.dir",
+                "checkpointing requires the fanout or sharded backend, "
+                "got backend='serial'")
 
     return diagnostics

@@ -19,16 +19,23 @@ vector's support.  This package implements the full stack from scratch:
 from repro.sketch.hashing import KWiseHash, PRIME_61, random_kwise
 from repro.sketch.onesparse import OneSparseCell, OneSparseResult
 from repro.sketch.ssparse import SSparseRecovery
-from repro.sketch.l0 import L0Sampler, L0SamplerBank, l0_sampler_space_words
+from repro.sketch.l0 import (
+    L0EdgeBank,
+    L0Sampler,
+    L0SamplerBank,
+    l0_sampler_space_words,
+)
 from repro.sketch.exact import DegreeCounter, ExactSupport
-from repro.sketch.bloom import BloomFilter, DuplicateFilter
+from repro.sketch.bloom import BloomDedup, BloomFilter, DuplicateFilter
 
 __all__ = [
+    "BloomDedup",
     "BloomFilter",
     "DegreeCounter",
     "DuplicateFilter",
     "ExactSupport",
     "KWiseHash",
+    "L0EdgeBank",
     "L0Sampler",
     "L0SamplerBank",
     "OneSparseCell",

@@ -13,9 +13,12 @@ never inflates them).
 
 from __future__ import annotations
 
+import copy
 import math
 import random
-from typing import Hashable, List
+from typing import Hashable, List, Optional
+
+import numpy as np
 
 from repro.sketch.hashing import KWiseHash, random_kwise
 
@@ -59,6 +62,31 @@ class BloomFilter:
             for position in self._positions(key)
         )
 
+    def merge(self, other: "BloomFilter") -> "BloomFilter":
+        """OR-combine two same-hash filters over disjoint sub-streams.
+
+        Valid only for filters split/copied from the same seeded
+        instance (identical hash functions); the merged bit array is
+        exactly the single-pass array, since bit-OR is the filter's
+        native union.
+        """
+        if (
+            not isinstance(other, BloomFilter)
+            or (self.n_bits, self.n_hashes) != (other.n_bits, other.n_hashes)
+            or any(
+                mine.coefficients != theirs.coefficients
+                for mine, theirs in zip(self._hashes, other._hashes)
+            )
+        ):
+            raise ValueError(
+                "cannot merge incompatible Bloom filters; split both from "
+                "the same seeded structure"
+            )
+        for index, byte in enumerate(other._bits):
+            self._bits[index] |= byte
+        self._count += other._count
+        return self
+
     def expected_fp_rate(self) -> float:
         """Current false-positive estimate from the standard formula."""
         if self._count == 0:
@@ -100,5 +128,92 @@ class DuplicateFilter:
         self._bloom.add(key)
         return True
 
+    def merge(self, other: "DuplicateFilter") -> "DuplicateFilter":
+        """Combine two same-seed filters over disjoint pair sub-streams."""
+        if not isinstance(other, DuplicateFilter) or (self.n, self.m) != (
+            other.n, other.m
+        ):
+            raise ValueError(
+                "cannot merge incompatible duplicate filters; split both "
+                "from the same seeded structure"
+            )
+        self._bloom.merge(other._bloom)
+        return self
+
     def space_words(self) -> int:
         return self._bloom.space_words()
+
+
+class BloomDedup:
+    """Engine adapter: streaming pair dedup as a pipeline processor.
+
+    Wraps a :class:`DuplicateFilter` in the
+    :class:`~repro.engine.protocol.MergeableStreamProcessor` surface:
+    each ``(a, b)`` pair in a chunk is admitted on (apparent) first
+    arrival and counted as a duplicate otherwise, giving a streaming
+    measurement of a raw log's repetition in Bloom-filter space.  Signs
+    are ignored — duplication is a property of the *pair*, not of the
+    update's direction.  ``finalize`` returns the adapter itself for
+    continued querying (``admitted`` / ``suppressed`` /
+    :meth:`space_words`).
+
+    ``shard_routing = "vertex"`` routes every A-vertex's pairs to one
+    shard, so shard-local first-arrival decisions are exactly the
+    single-pass decisions (the pair key spaces are disjoint) and merged
+    counts are exact.
+    """
+
+    #: Pair keys partition by A-endpoint, keeping dedup decisions exact.
+    shard_routing = "vertex"
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        capacity: int,
+        fp_rate: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        self.seed = seed
+        self._filter = DuplicateFilter(
+            n, m, capacity, fp_rate, random.Random(seed)
+        )
+        self.admitted = 0
+        self.suppressed = 0
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        admit = self._filter.admit
+        admitted = 0
+        for pair_a, pair_b in zip(
+            np.asarray(a, dtype=np.int64).tolist(),
+            np.asarray(b, dtype=np.int64).tolist(),
+        ):
+            if admit(pair_a, pair_b):
+                admitted += 1
+        self.admitted += admitted
+        self.suppressed += len(a) - admitted
+
+    def finalize(self) -> "BloomDedup":
+        return self
+
+    def split(self, n_shards: int) -> List["BloomDedup"]:
+        """``n_shards`` same-seed empty shard filters (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self.admitted or self.suppressed:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
+
+    def merge(self, other: "BloomDedup") -> "BloomDedup":
+        self._filter.merge(other._filter)
+        self.admitted += other.admitted
+        self.suppressed += other.suppressed
+        return self
+
+    def space_words(self) -> int:
+        return self._filter.space_words()

@@ -29,6 +29,7 @@ needs.  It has two modes:
 
 from __future__ import annotations
 
+import copy
 import math
 import random
 from typing import List, Optional
@@ -303,3 +304,105 @@ class L0SamplerBank:
         if self.mode == "exact":
             return sum(sampler.space_words() for sampler in self._samplers)
         return self.count * l0_sampler_space_words(self.dim, self.delta)
+
+
+class L0EdgeBank:
+    """Engine adapter: an :class:`L0SamplerBank` over the edge vector.
+
+    Presents the bank as a pipeline-registrable
+    :class:`~repro.engine.protocol.MergeableStreamProcessor`: each
+    ``(a, b, sign)`` update becomes a signed update to coordinate
+    ``a * m + b`` of the implicit n×m edge-incidence vector — exactly
+    the vector Algorithm 3's samplers observe.  ``finalize`` returns
+    the adapter itself, so callers keep querying (:meth:`sample_all`,
+    :meth:`space_words`) after the run, like the other query-style
+    summaries.
+
+    Every sampler is a linear sketch (and the fast mode's support
+    tracker a plain sum), so updates may be partitioned arbitrarily
+    across shards (``shard_routing = "any"``); a bank reassembled from
+    same-seed shards answers :meth:`sample_all` bit-identically to a
+    single-pass bank.
+    """
+
+    #: Linear sketches merge under any stream partition.
+    shard_routing = "any"
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        count: int,
+        delta: float = 0.05,
+        seed: int = 0,
+        mode: str = "fast",
+    ) -> None:
+        if n < 1 or m < 1:
+            raise ValueError(f"n and m must be >= 1, got n={n}, m={m}")
+        self.n = n
+        self.m = m
+        self.seed = seed
+        self._started = False
+        self._bank = L0SamplerBank(
+            n * m, count, delta, random.Random(seed), mode=mode
+        )
+
+    def process_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        sign: Optional[np.ndarray] = None,
+    ) -> None:
+        if len(a) == 0:
+            return
+        self._started = True
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.min() < 0 or a.max() >= self.n or b.min() < 0 or b.max() >= self.m:
+            raise ValueError(
+                f"edge endpoints out of range ({self.n}, {self.m})"
+            )
+        indices = a * np.int64(self.m) + b
+        deltas = (
+            np.ones(len(a), dtype=np.int64)
+            if sign is None
+            else np.asarray(sign, dtype=np.int64)
+        )
+        self._bank.update_batch(indices, deltas)
+
+    def finalize(self) -> "L0EdgeBank":
+        return self
+
+    def split(self, n_shards: int) -> List["L0EdgeBank"]:
+        """``n_shards`` same-seed empty shard banks (sharded runs)."""
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._started:
+            raise RuntimeError("split() must be called before processing")
+        return [copy.deepcopy(self) for _ in range(n_shards)]
+
+    def merge(self, other: "L0EdgeBank") -> "L0EdgeBank":
+        if not isinstance(other, L0EdgeBank) or (self.n, self.m) != (
+            other.n, other.m
+        ):
+            raise ValueError(
+                "cannot merge incompatible l0 edge banks; split both from "
+                "the same seeded structure"
+            )
+        self._bank.merge(other._bank)
+        self._started = self._started or other._started
+        return self
+
+    def sample_all(self) -> List[Optional[int]]:
+        """Every sampler's flat edge index (``a * m + b``), None on failure."""
+        return self._bank.sample_all()
+
+    def sample_edges(self) -> List[Optional[tuple]]:
+        """Every sampler's sampled edge as an ``(a, b)`` pair."""
+        return [
+            None if index is None else (int(index // self.m), int(index % self.m))
+            for index in self._bank.sample_all()
+        ]
+
+    def space_words(self) -> int:
+        return self._bank.space_words()

@@ -1,0 +1,98 @@
+"""FaultPlan semantics: scoping, firing points, and validation."""
+
+import pickle
+
+import pytest
+
+from repro.engine.faults import FAULT_KINDS, Fault, FaultPlan
+from repro.streams.persist import StreamFormatError
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="fault kind"):
+            Fault("meteor", worker=0, chunk=0)
+
+    @pytest.mark.parametrize("kind", ["kill", "raise", "delay"])
+    def test_chunk_scoped_kinds_need_a_chunk(self, kind):
+        with pytest.raises(ValueError, match="chunk index"):
+            Fault(kind, worker=0)
+
+    def test_unknown_exception_name_rejected(self):
+        with pytest.raises(ValueError, match="exception"):
+            Fault("raise", worker=0, chunk=0, exc="KeyboardInterrupt")
+
+    def test_negative_attempt_and_delay_rejected(self):
+        with pytest.raises(ValueError, match="attempt"):
+            Fault("kill", worker=0, chunk=0, attempt=-1)
+        with pytest.raises(ValueError, match="delay_s"):
+            Fault("delay", worker=0, chunk=0, delay_s=-0.5)
+
+    def test_every_kind_has_a_constructor_covering_it(self):
+        plans = (
+            FaultPlan.kill(0, 1),
+            FaultPlan.read_error(0, 1),
+            FaultPlan.delay(0, 1, 0.0),
+            FaultPlan.drop_result(0),
+            FaultPlan.corrupt_result(0),
+        )
+        assert {plan.faults[0].kind for plan in plans} == set(FAULT_KINDS)
+
+
+class TestFiring:
+    def test_noop_plan_fires_nothing(self):
+        plan = FaultPlan()
+        assert plan.is_noop
+        plan.fire(0, 0)  # no exception, no side effect
+        assert not plan.drops_result(0)
+        assert not plan.corrupts_result(0)
+
+    def test_raise_fires_only_at_its_coordinates(self):
+        plan = FaultPlan.read_error(worker=1, chunk=3, message="boom")
+        plan.fire(0, 3)  # other worker
+        plan.fire(1, 2)  # other chunk
+        plan.fire(1, 3, attempt=1)  # other attempt
+        with pytest.raises(OSError, match="boom"):
+            plan.fire(1, 3)
+
+    def test_wildcard_worker_matches_any(self):
+        plan = FaultPlan.read_error(worker=None, chunk=0)
+        for worker in (0, 3):
+            with pytest.raises(OSError):
+                plan.fire(worker, 0)
+
+    def test_injectable_exception_classes(self):
+        with pytest.raises(StreamFormatError):
+            FaultPlan.read_error(0, 0, exc="StreamFormatError").fire(0, 0)
+        with pytest.raises(TimeoutError):
+            FaultPlan.read_error(0, 0, exc="TimeoutError").fire(0, 0)
+
+    def test_in_process_kill_refuses_to_sigkill_the_caller(self):
+        plan = FaultPlan.kill(worker=0, chunk=0)
+        with pytest.raises(RuntimeError, match="in-process"):
+            plan.fire(0, 0, in_process=True)
+
+    def test_delay_is_inert_beyond_sleeping(self):
+        FaultPlan.delay(worker=0, chunk=0, delay_s=0.0).fire(0, 0)
+
+    def test_result_fault_predicates_respect_attempts(self):
+        plan = FaultPlan.drop_result(2, attempt=1) + FaultPlan.corrupt_result(0)
+        assert plan.drops_result(2, attempt=1)
+        assert not plan.drops_result(2, attempt=0)
+        assert not plan.drops_result(0, attempt=1)
+        assert plan.corrupts_result(0)
+        assert not plan.corrupts_result(1)
+
+
+class TestComposition:
+    def test_plans_compose_and_stay_immutable(self):
+        first = FaultPlan.kill(0, 1)
+        second = FaultPlan.delay(1, 2, 0.01)
+        combined = first + second
+        assert len(combined.faults) == 2
+        assert len(first.faults) == 1  # operands untouched
+
+    def test_plan_is_picklable(self):
+        """Plans cross the process boundary inside worker task tuples."""
+        plan = FaultPlan.kill(1, 3) + FaultPlan.drop_result(0, attempt=2)
+        assert pickle.loads(pickle.dumps(plan)) == plan

@@ -1,10 +1,12 @@
 """Spec serialization round-trips and eager validation diagnostics."""
 
+import dataclasses
 import json
 
 import pytest
 
 from repro.pipeline import (
+    CheckpointSpec,
     ExecSpec,
     Pipeline,
     PipelineSpec,
@@ -290,3 +292,90 @@ class TestValidationDiagnostics:
         )
         text = str(PipelineValidationError(validate_spec(spec)))
         assert "source.generator" in text and "registered" in text
+
+
+class TestFaultToleranceSpecs:
+    """ExecSpec fault knobs and CheckpointSpec: round-trips + rules."""
+
+    def full_spec(self):
+        return PipelineSpec(
+            SourceSpec.from_file("stream.npz"),
+            (ProcessorSpec("insertion-only", {"n": 32, "d": 8}),),
+            execution=ExecSpec(
+                "sharded", 4, retries=5, timeout_s=30.0,
+                on_failure="serial_fallback",
+            ),
+            checkpoint=CheckpointSpec("ckpt", every=8),
+        )
+
+    def test_round_trip_is_exact(self):
+        spec = self.full_spec()
+        assert PipelineSpec.from_dict(spec.to_dict()) == spec
+        assert PipelineSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_defaults_are_omitted(self):
+        spec = PipelineSpec(
+            SourceSpec.from_file("stream.npz"),
+            (ProcessorSpec("insertion-only", {"n": 32, "d": 8}),),
+            execution=ExecSpec("sharded", 2),
+            checkpoint=CheckpointSpec("ckpt"),
+        )
+        data = spec.to_dict()
+        assert data["execution"] == {"backend": "sharded", "workers": 2}
+        assert data["checkpoint"] == {"dir": "ckpt"}
+
+    def test_good_fault_tolerant_spec_validates_clean(self):
+        assert validate_spec(self.full_spec()) == []
+
+    def test_negative_retries(self):
+        spec = dataclasses.replace(
+            self.full_spec(),
+            execution=ExecSpec("sharded", 4, retries=-1),
+        )
+        assert "execution.retries" in diagnostics_of(spec)
+
+    def test_timeout_must_be_positive(self):
+        spec = dataclasses.replace(
+            self.full_spec(),
+            execution=ExecSpec("sharded", 4, timeout_s=0.0),
+        )
+        assert "execution.timeout_s" in diagnostics_of(spec)
+
+    def test_unknown_failure_policy(self):
+        spec = dataclasses.replace(
+            self.full_spec(),
+            execution=ExecSpec("sharded", 4, on_failure="panic"),
+        )
+        assert "execution.on_failure" in diagnostics_of(spec)
+
+    def test_retry_policy_requires_sharded_backend(self):
+        spec = dataclasses.replace(
+            self.full_spec(),
+            execution=ExecSpec("fanout", on_failure="retry"),
+        )
+        diagnostic = diagnostics_of(spec)["execution.on_failure"]
+        assert "sharded" in diagnostic.problem + diagnostic.hint
+
+    def test_checkpoint_requires_a_file_source(self):
+        spec = dataclasses.replace(
+            self.full_spec(),
+            source=SourceSpec.from_generator(
+                "star", {"n": 32, "m": 128, "d": 8}
+            ),
+        )
+        diagnostic = diagnostics_of(spec)["checkpoint.dir"]
+        assert "file source" in diagnostic.problem
+
+    def test_checkpoint_rejects_serial_backend(self):
+        spec = dataclasses.replace(
+            self.full_spec(), execution=ExecSpec("serial"),
+        )
+        assert "checkpoint.dir" in diagnostics_of(spec)
+
+    def test_checkpoint_every_must_be_positive(self):
+        spec = dataclasses.replace(
+            self.full_spec(), checkpoint=CheckpointSpec("ckpt", every=0),
+        )
+        assert "checkpoint.every" in diagnostics_of(spec)

@@ -487,3 +487,102 @@ class TestSpecRuns:
         )
         assert code == 0
         assert "verification skipped" in capsys.readouterr().out
+
+
+class TestFaultToleranceFlags:
+    def _save_stream(self, tmp_path):
+        path = tmp_path / "workload.npz"
+        assert main(["run", "--workload", "star", "--n", "64", "--m", "256",
+                     "--d", "16", "--alpha", "2",
+                     "--save-stream", str(path)]) == 0
+        return path
+
+    def test_checkpoint_every_requires_dir(self, capsys):
+        code = main(["run", "--checkpoint-every", "4"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_requires_dir(self, capsys):
+        code = main(["run", "--resume"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpointed_run_then_resume(self, capsys, tmp_path):
+        stream = self._save_stream(tmp_path)
+        ckpt = tmp_path / "ckpt"
+        base = ["run", "--stream-file", str(stream), "--d", "16",
+                "--alpha", "2", "--checkpoint-dir", str(ckpt),
+                "--checkpoint-every", "2"]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert f"checkpointed to {ckpt}" in first
+        assert (ckpt / "fanout.manifest.json").exists()
+        # The finished run left a complete snapshot; --resume loads it
+        # and reports the same answer without re-streaming.
+        assert main(base + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert f"resumed from {ckpt}" in second
+        assert ("verified against ground truth: OK" in second) == (
+            "verified against ground truth: OK" in first
+        )
+
+    def test_sharded_checkpoint_flags_run(self, capsys, tmp_path):
+        stream = self._save_stream(tmp_path)
+        ckpt = tmp_path / "ckpt"
+        code = main(["run", "--stream-file", str(stream), "--d", "16",
+                     "--alpha", "2", "--workers", "2",
+                     "--retries", "3", "--on-failure", "retry",
+                     "--checkpoint-dir", str(ckpt)])
+        assert code == 0
+        assert f"checkpointed to {ckpt}" in capsys.readouterr().out
+        assert (ckpt / "run.manifest.json").exists()
+
+    def test_spec_flags_override_spec_file(self, capsys, tmp_path):
+        import json
+
+        stream = self._save_stream(tmp_path)
+        capsys.readouterr()  # flush the save-stream banner
+        spec = {
+            "source": {"kind": "file", "path": str(stream)},
+            "processors": [{"name": "insertion-only", "label": "alg2",
+                            "params": {"n": 64, "d": 16, "seed": 1}}],
+        }
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps(spec))
+        ckpt = tmp_path / "ckpt"
+        code = main(["run", "--spec", str(path),
+                     "--checkpoint-dir", str(ckpt),
+                     "--checkpoint-every", "2"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out.split("\n", 1)[1])
+        assert payload["report"]["checkpoint"]["dir"] == str(ckpt)
+        assert (ckpt / "fanout.manifest.json").exists()
+        # And --resume picks the snapshots back up through the spec.
+        code = main(["run", "--spec", str(path),
+                     "--checkpoint-dir", str(ckpt), "--resume"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out.split("\n", 1)[1])
+        assert payload["report"]["resumed"] is True
+
+    def test_spec_resume_without_checkpoint_anywhere(self, capsys, tmp_path):
+        import json
+
+        stream = self._save_stream(tmp_path)
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps({
+            "source": {"kind": "file", "path": str(stream)},
+            "processors": [{"name": "insertion-only", "label": "alg2",
+                            "params": {"n": 64, "d": 16, "seed": 1}}],
+        }))
+        code = main(["run", "--spec", str(path), "--resume"])
+        assert code == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+
+class TestPipelineDescribe:
+    def test_inventory_lists_processors_and_generators(self, capsys):
+        assert main(["pipeline", "describe"]) == 0
+        out = capsys.readouterr().out
+        assert "processors:" in out and "generators:" in out
+        for name in ("insertion-only", "l0-bank", "bloom-dedup", "zipf"):
+            assert name in out

@@ -19,6 +19,7 @@ EXPECTED_FRAGMENTS = {
     "windowed_monitoring.py": "each window's hot row detected in order",
     "sliding_window_monitoring.py": "sliding verdict reflects only the recent hot row",
     "distributed_merge.py": "all three views agree on the heavy item",
+    "crash_and_resume.py": "crash, resume and retry all preserved the exact answer",
 }
 
 
