@@ -30,7 +30,9 @@ from repro.baselines import (
 from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.insertion_deletion import InsertionDeletionFEwW
 from repro.core.star_detection import StarDetection
-from repro.engine import FanoutRunner
+from repro.core.windowed import Alg2WindowFactory
+from repro.engine import FanoutRunner, ShardedRunner
+from repro.engine.windows import SlidingPolicy, WindowedProcessor
 from repro.pipeline import Pipeline
 from repro.streams.adapters import bipartite_double_cover_columnar
 from repro.streams.columnar import ColumnarEdgeStream
@@ -52,6 +54,22 @@ CHUNK = 8192
 #: acceptance bar; scripts/bench_quick.py enforces the same constants).
 REQUIRED_SPEEDUP = 5.0
 REQUIRED_ON = ("CountMin", "CountSketch", "Algorithm 2 (FEwW)")
+
+#: Absolute per-structure batch-throughput floors (updates/s), enforced
+#: by scripts/bench_quick.py in *every* mode including ``--smoke`` —
+#: ci.yml's smoke step therefore gates on them.  Calibrated ~10x below
+#: the smoke-workload rates of a single-core CI-class host, so only a
+#: genuine kernel regression (a fused kernel falling back to a Python
+#: loop, say) can trip them — not machine noise.
+FLOOR_UPDATES_PER_S = {
+    "Misra-Gries": 800_000,
+    "SpaceSaving": 600_000,
+    "CountMin": 450_000,
+    "CountSketch": 400_000,
+    "FullStorage": 200_000,
+    "Algorithm 2 (FEwW)": 250_000,
+    "Algorithm 3 (FEwW, fast bank)": 180_000,
+}
 
 #: End-to-end Star Detection workload (Lemma 3.3 wrapper: the whole
 #: guess ladder over the bipartite double cover) and its acceptance bar.

@@ -23,12 +23,24 @@ workloads and the acceptance bars), runs
 then writes a ``BENCH_throughput.json`` artifact (by default into the
 repository root) so the performance trajectory can be tracked across
 PRs.  Every entry carries host metadata (python, machine, effective
-core count) and the sharded entries carry their worker counts.
+core count) and the sharded entries carry their worker counts plus a
+``gated`` flag — a worker count the host cannot physically scale to
+(``effective_cores < workers``, or no fork) is recorded but excluded
+from the scaling gate and the trend report.
+
+The artifact is an *appendable run history*: the top level mirrors the
+latest run (so older readers keep working) and a ``history`` array
+accumulates one entry per run — each stamped with host + git metadata
+— via the same crash-safe tmp+replace writer.  ``repro bench report``
+prints the per-structure trend across those entries.
 
 Exits non-zero if the batch engine loses its required speedup on the
 hash-heavy sketches / Algorithm 2 (5x), on end-to-end star detection
 (3x), or — on hosts with at least 4 effective cores — if the 4-worker
-sharded pass drops below 1.5x single-core.
+sharded pass drops below 1.5x single-core.  Independently of those
+*relative* gates, every structure must clear its absolute
+``FLOOR_UPDATES_PER_S`` batch-rate floor — enforced even under
+``--smoke`` (the ci.yml gate), disable with ``--no-floors``.
 
 Run:  PYTHONPATH=src python scripts/bench_quick.py [--records N]
           [--star-updates N | --skip-star]
@@ -56,6 +68,7 @@ from bench_throughput import (  # noqa: E402 (needs the path tweak above)
     ALPHA,
     CHUNK,
     D,
+    FLOOR_UPDATES_PER_S,
     N,
     REQUIRED_ON,
     REQUIRED_SHARDED_SPEEDUP,
@@ -82,6 +95,50 @@ from bench_throughput import (  # noqa: E402 (needs the path tweak above)
 
 from repro.pipeline import Pipeline  # noqa: E402
 from repro.streams.columnar import ColumnarEdgeStream  # noqa: E402
+
+
+def git_metadata(repo_root: Path) -> dict:
+    """Commit + branch of the benched tree (best-effort; CI detached
+    heads and non-git checkouts degrade to nulls, never to a failure)."""
+    import subprocess
+
+    def capture(*argv):
+        try:
+            return subprocess.run(
+                ["git", "-C", str(repo_root), *argv],
+                capture_output=True, text=True, timeout=10, check=True,
+            ).stdout.strip() or None
+        except Exception:
+            return None
+
+    return {
+        "commit": capture("rev-parse", "--short", "HEAD"),
+        "branch": capture("rev-parse", "--abbrev-ref", "HEAD"),
+        "dirty": bool(capture("status", "--porcelain")),
+    }
+
+
+def append_history(out: Path, entry: dict, keep: int = 50) -> list:
+    """The run history with ``entry`` appended (latest last).
+
+    Reads the previous artifact when present; a pre-history artifact
+    (one bare run dict) is adopted as the first history element, so
+    converting the format loses nothing.  ``keep`` bounds the file's
+    growth.
+    """
+    history = []
+    if out.exists():
+        try:
+            previous = json.loads(out.read_text())
+        except (OSError, ValueError):
+            previous = None
+        if isinstance(previous, dict):
+            if isinstance(previous.get("history"), list):
+                history = previous["history"]
+            elif "results" in previous:
+                history = [previous]
+    history.append(entry)
+    return history[-keep:]
 
 
 def pipeline_spec(records: int, span: int) -> dict:
@@ -150,6 +207,10 @@ def main() -> int:
                         help="skip the window-policy pass")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run: tiny workloads, no speedup gates")
+    parser.add_argument("--no-floors", action="store_true",
+                        help="skip the absolute per-structure "
+                             "updates_per_s floors (enforced even in "
+                             "--smoke otherwise)")
     parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_throughput.json"
     )
@@ -180,6 +241,8 @@ def main() -> int:
         }
         for name in item_rates
     }
+    import time as time_module
+
     artifact = {
         "benchmark": "throughput_zipf",
         "config": {
@@ -192,6 +255,8 @@ def main() -> int:
             "smoke": args.smoke,
         },
         "host": host,
+        "git": git_metadata(REPO_ROOT),
+        "timestamp": time_module.strftime("%Y-%m-%dT%H:%M:%S%z"),
         # kept for backwards compatibility with older artifact readers
         "python": host["python"],
         "machine": host["machine"],
@@ -256,6 +321,33 @@ def main() -> int:
                 Path(tmp) / "sharded.npz", n_updates=args.sharded_updates
             )
             sharded_rates = measure_sharded_rates(path, SHARDED_WORKERS)
+        def sharded_entry(workers: int) -> dict:
+            """One worker count's record, honest about hosts that can't
+            scale to it: a ``speedup_vs_single`` measured with more
+            workers than effective cores is timesharing overhead, not a
+            scaling result, so such entries are flagged ``gated: false``
+            (excluded from the scaling gate and the trend report)."""
+            entry = {
+                "workers": workers,
+                "updates_per_s": sharded_rates[workers],
+                "speedup_vs_single": sharded_rates[workers] / sharded_rates[1],
+            }
+            if cores < workers:
+                entry["gated"] = False
+                entry["gate_skip_reason"] = (
+                    f"host has {cores} effective core(s) < {workers} "
+                    f"workers; timesharing ratio, not a scaling result"
+                )
+            elif not sharded_gate_applies():
+                entry["gated"] = False
+                entry["gate_skip_reason"] = (
+                    f"scaling gate needs >= {SHARDED_GATE_MIN_CORES} "
+                    f"effective cores and a fork-capable platform"
+                )
+            else:
+                entry["gated"] = True
+            return entry
+
         artifact["sharded"] = {
             "config": {
                 "n": N,
@@ -267,20 +359,20 @@ def main() -> int:
             },
             "host": host,
             "entries": [
-                {
-                    "workers": workers,
-                    "updates_per_s": sharded_rates[workers],
-                    "speedup_vs_single": sharded_rates[workers] / sharded_rates[1],
-                }
-                for workers in sorted(sharded_rates)
+                sharded_entry(workers) for workers in sorted(sharded_rates)
             ],
         }
 
-    # Atomic publish: a run interrupted mid-write must never leave a
-    # torn artifact where a previous good one stood.
+    # Appendable run history: the top level mirrors this run (older
+    # readers keep finding `results` where they always did) and the
+    # `history` array accumulates every run, this one last.  Atomic
+    # publish: a run interrupted mid-write must never leave a torn
+    # artifact where a previous good one stood.
     out = Path(args.out)
+    published = dict(artifact)
+    published["history"] = append_history(out, artifact)
     scratch = out.with_name(out.name + ".tmp")
-    scratch.write_text(json.dumps(artifact, indent=2) + "\n")
+    scratch.write_text(json.dumps(published, indent=2) + "\n")
     os.replace(scratch, out)
 
     header = f"{'structure':32s} {'item k-upd/s':>13s} {'batch k-upd/s':>14s} {'speedup':>8s}"
@@ -309,8 +401,27 @@ def main() -> int:
                   f"({sharded_rates[workers] / sharded_rates[1]:.2f}x vs 1)")
     print(f"\nartifact written to {args.out}")
 
+    # Absolute floors apply in every mode, smoke included — ci.yml's
+    # smoke step is what gates them on every push.
+    if not args.no_floors:
+        below = [
+            f"{name} ({results[name]['batch_updates_per_s'] / 1e3:.0f} "
+            f"< {floor / 1e3:.0f} k-upd/s)"
+            for name, floor in FLOOR_UPDATES_PER_S.items()
+            if name in results
+            and results[name]["batch_updates_per_s"] < floor
+        ]
+        if below:
+            print(
+                "FAIL: batch throughput below the absolute floor for: "
+                + ", ".join(below),
+                file=sys.stderr,
+            )
+            return 1
+
     if args.smoke:
-        print("smoke mode: speedup gates skipped")
+        print("smoke mode: relative speedup gates skipped "
+              "(absolute floors enforced)")
         return 0
 
     failed = [

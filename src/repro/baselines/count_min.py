@@ -16,8 +16,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.sketch.hashing import KWiseHash, random_kwise
-from repro.streams.edge import StreamItem
+from repro.sketch.hashing import KWiseHash, KWiseHashStack, random_kwise
+from repro.streams.edge import StreamItem, insert_signs
 from repro.streams.stream import EdgeStream
 
 
@@ -46,6 +46,14 @@ class CountMinSketch:
             random_kwise(2, self.width, rng) for _ in range(self.rows)
         ]
         self._table = np.zeros((self.rows, self.width), dtype=np.int64)
+        self._build_stack()
+
+    def _build_stack(self) -> None:
+        """(Re)build the fused-kernel hash stack from the per-row hashes."""
+        self._hash_stack = KWiseHashStack(self._hashes)
+        self._row_offsets = (
+            np.arange(self.rows, dtype=np.int64)[:, np.newaxis] * self.width
+        )
 
     def update(self, item: int, delta: int = 1) -> None:
         """Apply ``count[item] += delta`` (negative deltas allowed)."""
@@ -53,13 +61,28 @@ class CountMinSketch:
             self._table[row_index, hash_function(item)] += delta
 
     def update_batch(self, items: np.ndarray, deltas: np.ndarray) -> None:
-        """Apply a column of signed updates: one scatter-add per row.
+        """Apply a column of signed updates with one fused kernel.
 
-        Counter cells are commutative sums, so the final table is
-        bit-identical to calling :meth:`update` item by item.
+        Deltas are netted per distinct item (counter cells are
+        commutative ``int64`` sums, so netting cannot change the final
+        table), the distinct items are hashed for *all* rows in one
+        stacked Horner evaluation, and the ``rows x unique``
+        contributions land with a single flat ``np.add.at``.
+        Bit-identical to calling :meth:`update` item by item.
         """
-        for row_index, hash_function in enumerate(self._hashes):
-            np.add.at(self._table[row_index], hash_function.batch(items), deltas)
+        items = np.asarray(items, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if len(items) == 0:
+            return
+        unique, inverse = np.unique(items, return_inverse=True)
+        net = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(net, inverse, deltas)
+        buckets = self._hash_stack.batch_rows(unique)
+        np.add.at(
+            self._table.reshape(-1),
+            (buckets + self._row_offsets).reshape(-1),
+            np.broadcast_to(net[np.newaxis, :], buckets.shape).reshape(-1),
+        )
 
     def process_item(self, item: StreamItem) -> None:
         """Adapter: A-vertex is the item, sign is the delta."""
@@ -74,7 +97,7 @@ class CountMinSketch:
         """Column adapter: A-vertices are the items, signs the deltas."""
         a = np.ascontiguousarray(a, dtype=np.int64)
         if sign is None:
-            sign = np.ones(len(a), dtype=np.int64)
+            sign = insert_signs(len(a))
         self.update_batch(a, sign)
 
     def process(self, stream: EdgeStream) -> "CountMinSketch":
@@ -89,12 +112,19 @@ class CountMinSketch:
 
     def estimate(self, item: int) -> int:
         """Point query: min over the item's cells (overestimates)."""
-        return int(
-            min(
-                self._table[row_index, hash_function(item)]
-                for row_index, hash_function in enumerate(self._hashes)
-            )
-        )
+        return int(self.estimate_batch(np.array([item], dtype=np.int64))[0])
+
+    def estimate_batch(self, items: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`estimate` over a column of items.
+
+        All rows' buckets come from the stacked hash kernel; the
+        per-item minimum is one reduction along the row axis.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if len(items) == 0:
+            return np.zeros(0, dtype=np.int64)
+        buckets = self._hash_stack.batch_rows(items)
+        return self._table[np.arange(self.rows)[:, None], buckets].min(axis=0)
 
     def shares_hashes_with(self, other: "CountMinSketch") -> bool:
         """True when both sketches use identical hash functions (a
@@ -129,6 +159,8 @@ class CountMinSketch:
         merged.rows = self.rows
         merged._hashes = self._hashes
         merged._table = self._table + other._table
+        merged._hash_stack = self._hash_stack
+        merged._row_offsets = self._row_offsets
         return merged
 
     def split(self, n_shards: int) -> List["CountMinSketch"]:

@@ -9,15 +9,13 @@ boosted by the median.  Supports turnstile updates.
 from __future__ import annotations
 
 import copy
-import math
 import random
-import statistics
 from typing import List, Optional
 
 import numpy as np
 
-from repro.sketch.hashing import KWiseHash, random_kwise
-from repro.streams.edge import StreamItem
+from repro.sketch.hashing import KWiseHash, KWiseHashStack, random_kwise
+from repro.streams.edge import StreamItem, insert_signs
 from repro.streams.stream import EdgeStream
 
 
@@ -49,6 +47,20 @@ class CountSketch:
             random_kwise(2, 2, rng) for _ in range(rows)
         ]
         self._table = np.zeros((rows, width), dtype=np.int64)
+        self._build_stacks()
+
+    def _build_stacks(self) -> None:
+        """(Re)build the fused-kernel hash stacks from the per-row hashes.
+
+        Buckets and signs for all rows come from one broadcast Horner
+        evaluation each; ``_row_offsets`` turns per-row buckets into flat
+        indices of the C-contiguous table for a single scatter-add.
+        """
+        self._bucket_stack = KWiseHashStack(self._bucket_hashes)
+        self._sign_stack = KWiseHashStack(self._sign_hashes)
+        self._row_offsets = (
+            np.arange(self.rows, dtype=np.int64)[:, np.newaxis] * self.width
+        )
 
     def _sign(self, row: int, item: int) -> int:
         return 1 if self._sign_hashes[row](item) == 1 else -1
@@ -60,15 +72,29 @@ class CountSketch:
             self._table[row_index, bucket] += self._sign(row_index, item) * delta
 
     def update_batch(self, items: np.ndarray, deltas: np.ndarray) -> None:
-        """Apply a column of signed updates: one scatter-add per row.
+        """Apply a column of signed updates with one fused kernel.
 
-        Cells are commutative sums, so the final table is bit-identical
-        to calling :meth:`update` item by item.
+        Deltas are first netted per distinct item (cells are commutative
+        ``int64`` sums, so netting cannot change the final table), the
+        distinct items are hashed for *all* rows in one stacked Horner
+        evaluation, and the ``rows x unique`` signed contributions are
+        scattered with a single flat ``np.add.at``.  Bit-identical to
+        calling :meth:`update` item by item.
         """
-        for row_index in range(self.rows):
-            buckets = self._bucket_hashes[row_index].batch(items)
-            signs = 2 * self._sign_hashes[row_index].batch(items) - 1
-            np.add.at(self._table[row_index], buckets, signs * deltas)
+        items = np.asarray(items, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if len(items) == 0:
+            return
+        unique, inverse = np.unique(items, return_inverse=True)
+        net = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(net, inverse, deltas)
+        buckets = self._bucket_stack.batch_rows(unique)
+        signs = 2 * self._sign_stack.batch_rows(unique) - 1
+        np.add.at(
+            self._table.reshape(-1),
+            (buckets + self._row_offsets).reshape(-1),
+            (signs * net[np.newaxis, :]).reshape(-1),
+        )
 
     def process_item(self, item: StreamItem) -> None:
         """Adapter: A-vertex is the item, sign is the delta."""
@@ -83,7 +109,7 @@ class CountSketch:
         """Column adapter: A-vertices are the items, signs the deltas."""
         a = np.ascontiguousarray(a, dtype=np.int64)
         if sign is None:
-            sign = np.ones(len(a), dtype=np.int64)
+            sign = insert_signs(len(a))
         self.update_batch(a, sign)
 
     def process(self, stream: EdgeStream) -> "CountSketch":
@@ -98,13 +124,31 @@ class CountSketch:
 
     def estimate(self, item: int) -> int:
         """Median-of-rows point query (unbiased, can under- or overshoot)."""
-        values = []
-        for row_index in range(self.rows):
-            bucket = self._bucket_hashes[row_index](item)
-            values.append(
-                self._sign(row_index, item) * int(self._table[row_index, bucket])
-            )
-        return round(statistics.median(values))
+        return int(self.estimate_batch(np.array([item], dtype=np.int64))[0])
+
+    def estimate_batch(self, items: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`estimate` over a column of items.
+
+        All rows' buckets and signs come from the stacked hash kernel;
+        the per-item median over rows is taken with one sort along the
+        row axis.  For odd ``rows`` the median is the exact middle
+        ``int64``; for even ``rows`` the two middle values are averaged
+        and rounded exactly as ``round(statistics.median(...))`` does.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if len(items) == 0:
+            return np.zeros(0, dtype=np.int64)
+        buckets = self._bucket_stack.batch_rows(items)
+        signs = 2 * self._sign_stack.batch_rows(items) - 1
+        values = np.sort(signs * self._table[np.arange(self.rows)[:, None], buckets], axis=0)
+        mid = self.rows // 2
+        if self.rows % 2:
+            return values[mid].astype(np.int64)
+        low, high = values[mid - 1], values[mid]
+        return np.array(
+            [round((int(l) + int(h)) / 2) for l, h in zip(low, high)],
+            dtype=np.int64,
+        )
 
     def shares_hashes_with(self, other: "CountSketch") -> bool:
         """True when both sketches use identical bucket and sign hashes
@@ -141,6 +185,9 @@ class CountSketch:
         merged._bucket_hashes = self._bucket_hashes
         merged._sign_hashes = self._sign_hashes
         merged._table = self._table + other._table
+        merged._bucket_stack = self._bucket_stack
+        merged._sign_stack = self._sign_stack
+        merged._row_offsets = self._row_offsets
         return merged
 
     def split(self, n_shards: int) -> List["CountSketch"]:

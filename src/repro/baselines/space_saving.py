@@ -3,17 +3,36 @@
 Maintains ``k`` (item, count) pairs; an unseen item replaces the
 current minimum, inheriting its count plus one.  Every estimate
 overcounts by at most the minimum counter, which is at most ``L / k``.
+
+The counter store is array-backed: per-slot NumPy columns for values,
+overestimates, and tracking-order stamps, plus item↔slot maps.  Eviction
+is an ``np.argmin`` over a fused ``value * 2^20 + stamp`` key column, so
+the victim is the minimum-valued counter with the *oldest* stamp — the
+same item the classic dict implementation's ``min()`` scan returned
+(dict insertion order is tracking order, and ``min`` keeps the first
+minimum it sees).  When total weight approaches the fused key's value
+capacity the summary switches to a wide eviction path over the separate
+value/stamp columns; semantics are identical either way.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional, Tuple
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.streams.edge import DELETE, StreamItem
 from repro.streams.stream import EdgeStream
+
+#: Stamps occupy the low bits of the fused eviction key.
+_STAMP_MOD = 1 << 20
+
+#: Counter values below this fit in the fused key's high bits with slack
+#: (``VALUE_CAP * STAMP_MOD == 2^62 < 2^63``).  No counter can exceed the
+#: total processed weight, so ``_length`` is checked against this cap.
+_VALUE_CAP = 1 << 42
 
 
 class SpaceSaving:
@@ -31,28 +50,115 @@ class SpaceSaving:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
-        self._counters: Dict[int, int] = {}
-        #: per-item upper bound on the overcount (the evicted count).
-        self._overestimates: Dict[int, int] = {}
+        self._values = np.zeros(k, dtype=np.int64)
+        #: per-slot upper bound on the overcount (the evicted count).
+        self._overs = np.zeros(k, dtype=np.int64)
+        #: tracking-order stamps: lower stamp == started tracking earlier.
+        self._stamps = np.zeros(k, dtype=np.int64)
+        #: fused ``value * _STAMP_MOD + stamp`` eviction keys.
+        self._keys = np.zeros(k, dtype=np.int64)
+        self._slot_items: List[int] = []
+        self._slots: Dict[int, int] = {}
+        self._size = 0
+        self._next_stamp = 0
+        self._wide = False
         self._length = 0
+
+    @property
+    def _counters(self) -> Dict[int, int]:
+        """Tracked counts as a dict in tracking order (oldest first).
+
+        Reconstructed view of the array store; matches the dict the
+        classic implementation maintained (insertion order = tracking
+        order).  For reading only — mutations do not write back.
+        """
+        order = np.argsort(self._stamps[: self._size], kind="stable")
+        return {
+            self._slot_items[slot]: int(self._values[slot])
+            for slot in order.tolist()
+        }
+
+    @property
+    def _overestimates(self) -> Dict[int, int]:
+        """Per-item overcount bounds in tracking order (read-only view)."""
+        order = np.argsort(self._stamps[: self._size], kind="stable")
+        return {
+            self._slot_items[slot]: int(self._overs[slot])
+            for slot in order.tolist()
+        }
+
+    def _take_stamp(self) -> int:
+        """Next tracking-order stamp, renumbering when the fused-key
+        stamp field would overflow (wide mode has no stamp limit)."""
+        if not self._wide and self._next_stamp >= _STAMP_MOD:
+            self._renumber_stamps()
+        stamp = self._next_stamp
+        self._next_stamp += 1
+        return stamp
+
+    def _renumber_stamps(self) -> None:
+        """Compact stamps to ``0..size-1`` preserving tracking order."""
+        size = self._size
+        order = np.argsort(self._stamps[:size], kind="stable")
+        ranks = np.empty(size, dtype=np.int64)
+        ranks[order] = np.arange(size, dtype=np.int64)
+        self._stamps[:size] = ranks
+        self._keys[:size] = self._values[:size] * _STAMP_MOD + ranks
+        self._next_stamp = size
+
+    def _widen(self) -> None:
+        """Abandon fused keys; evict via the value/stamp columns instead."""
+        self._wide = True
 
     def update(self, item: int, weight: int = 1) -> None:
         """Process ``weight`` occurrences of ``item``."""
         if weight < 1:
             raise ValueError(f"weight must be >= 1, got {weight}")
         self._length += weight
-        if item in self._counters:
-            self._counters[item] += weight
+        if not self._wide and self._length >= _VALUE_CAP:
+            self._widen()
+        self._apply(item, weight)
+
+    def _apply(self, item: int, weight: int) -> None:
+        """Counter maintenance without length accounting or validation."""
+        slot = self._slots.get(item)
+        if slot is not None:
+            self._values[slot] += weight
+            if not self._wide:
+                self._keys[slot] += weight * _STAMP_MOD
             return
-        if len(self._counters) < self.k:
-            self._counters[item] = weight
-            self._overestimates[item] = 0
+        if self._size < self.k:
+            slot = self._size
+            self._size += 1
+            self._slot_items.append(item)
+            self._slots[item] = slot
+            stamp = self._take_stamp()
+            self._values[slot] = weight
+            self._overs[slot] = 0
+            self._stamps[slot] = stamp
+            if not self._wide:
+                self._keys[slot] = weight * _STAMP_MOD + stamp
             return
-        victim = min(self._counters, key=self._counters.__getitem__)
-        inherited = self._counters.pop(victim)
-        self._overestimates.pop(victim, None)
-        self._counters[item] = inherited + weight
-        self._overestimates[item] = inherited
+        if self._wide:
+            minimum = self._values.min()
+            candidates = np.flatnonzero(self._values == minimum)
+            if len(candidates) == 1:
+                slot = int(candidates[0])
+            else:
+                slot = int(candidates[np.argmin(self._stamps[candidates])])
+        else:
+            slot = int(np.argmin(self._keys))
+        inherited = int(self._values[slot])
+        del self._slots[self._slot_items[slot]]
+        self._slot_items[slot] = item
+        self._slots[item] = slot
+        stamp = self._take_stamp()
+        value = inherited + weight
+        self._values[slot] = value
+        self._overs[slot] = inherited
+        self._stamps[slot] = stamp
+        if not self._wide:
+            self._keys[slot] = value * _STAMP_MOD + stamp
 
     def process_batch(
         self,
@@ -64,11 +170,13 @@ class SpaceSaving:
 
         Chunk frequencies are accumulated with one ``np.unique`` pass and
         applied as weighted updates in order of each item's first
-        appearance.  This matches per-item processing exactly when the
-        chunk is grouped by item, and in general preserves SpaceSaving's
-        invariants (estimates upper-bound true counts, the minimum
-        counter bounds the overestimate) while the per-counter values may
-        differ from a fully interleaved arrival order.
+        appearance — straight into the array store, with no public
+        ``update`` call per distinct item.  This matches per-item
+        processing exactly when the chunk is grouped by item, and in
+        general preserves SpaceSaving's invariants (estimates upper-bound
+        true counts, the minimum counter bounds the overestimate) while
+        the per-counter values may differ from a fully interleaved
+        arrival order.
         """
         if sign is not None and np.any(sign == DELETE):
             raise ValueError("SpaceSaving supports insertion-only streams")
@@ -78,8 +186,88 @@ class SpaceSaving:
             np.asarray(a, dtype=np.int64), return_index=True, return_counts=True
         )
         appearance = np.argsort(first_positions, kind="stable")
-        for slot in appearance.tolist():
-            self.update(int(items[slot]), int(counts[slot]))
+        self._length += len(a)
+        if not self._wide and self._length >= _VALUE_CAP:
+            self._widen()
+        pairs = zip(items[appearance].tolist(), counts[appearance].tolist())
+        if self._wide or len(items) >= _STAMP_MOD - self.k:
+            apply = self._apply
+            for item, weight in pairs:
+                apply(item, weight)
+        else:
+            self._batch_apply(pairs, len(items))
+
+    def _batch_apply(self, pairs: Iterable[Tuple[int, int]], distinct: int) -> None:
+        """Sequential weighted updates at batch speed (non-wide mode).
+
+        Fused keys order exactly by ``(value, stamp)``, so the eviction
+        cascade runs on a lazy-invalidation ``heapq`` of plain-int keys —
+        no per-item NumPy scalar ops — and the victim of every pop is the
+        same counter the column ``argmin`` (and the classic dict ``min``
+        scan) would pick.  Stale heap entries are recognised because keys
+        embed unique stamps: a key missing from ``key_slot`` was
+        superseded.  The NumPy columns are written back once at the end;
+        the result is identical to applying the updates one by one.
+        """
+        if self._next_stamp + distinct >= _STAMP_MOD:
+            self._renumber_stamps()
+        size = self._size
+        keys = self._keys[:size].tolist()
+        overs = self._overs[:size].tolist()
+        heap = keys.copy()
+        heapq.heapify(heap)
+        key_slot = {key: slot for slot, key in enumerate(keys)}
+        slots = self._slots
+        slot_items = self._slot_items
+        k = self.k
+        next_stamp = self._next_stamp
+        push = heapq.heappush
+        pop = heapq.heappop
+        for item, weight in pairs:
+            slot = slots.get(item)
+            if slot is not None:
+                old_key = keys[slot]
+                new_key = old_key + weight * _STAMP_MOD
+                keys[slot] = new_key
+                del key_slot[old_key]
+                key_slot[new_key] = slot
+                push(heap, new_key)
+                continue
+            if len(keys) < k:
+                slot = len(keys)
+                key = weight * _STAMP_MOD + next_stamp
+                next_stamp += 1
+                keys.append(key)
+                overs.append(0)
+                slot_items.append(item)
+                slots[item] = slot
+                key_slot[key] = slot
+                push(heap, key)
+                continue
+            while True:
+                key = pop(heap)
+                slot = key_slot.get(key)
+                if slot is not None:
+                    break
+            inherited = key // _STAMP_MOD
+            del key_slot[key]
+            del slots[slot_items[slot]]
+            slot_items[slot] = item
+            slots[item] = slot
+            new_key = (inherited + weight) * _STAMP_MOD + next_stamp
+            next_stamp += 1
+            keys[slot] = new_key
+            overs[slot] = inherited
+            key_slot[new_key] = slot
+            push(heap, new_key)
+        self._next_stamp = next_stamp
+        size = len(keys)
+        self._size = size
+        fused = np.array(keys, dtype=np.int64)
+        self._keys[:size] = fused
+        self._values[:size] = fused // _STAMP_MOD
+        self._stamps[:size] = fused % _STAMP_MOD
+        self._overs[:size] = overs
 
     def process_item(self, item: StreamItem) -> None:
         """Adapter: A-vertex is the item; witnesses are ignored."""
@@ -99,21 +287,49 @@ class SpaceSaving:
 
     def estimate(self, item: int) -> int:
         """Upper-bound frequency estimate (0 if not tracked)."""
-        return self._counters.get(item, 0)
+        slot = self._slots.get(item)
+        return int(self._values[slot]) if slot is not None else 0
 
     def guaranteed_count(self, item: int) -> int:
         """Certified lower bound: estimate minus the inherited overcount."""
-        if item not in self._counters:
+        slot = self._slots.get(item)
+        if slot is None:
             return 0
-        return self._counters[item] - self._overestimates.get(item, 0)
+        return int(self._values[slot] - self._overs[slot])
 
     def candidates(self, threshold: int) -> List[Tuple[int, int]]:
         """Tracked items whose estimate reaches ``threshold``."""
         return sorted(
-            (item, count)
-            for item, count in self._counters.items()
-            if count >= threshold
+            (self._slot_items[slot], int(self._values[slot]))
+            for slot in range(self._size)
+            if self._values[slot] >= threshold
         )
+
+    def _load(
+        self,
+        counters: Dict[int, int],
+        overestimates: Dict[int, int],
+        length: int,
+    ) -> None:
+        """Populate an empty summary from dicts, stamping items in dict
+        iteration order (used by :meth:`merge`)."""
+        for item, value in counters.items():
+            slot = self._size
+            self._size += 1
+            self._slot_items.append(item)
+            self._slots[item] = slot
+            self._values[slot] = value
+            self._overs[slot] = overestimates.get(item, 0)
+            self._stamps[slot] = slot
+        self._next_stamp = self._size
+        self._length = length
+        if length >= _VALUE_CAP:
+            self._widen()
+        else:
+            size = self._size
+            self._keys[:size] = (
+                self._values[:size] * _STAMP_MOD + self._stamps[:size]
+            )
 
     def merge(self, other: "SpaceSaving") -> "SpaceSaving":
         """Combine two summaries of disjoint sub-streams (mergeability).
@@ -133,27 +349,33 @@ class SpaceSaving:
             )
         if self.k != other.k:
             raise ValueError(f"cannot merge k={self.k} with k={other.k}")
+        mine_counters = self._counters
+        their_counters = other._counters
+        mine_overs = self._overestimates
+        their_overs = other._overestimates
         # A summary that never filled up tracks every item it saw, so an
         # untracked item's true count there is 0, not the minimum counter.
         floor_self = (
-            min(self._counters.values()) if len(self._counters) >= self.k else 0
+            min(mine_counters.values()) if len(mine_counters) >= self.k else 0
         )
         floor_other = (
-            min(other._counters.values()) if len(other._counters) >= other.k else 0
+            min(their_counters.values())
+            if len(their_counters) >= other.k
+            else 0
         )
         combined: Dict[int, int] = {}
         overestimates: Dict[int, int] = {}
-        for item in set(self._counters) | set(other._counters):
-            mine = self._counters.get(item)
-            theirs = other._counters.get(item)
+        for item in set(mine_counters) | set(their_counters):
+            mine = mine_counters.get(item)
+            theirs = their_counters.get(item)
             estimate = (mine if mine is not None else floor_self) + (
                 theirs if theirs is not None else floor_other
             )
             certified = 0
             if mine is not None:
-                certified += mine - self._overestimates.get(item, 0)
+                certified += mine - mine_overs.get(item, 0)
             if theirs is not None:
-                certified += theirs - other._overestimates.get(item, 0)
+                certified += theirs - their_overs.get(item, 0)
             combined[item] = estimate
             overestimates[item] = estimate - certified
         if len(combined) > self.k:
@@ -163,9 +385,7 @@ class SpaceSaving:
             combined = {item: combined[item] for item in kept}
             overestimates = {item: overestimates[item] for item in kept}
         merged = SpaceSaving(self.k)
-        merged._counters = combined
-        merged._overestimates = overestimates
-        merged._length = self._length + other._length
+        merged._load(combined, overestimates, self._length + other._length)
         return merged
 
     def split(self, n_shards: int) -> List["SpaceSaving"]:
@@ -178,4 +398,4 @@ class SpaceSaving:
 
     def space_words(self) -> int:
         """Three words per counter (item, count, overestimate) + length."""
-        return 3 * len(self._counters) + 1
+        return 3 * self._size + 1

@@ -26,6 +26,9 @@ Subcommands:
   stream files between the v1 text and v2 columnar NPZ formats;
 * ``bounds`` — print the paper's predicted space bounds for given
   parameters (both models, upper and lower);
+* ``bench report`` — print the per-structure throughput trend across
+  the ``BENCH_throughput.json`` run history written by
+  ``scripts/bench_quick.py``;
 * ``figures`` — print the paper's three figures as executable
   constructions (delegates to the same code the tests assert on).
 
@@ -46,6 +49,7 @@ Examples::
     python -m repro persist info zipf.npz
     python -m repro persist convert zipf.npz zipf.txt
     python -m repro bounds --n 4096 --d 128 --alpha 2
+    python -m repro bench report --artifact BENCH_throughput.json
     python -m repro figures
 """
 
@@ -56,7 +60,7 @@ import json
 import sys
 import warnings
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.neighbourhood import AlgorithmFailed, verify_neighbourhood
 from repro.engine.sharded import ON_FAILURE_POLICIES, ShardedWorkerError
@@ -226,6 +230,26 @@ def build_parser() -> argparse.ArgumentParser:
         "describe",
         help="print every registered processor and generator with its "
              "parameters",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="inspect benchmark artifacts"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    report = bench_commands.add_parser(
+        "report",
+        help="print the per-structure throughput trend across the "
+             "BENCH_throughput.json run history",
+    )
+    report.add_argument(
+        "--artifact", type=Path, default=Path("BENCH_throughput.json"),
+        metavar="PATH",
+        help="benchmark artifact written by scripts/bench_quick.py "
+             "(default: ./BENCH_throughput.json)",
+    )
+    report.add_argument(
+        "--last", type=int, default=8, metavar="N",
+        help="show at most the last N history entries (default 8)",
     )
 
     subparsers.add_parser("figures", help="print the paper's Figures 1-3")
@@ -648,6 +672,95 @@ def command_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_history(artifact: dict) -> list:
+    """The artifact's run history, oldest first.
+
+    Accepts both formats: the appendable-history artifact (``history``
+    array, latest last) and the pre-history single-run artifact (the
+    bare dict becomes a one-entry history).
+    """
+    history = artifact.get("history")
+    if isinstance(history, list) and history:
+        return [entry for entry in history if isinstance(entry, dict)]
+    return [artifact]
+
+
+def _bench_entry_label(entry: dict) -> str:
+    """A short per-run column header: commit if stamped, else host."""
+    git = entry.get("git") or {}
+    commit = git.get("commit")
+    if commit:
+        return f"{commit}{'+' if git.get('dirty') else ''}"
+    host = entry.get("host") or {}
+    return f"{host.get('machine', '?')}/{host.get('effective_cores', '?')}c"
+
+
+def command_bench(args: argparse.Namespace) -> int:
+    if args.bench_command != "report":
+        raise AssertionError(f"unhandled bench command {args.bench_command!r}")
+    try:
+        artifact = json.loads(Path(args.artifact).read_text())
+    except FileNotFoundError:
+        print(f"error: no benchmark artifact at {args.artifact}; run "
+              f"PYTHONPATH=src python scripts/bench_quick.py first",
+              file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {args.artifact}: {error}", file=sys.stderr)
+        return 2
+    history = _bench_history(artifact)[-max(args.last, 1):]
+    labels = [_bench_entry_label(entry) for entry in history]
+    structures: List[str] = []
+    for entry in history:
+        for name in (entry.get("results") or {}):
+            if name not in structures:
+                structures.append(name)
+    print(f"throughput trend over {len(history)} run(s) "
+          f"(batch k-upd/s, oldest -> latest):")
+    width = max((len(name) for name in structures), default=8)
+    print(f"  {'structure':{width}s}  " + "  ".join(
+        f"{label:>12s}" for label in labels))
+    for name in structures:
+        cells = []
+        for entry in history:
+            row = (entry.get("results") or {}).get(name)
+            rate = row.get("batch_updates_per_s") if row else None
+            cells.append(
+                f"{rate / 1e3:12.1f}" if rate is not None else f"{'-':>12s}"
+            )
+        print(f"  {name:{width}s}  " + "  ".join(cells))
+    # Sharded scaling trend: only worker counts the host could actually
+    # scale to — entries flagged gated: false are timesharing numbers,
+    # not scaling results, and are excluded from the trend.
+    sharded_rows: Dict[int, List[str]] = {}
+    any_skipped = False
+    for column, entry in enumerate(history):
+        entries = (entry.get("sharded") or {}).get("entries") or []
+        for record in entries:
+            workers = record.get("workers")
+            if workers is None:
+                continue
+            if record.get("gated") is False:
+                any_skipped = True
+                continue
+            cells = sharded_rows.setdefault(
+                workers, [f"{'-':>12s}"] * len(history)
+            )
+            speedup = record.get("speedup_vs_single")
+            cells[column] = (
+                f"{speedup:11.2f}x" if speedup is not None else f"{'-':>12s}"
+            )
+    if sharded_rows:
+        print("sharded speedup vs single worker (gated entries only):")
+        for workers in sorted(sharded_rows):
+            print(f"  {f'{workers} worker(s)':{width}s}  "
+                  + "  ".join(sharded_rows[workers]))
+    elif any_skipped:
+        print("sharded trend skipped: no recorded entry was eligible for "
+              "the scaling gate on its host (all gated: false)")
+    return 0
+
+
 def command_figures(_: argparse.Namespace) -> int:
     from repro.comm.figures import render_figures
 
@@ -665,6 +778,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return command_pipeline(args)
     if args.command == "bounds":
         return command_bounds(args)
+    if args.command == "bench":
+        return command_bench(args)
     if args.command == "figures":
         return command_figures(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -39,8 +39,7 @@ import numpy as np
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
 from repro.sketch.l0 import L0SamplerBank
 from repro.spacemeter import SpaceBreakdown, vertex_words
-from repro.streams.columnar import group_slices
-from repro.streams.edge import Edge, StreamItem
+from repro.streams.edge import Edge, StreamItem, insert_signs
 from repro.streams.stream import EdgeStream
 
 
@@ -169,18 +168,21 @@ class InsertionDeletionFEwW:
     ) -> None:
         """Route a column chunk of signed updates into both structures.
 
-        Vertex-sampling updates are grouped per sampled vertex (one mask
-        plus one stable sort for the whole chunk) and edge-sampling
-        updates become a single batched update on the flattened edge
-        vector.  All sketches involved are linear, so the final state is
-        identical to item-by-item processing.
+        The whole chunk is netted once on the flattened edge coordinate
+        ``a * m + b``: one ``np.unique`` + scatter-add yields the net
+        sign per (vertex, witness) pair, shared by *both* sampling
+        structures.  The edge bank takes the netted column directly, and
+        because flat coordinates sort by vertex first, each sampled
+        vertex's bank takes a contiguous pre-netted slice — no per-group
+        re-sorting or re-netting.  All sketches involved are linear, so
+        the final state is identical to item-by-item processing.
         """
         self._result_cache = None
         self._updates_seen += len(a)
         a = np.ascontiguousarray(a, dtype=np.int64)
         b = np.ascontiguousarray(b, dtype=np.int64)
         if sign is None:
-            sign = np.ones(len(a), dtype=np.int64)
+            sign = insert_signs(len(a))
         else:
             sign = np.ascontiguousarray(sign, dtype=np.int64)
         if len(a) == 0:
@@ -194,26 +196,34 @@ class InsertionDeletionFEwW:
             bad = np.flatnonzero((a < 0) | (a >= self.n) | (b < 0) | (b >= self.m))[0]
             edge = Edge(int(a[bad]), int(b[bad]))
             raise ValueError(f"edge {edge} out of range for ({self.n}, {self.m})")
+        flat = a * self.m + b
+        unique, inverse = np.unique(flat, return_inverse=True)
+        net = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(net, inverse, sign)
+        live = net != 0
+        if not live.any():
+            return
+        unique, net = unique[live], net[live]
         if self._vertex_banks:
-            mask = self._bank_flags[a]
+            vertices = unique // self.m
+            mask = self._bank_flags[vertices]
             if mask.any():
-                positions = np.flatnonzero(mask)
-                vertices = a[positions]
-                order, starts, ends = group_slices(vertices)
-                sorted_positions = positions[order]
-                sorted_vertices = vertices[order]
-                # Gather once so per-group work is contiguous slicing,
-                # not repeated fancy indexing.
-                sorted_b = b[sorted_positions]
-                sorted_sign = sign[sorted_positions]
+                selected = np.flatnonzero(mask)
+                sampled_vertices = vertices[selected]
+                sampled_b = unique[selected] - sampled_vertices * self.m
+                sampled_net = net[selected]
+                cuts = np.flatnonzero(sampled_vertices[1:] != sampled_vertices[:-1]) + 1
+                starts = np.concatenate(([0], cuts))
+                ends = np.concatenate((cuts, [len(sampled_vertices)]))
                 for group_start, group_end in zip(starts.tolist(), ends.tolist()):
-                    bank = self._vertex_banks[int(sorted_vertices[group_start])]
+                    bank = self._vertex_banks[int(sampled_vertices[group_start])]
                     bank.update_batch(
-                        sorted_b[group_start:group_end],
-                        sorted_sign[group_start:group_end],
+                        sampled_b[group_start:group_end],
+                        sampled_net[group_start:group_end],
+                        netted=True,
                     )
         if self._edge_bank is not None:
-            self._edge_bank.update_batch(a * self.m + b, sign)
+            self._edge_bank.update_batch(unique, net, netted=True)
 
     def process(self, stream: EdgeStream) -> "InsertionDeletionFEwW":
         """Consume an entire (possibly turnstile) stream; returns self."""

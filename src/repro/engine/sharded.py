@@ -95,6 +95,12 @@ from repro.engine.protocol import (
     shard_routing_of,
 )
 from repro.engine.runner import FanoutRunner, as_chunks
+from repro.engine.shm import (
+    ChunkAttacher,
+    ChunkPublisher,
+    ShmChunk,
+    shm_available,
+)
 from repro.streams.columnar import DEFAULT_CHUNK_SIZE, Columns
 
 #: Fibonacci multiplier (golden-ratio reciprocal in 64 bits) for the
@@ -363,10 +369,18 @@ def _file_worker(conn, task) -> None:
 
 
 def _queue_worker(
-    worker, shard, chunk_size, in_queue, out_queue, fault_plan=None
+    worker, shard, chunk_size, in_queue, out_queue, fault_plan=None,
+    release_queue=None,
 ) -> None:
-    """Process body for in-memory sources: consume routed chunks."""
+    """Process body for in-memory sources: consume routed chunks.
+
+    Chunks arrive either as raw ``(a, b, sign)`` column tuples or — when
+    the shared-memory transport is engaged — as :class:`ShmChunk`
+    descriptors, which are resolved to zero-copy views and released back
+    to the parent's segment pool after processing.
+    """
     outcome = None
+    attachments = ChunkAttacher()
     try:
         runner = FanoutRunner(shard, chunk_size=chunk_size)
         consumed = 0
@@ -377,15 +391,27 @@ def _queue_worker(
             if fault_plan is not None:
                 fault_plan.fire(worker, consumed, 0)
             consumed += 1
-            runner.process_chunk(*chunk)
+            if isinstance(chunk, ShmChunk):
+                a, b, sign = attachments.view(chunk)
+                runner.process_chunk(a, b, sign)
+                del a, b, sign
+                release_queue.put(chunk.segment)
+            else:
+                runner.process_chunk(*chunk)
         outcome = (worker, dict(runner._processors), None)
     except BaseException as exc:
         error = _describe_error(exc)
         # Keep draining until the sentinel so the parent's bounded-queue
-        # puts never block on a worker that has stopped consuming.
-        while in_queue.get() is not None:
-            pass
+        # puts never block on a worker that has stopped consuming; shm
+        # descriptors are released unprocessed so the pool keeps cycling.
+        while True:
+            chunk = in_queue.get()
+            if chunk is None:
+                break
+            if isinstance(chunk, ShmChunk) and release_queue is not None:
+                release_queue.put(chunk.segment)
         outcome = (worker, None, error)
+    attachments.close()
     if fault_plan is not None:
         if fault_plan.drops_result(worker, 0):
             return
@@ -436,6 +462,13 @@ class ShardedRunner:
         fault_plan: optional :class:`~repro.engine.faults.FaultPlan`
             threaded into every worker for deterministic chaos tests;
             omit for the no-op default.
+        shm_transport: in-memory queue-pool chunk handoff.  ``None``
+            (default) publishes chunk columns through
+            ``multiprocessing.shared_memory`` segments whenever the
+            platform supports them — the queues then carry only tiny
+            descriptors (see :mod:`repro.engine.shm`); ``False``
+            forces the classic pickled-columns transport; ``True``
+            requires shared memory and fails loudly without it.
 
     Overridable timing knobs (class attributes, seconds; override on an
     instance to tune a specific run or speed up tests):
@@ -483,6 +516,7 @@ class ShardedRunner:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        shm_transport: Optional[bool] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -526,6 +560,10 @@ class ShardedRunner:
         )
         self.checkpoint_every = checkpoint_every
         self.fault_plan = fault_plan
+        #: Shared-memory columnar transport for in-memory queue-pool
+        #: runs: ``True`` forces it, ``False`` disables it, ``None``
+        #: (default) auto-enables when POSIX shared memory works here.
+        self.shm_transport = shm_transport
         #: Shard re-runs performed (for run reports / diagnostics).
         self.retries_used = 0
         #: Shards that ended up on the in-process fallback path.
@@ -1097,7 +1135,19 @@ class ShardedRunner:
         worker is not retryable — failures raise regardless of the
         ``on_failure`` policy (persist the stream to a file to get
         retry semantics).
+
+        When the shared-memory transport is engaged (see
+        ``shm_transport``), the queues carry only :class:`ShmChunk`
+        descriptors; the column bytes travel through a recycled pool of
+        shared segments that the ``finally`` below unlinks on every
+        exit — including failure paths where a worker died without
+        releasing its segments.
         """
+        use_shm = self.shm_transport
+        if use_shm is None:
+            use_shm = shm_available()
+        publisher = ChunkPublisher() if use_shm else None
+        release_queue = context.Queue() if use_shm else None
         in_queues = [
             context.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.n_workers)
         ]
@@ -1106,7 +1156,7 @@ class ShardedRunner:
             context.Process(
                 target=_queue_worker,
                 args=(worker, shards[worker], chunk_size, in_queues[worker],
-                      out_queue, self.fault_plan),
+                      out_queue, self.fault_plan, release_queue),
                 daemon=True,
             )
             for worker in range(self.n_workers)
@@ -1120,6 +1170,9 @@ class ShardedRunner:
                 routed_all = route_chunk_all(
                     chunk, routing, self.n_workers, chunk_index, position
                 )
+                if publisher is not None:
+                    publisher.drain(release_queue)
+                    routed_all = publisher.publish(routed_all)
                 for worker, routed in enumerate(routed_all):
                     if routed is not None:
                         self._put_alive(in_queues[worker], routed,
@@ -1141,6 +1194,8 @@ class ShardedRunner:
                 if process.is_alive():
                     process.terminate()
                     process.join(timeout=self.TERMINATE_JOIN_TIMEOUT_S)
+            if publisher is not None:
+                publisher.close()
         return self._collect(outcomes)
 
     def _put_alive(self, queue, item, process, worker) -> None:
@@ -1248,6 +1303,7 @@ def run_sharded(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
+    shm_transport: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """One-shot convenience: build a ShardedRunner, run it, return answers.
 
@@ -1269,4 +1325,5 @@ def run_sharded(
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         fault_plan=fault_plan,
+        shm_transport=shm_transport,
     ).run(source)

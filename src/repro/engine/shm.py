@@ -1,0 +1,256 @@
+"""Shared-memory columnar transport for in-memory sharded runs.
+
+Queue-fed :class:`~repro.engine.sharded.ShardedRunner` passes every
+routed sub-chunk from the parent to a worker process.  Pickling
+the three ``int64`` columns through a ``multiprocessing.Queue`` copies
+each chunk twice (serialise + deserialise) and funnels the bytes
+through a pipe; for the fused sketch kernels that is the dominant cost
+of a sharded run.
+
+This module replaces the column payload with a
+:mod:`multiprocessing.shared_memory` handoff:
+
+* the parent owns a small pool of shared segments, sized by queue
+  backpressure (at most ``workers x (queue depth + 1)`` chunks are ever
+  in flight);
+* :class:`ChunkPublisher` copies each chunk's columns into a segment
+  once and enqueues only a tiny :class:`ShmChunk` descriptor
+  ``(segment, offset, length, has_sign)``;
+* workers attach the segment and build zero-copy NumPy views over the
+  columns (:class:`ChunkAttacher`), process them, and report the
+  segment on a release queue;
+* the parent drains releases between chunks and recycles segments
+  whose outstanding descriptor count hit zero — refcounting matters
+  because one segment may carry sub-chunks for several workers;
+* every segment is closed **and unlinked** by the parent on all exits,
+  including failure paths where a worker died without releasing.
+
+Processors may not retain the views past ``process_batch`` — the
+segment is recycled after release.  Every processor in this repository
+either consolidates the chunk immediately (``np.unique`` / scatter-add
+kernels) or copies what it keeps (``ExactSupport.update_batch``
+buffers copies by contract), so the views are safe to recycle.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - stdlib since 3.8, but platform-gated
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
+_ITEM = np.dtype(np.int64).itemsize
+
+#: Smallest segment allocated, so the short tail chunk of a stream does
+#: not churn a tiny one-off segment.
+_MIN_SEGMENT_BYTES = 1 << 16
+
+#: Cached result of the one-shot availability probe.
+_SHM_OK: Optional[bool] = None
+
+
+class ShmChunk(NamedTuple):
+    """Descriptor of one routed sub-chunk inside a shared segment.
+
+    ``offset`` (in ``int64`` elements) locates column ``a``; ``b``
+    follows immediately, then — when ``has_sign`` — the sign column.
+    This tuple is the *only* payload a queue-pool chunk put carries
+    when the shared-memory transport is engaged.
+    """
+
+    segment: str
+    offset: int
+    length: int
+    has_sign: bool
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory actually works here (probed once)."""
+    global _SHM_OK
+    if _SHM_OK is None:
+        if _shared_memory is None:
+            _SHM_OK = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(create=True, size=_ITEM)
+                probe.close()
+                probe.unlink()
+                _SHM_OK = True
+            except Exception:
+                _SHM_OK = False
+    return _SHM_OK
+
+
+class ChunkPublisher:
+    """Parent-side segment pool: publish chunks, recycle on release.
+
+    Segments are created lazily and reused as workers release them;
+    the pool never blocks waiting for a release — when nothing free is
+    large enough it allocates, and the bounded chunk queues cap how
+    many segments can be outstanding at once.  :meth:`close` unlinks
+    everything unconditionally, which is what makes the failure paths
+    (dead worker, routing error) leak-free.
+    """
+
+    def __init__(self) -> None:
+        if _shared_memory is None:  # pragma: no cover - platform-gated
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        # Start the resource tracker *now*, in the parent, before any
+        # workers fork: forked workers then share it, so their
+        # attachment registrations dedup against the parent's instead
+        # of each worker lazily spawning a private tracker that would
+        # warn about "leaked" (already-unlinked) segments at exit.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        self._segments: Dict[str, object] = {}
+        self._free: List[str] = []
+        self._refs: Dict[str, int] = {}
+
+    def publish(
+        self, routed_all: List[Optional[Tuple]]
+    ) -> List[Optional[ShmChunk]]:
+        """Copy every worker's sub-chunk into one segment; return descriptors.
+
+        The per-worker list shape mirrors
+        :func:`~repro.engine.sharded.route_chunk_all`: ``None`` entries
+        stay ``None``.  The segment's refcount is the number of
+        descriptors issued, so it is recycled only after *every*
+        receiving worker released it.
+        """
+        words = 0
+        for routed in routed_all:
+            if routed is not None:
+                a, _b, sign = routed
+                words += (3 if sign is not None else 2) * len(a)
+        if words == 0:
+            return [None] * len(routed_all)
+        name = self._acquire(words * _ITEM)
+        segment = self._segments[name]
+        buf = np.frombuffer(segment.buf, dtype=np.int64)  # type: ignore[attr-defined]
+        descriptors: List[Optional[ShmChunk]] = []
+        cursor = 0
+        issued = 0
+        for routed in routed_all:
+            if routed is None:
+                descriptors.append(None)
+                continue
+            a, b, sign = routed
+            length = len(a)
+            buf[cursor : cursor + length] = a
+            buf[cursor + length : cursor + 2 * length] = b
+            if sign is not None:
+                buf[cursor + 2 * length : cursor + 3 * length] = sign
+            descriptors.append(ShmChunk(name, cursor, length, sign is not None))
+            cursor += (3 if sign is not None else 2) * length
+            issued += 1
+        self._refs[name] = issued
+        return descriptors
+
+    def _acquire(self, required: int) -> str:
+        """A free segment of at least ``required`` bytes (allocating one)."""
+        for position, name in enumerate(self._free):
+            if self._segments[name].size >= required:  # type: ignore[attr-defined]
+                return self._free.pop(position)
+        segment = _shared_memory.SharedMemory(
+            create=True, size=max(required, _MIN_SEGMENT_BYTES)
+        )
+        self._segments[segment.name] = segment
+        return segment.name
+
+    def release(self, name: str) -> None:
+        """One worker finished with ``name``; recycle at zero references."""
+        refs = self._refs.get(name)
+        if refs is None:
+            return
+        if refs <= 1:
+            del self._refs[name]
+            self._free.append(name)
+        else:
+            self._refs[name] = refs - 1
+
+    def drain(self, release_queue) -> None:
+        """Apply every release currently sitting on the queue (non-blocking)."""
+        while True:
+            try:
+                name = release_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            self.release(name)
+
+    def segment_names(self) -> List[str]:
+        """Names of every live segment (introspection for tests)."""
+        return list(self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every segment, success or failure alike."""
+        for segment in self._segments.values():
+            try:
+                segment.close()  # type: ignore[attr-defined]
+            except Exception:
+                pass
+            try:
+                segment.unlink()  # type: ignore[attr-defined]
+            except Exception:
+                pass
+        self._segments.clear()
+        self._free.clear()
+        self._refs.clear()
+
+
+class ChunkAttacher:
+    """Worker-side attachment cache: descriptors to zero-copy columns.
+
+    Segments are recycled under stable names, so each worker attaches a
+    given segment once and keeps the handle for the whole run; the
+    views handed out are slices of the shared buffer — no copy.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, object] = {}
+
+    def view(
+        self, descriptor: ShmChunk
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """``(a, b, sign)`` column views for one descriptor."""
+        segment = self._segments.get(descriptor.segment)
+        if segment is None:
+            # Attaching registers the name with the resource tracker
+            # (non-owning attachments too, through Python 3.12).  The
+            # queue pool always runs under the fork context, so workers
+            # share the parent's tracker process and its cache is a set
+            # — the duplicate registration dedups, and the parent's
+            # unlink clears the one entry.  Do NOT unregister here:
+            # that would strip the parent's own registration.
+            segment = _shared_memory.SharedMemory(name=descriptor.segment)
+            self._segments[descriptor.segment] = segment
+        buf = np.frombuffer(segment.buf, dtype=np.int64)  # type: ignore[attr-defined]
+        offset, length = descriptor.offset, descriptor.length
+        a = buf[offset : offset + length]
+        b = buf[offset + length : offset + 2 * length]
+        sign = (
+            buf[offset + 2 * length : offset + 3 * length]
+            if descriptor.has_sign
+            else None
+        )
+        return a, b, sign
+
+    def close(self) -> None:
+        """Detach every cached segment (the parent owns the unlink)."""
+        for segment in self._segments.values():
+            try:
+                segment.close()  # type: ignore[attr-defined]
+            except Exception:
+                # A BufferError here means a processor kept a view past
+                # process_batch; the handle dies with the process and
+                # the parent still unlinks the segment.
+                pass
+        self._segments.clear()

@@ -107,49 +107,92 @@ class DegreeCounter:
         return self.n
 
 
+#: Consolidate pending batch columns once their total length passes this
+#: (bounds buffered memory on long query-free streams).
+_FLUSH_PENDING = 1 << 18
+
+
 class ExactSupport:
     """Exact support of a signed integer vector under updates.
 
     Used as the verification oracle for sketches and as the backing
     state of the accelerated ℓ₀-sampler bank.  Not space-metered: it is
     simulator state, never charged to a streaming algorithm.
+
+    Batch updates are *deferred*: :meth:`update_batch` only appends the
+    (validated, copied) coordinate and delta columns to a pending list,
+    and every read path consolidates them with one vectorized
+    ``np.unique`` + scatter-add netting pass.  The vector is linear in
+    its updates, so deferring and netting cannot change any final value;
+    the consolidated state is identical to applying ``update`` item by
+    item.
     """
 
     def __init__(self, dim: int) -> None:
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self.dim = dim
-        self._values: Dict[int, int] = {}
+        self._store: Dict[int, int] = {}
+        self._pending: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._pending_len = 0
+
+    @property
+    def _values(self) -> Dict[int, int]:
+        """The consolidated coordinate → value dict (flushes pending)."""
+        if self._pending:
+            self._flush()
+        return self._store
+
+    def _flush(self) -> None:
+        """Net every pending batch into the consolidated dict at once."""
+        pending = self._pending
+        self._pending = []
+        self._pending_len = 0
+        coords = [column for column, _ in pending]
+        nets = [column for _, column in pending]
+        store = self._store
+        if store:
+            coords.append(np.fromiter(store.keys(), np.int64, len(store)))
+            nets.append(np.fromiter(store.values(), np.int64, len(store)))
+        unique, inverse = np.unique(np.concatenate(coords), return_inverse=True)
+        total = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(total, inverse, np.concatenate(nets))
+        live = total != 0
+        self._store = dict(zip(unique[live].tolist(), total[live].tolist()))
 
     def update(self, index: int, delta: int) -> None:
         """Apply ``vector[index] += delta``, dropping zeros."""
         if not 0 <= index < self.dim:
             raise ValueError(f"index {index} out of range [0, {self.dim})")
-        new_value = self._values.get(index, 0) + delta
+        if self._pending:
+            self._flush()
+        new_value = self._store.get(index, 0) + delta
         if new_value == 0:
-            self._values.pop(index, None)
+            self._store.pop(index, None)
         else:
-            self._values[index] = new_value
+            self._store[index] = new_value
 
     def update_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
-        """Apply a batch of signed updates.
+        """Queue a batch of signed updates (validated, then deferred).
 
-        The vector is linear in its updates, so deltas are first netted
-        per coordinate (one ``np.add.at`` over the batch's unique
-        indices); only coordinates with a non-zero net touch the dict.
-        The final state is identical to applying ``update`` item by item.
+        The columns are copied before buffering, so callers may hand in
+        views of reused chunk buffers (e.g. shared-memory segments).
         """
         if len(indices) == 0:
             return
+        indices = np.asarray(indices)
         if int(indices.min()) < 0 or int(indices.max()) >= self.dim:
             bad = indices[(indices < 0) | (indices >= self.dim)][0]
             raise ValueError(f"index {int(bad)} out of range [0, {self.dim})")
-        unique, inverse = np.unique(indices, return_inverse=True)
-        net = np.zeros(len(unique), dtype=np.int64)
-        np.add.at(net, inverse, deltas)
-        for index, delta in zip(unique.tolist(), net.tolist()):
-            if delta:
-                self.update(index, delta)
+        self._pending.append(
+            (
+                np.array(indices, dtype=np.int64),
+                np.array(np.asarray(deltas), dtype=np.int64),
+            )
+        )
+        self._pending_len += len(indices)
+        if self._pending_len >= _FLUSH_PENDING:
+            self._flush()
 
     def merge(self, other: "ExactSupport") -> "ExactSupport":
         """Coordinate-wise sum of two supports over disjoint sub-streams.

@@ -124,6 +124,66 @@ class KWiseHash:
         return len(self.coefficients) + 1
 
 
+class KWiseHashStack:
+    """Fused evaluation of several :class:`KWiseHash` members at once.
+
+    Stacks the coefficient vectors of ``rows`` same-independence hashes
+    into one ``(rows, k)`` matrix so a whole bank of hashes is evaluated
+    over a chunk with a single broadcast Horner pass — one
+    ``rows x chunk`` matrix of modular arithmetic instead of ``rows``
+    separate passes.  Row ``i`` of :meth:`batch_rows` is bit-identical
+    to ``hashes[i].batch(xs)`` (the limb arithmetic is element-wise, so
+    broadcasting cannot change any value).
+
+    The stacked hashes may use different ``range_size`` values (the
+    bucketing modulus is applied per row), which lets CountSketch fuse
+    its bucket and ±1 sign hashes into one evaluation.
+    """
+
+    __slots__ = ("hashes", "_coefficients", "_ranges")
+
+    def __init__(self, hashes: Sequence[KWiseHash]) -> None:
+        hashes = list(hashes)
+        if not hashes:
+            raise ValueError("need at least one hash to stack")
+        independence = hashes[0].independence
+        for hash_function in hashes:
+            if hash_function.independence != independence:
+                raise ValueError(
+                    "all stacked hashes must share the same independence; "
+                    f"got {hash_function.independence} and {independence}"
+                )
+        self.hashes: List[KWiseHash] = hashes
+        self._coefficients = np.array(
+            [hash_function.coefficients for hash_function in hashes],
+            dtype=np.uint64,
+        )
+        self._ranges = np.array(
+            [[hash_function.range_size] for hash_function in hashes],
+            dtype=np.uint64,
+        )
+
+    @property
+    def rows(self) -> int:
+        """Number of stacked hash functions."""
+        return len(self.hashes)
+
+    def field_batch_rows(self, xs: np.ndarray) -> np.ndarray:
+        """All raw polynomial values as a ``(rows, len(xs))`` ``uint64`` array."""
+        xs = _fold61(np.asarray(xs, dtype=np.uint64))[np.newaxis, :]
+        values = np.zeros((len(self.hashes), xs.shape[1]), dtype=np.uint64)
+        for j in range(self._coefficients.shape[1]):
+            values = _fold61(mulmod_p61(values, xs) + self._coefficients[:, j : j + 1])
+        return values
+
+    def batch_rows(self, xs: np.ndarray) -> np.ndarray:
+        """All bucket values as a ``(rows, len(xs))`` ``int64`` array.
+
+        ``batch_rows(xs)[i]`` is bit-identical to ``hashes[i].batch(xs)``.
+        """
+        return (self.field_batch_rows(xs) % self._ranges).astype(np.int64)
+
+
 def random_kwise(k: int, range_size: int, rng: random.Random) -> KWiseHash:
     """Draw a uniformly random member of the k-wise family.
 

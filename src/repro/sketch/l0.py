@@ -223,38 +223,42 @@ class L0SamplerBank:
             assert self._support is not None
             self._support.update(index, delta)
 
-    def update_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+    def update_batch(
+        self,
+        indices: np.ndarray,
+        deltas: np.ndarray,
+        netted: bool = False,
+    ) -> None:
         """Fan a batch of signed updates out to every sampler.
 
-        Updates are netted per coordinate first — every sampler is a
-        linear sketch (and the fast-mode support tracker is a plain sum),
-        so collapsing a chunk's repeated/cancelling updates changes
-        nothing about the final state while shrinking the fan-out.
+        Every sampler is a linear sketch (and the fast-mode support
+        tracker a plain sum), so collapsing a chunk's repeated or
+        cancelling updates changes nothing about the final state.  Fast
+        mode defers everything to the support tracker's buffered batch
+        path; exact mode nets per coordinate before fanning out, unless
+        the caller already did (``netted=True`` promises ``indices`` are
+        unique with per-coordinate net ``deltas`` — Algorithm 3 nets a
+        whole chunk for all its banks in one pass).
         """
         if len(indices) == 0:
             return
         indices = np.ascontiguousarray(indices, dtype=np.int64)
-        if len(indices) < 32 and self.mode == "fast":
-            # Tiny batches (e.g. one vertex's few updates in a chunk):
-            # scalar dict updates beat the np.unique machinery.
+        if self.mode == "fast":
             assert self._support is not None
-            support = self._support
-            for index, delta in zip(indices.tolist(), np.asarray(deltas).tolist()):
-                support.update(index, delta)
+            self._support.update_batch(indices, deltas)
             return
-        unique, inverse = np.unique(indices, return_inverse=True)
-        net = np.zeros(len(unique), dtype=np.int64)
-        np.add.at(net, inverse, deltas)
-        live = net != 0
-        if not live.any():
-            return
-        unique, net = unique[live], net[live]
-        if self.mode == "exact":
-            for sampler in self._samplers:
-                sampler.update_batch(unique, net)
+        if netted:
+            unique, net = indices, np.asarray(deltas, dtype=np.int64)
         else:
-            assert self._support is not None
-            self._support.update_batch(unique, net)
+            unique, inverse = np.unique(indices, return_inverse=True)
+            net = np.zeros(len(unique), dtype=np.int64)
+            np.add.at(net, inverse, deltas)
+            live = net != 0
+            if not live.any():
+                return
+            unique, net = unique[live], net[live]
+        for sampler in self._samplers:
+            sampler.update_batch(unique, net)
 
     def merge(self, other: "L0SamplerBank") -> "L0SamplerBank":
         """Merge two banks over disjoint sub-streams of one vector.
@@ -362,9 +366,13 @@ class L0EdgeBank:
             raise ValueError(
                 f"edge endpoints out of range ({self.n}, {self.m})"
             )
+        # Deferred import: sketch is a lower layer than streams and
+        # must not depend on it at module-import time.
+        from repro.streams.edge import insert_signs
+
         indices = a * np.int64(self.m) + b
         deltas = (
-            np.ones(len(a), dtype=np.int64)
+            insert_signs(len(a))
             if sign is None
             else np.asarray(sign, dtype=np.int64)
         )

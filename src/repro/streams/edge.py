@@ -10,11 +10,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 #: Sign of an edge insertion in an insertion-deletion stream.
 INSERT = 1
 
 #: Sign of an edge deletion in an insertion-deletion stream.
 DELETE = -1
+
+_INSERT_SIGNS = np.empty(0, dtype=np.int64)
+
+
+def insert_signs(length: int) -> np.ndarray:
+    """A read-only length-``length`` column of :data:`INSERT` signs.
+
+    ``process_batch`` implementations receive ``sign=None`` for
+    insertion-only chunks and used to allocate a fresh ``np.ones`` per
+    chunk; this returns a slice of one shared cached array instead.  The
+    result is marked non-writable — callers must treat it as a constant.
+    """
+    global _INSERT_SIGNS
+    if length > len(_INSERT_SIGNS):
+        grown = np.ones(max(length, 8192), dtype=np.int64)
+        grown.setflags(write=False)
+        _INSERT_SIGNS = grown
+    return _INSERT_SIGNS[:length]
 
 
 @dataclass(frozen=True, slots=True)
