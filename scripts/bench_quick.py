@@ -9,6 +9,9 @@ workloads and the acceptance bars), runs
 * end-to-end Star Detection (the full Lemma 3.3 degree-guess ladder
   over a 10^6-update bipartite double cover) per-item vs as a single
   engine pass, and
+* Algorithm 3's exact-mode ℓ₀ sampler bank (the stacked s-sparse
+  recovery kernels) over a dedup'd random edge stream, per-item (short
+  prefix) vs batch, and
 * the multi-core pass: Algorithm 2 over a 10^6-update Zipf stream
   persisted as a v2 file and memory-mapped, through a ShardedRunner at
   1, 2 and 4 workers, and
@@ -43,12 +46,15 @@ sharded pass drops below 1.5x single-core.  Independently of those
 ``--smoke`` (the ci.yml gate), disable with ``--no-floors``.
 
 Run:  PYTHONPATH=src python scripts/bench_quick.py [--records N]
-          [--star-updates N | --skip-star]
+          [--star-updates N | --skip-star] [--skip-exact-bank]
           [--sharded-updates N | --skip-sharded]
-          [--skip-windowed] [--smoke] [--out PATH]
+          [--skip-windowed] [--smoke] [--profile] [--out PATH]
 
 ``--smoke`` shrinks every workload and disables the speedup gates — the
 CI-sized sanity pass that still exercises all three pipelines.
+``--profile`` runs the single-core measurement passes (Zipf contenders,
+star detection, exact bank) under cProfile and prints the top 20
+functions by cumulative time — the first stop when a floor trips.
 """
 
 from __future__ import annotations
@@ -71,6 +77,12 @@ from bench_throughput import (  # noqa: E402 (needs the path tweak above)
     FLOOR_UPDATES_PER_S,
     N,
     REQUIRED_ON,
+    EXACT_BANK_COUNT,
+    EXACT_BANK_DELTA,
+    EXACT_BANK_N,
+    make_exact_bank_stream,
+    measure_exact_bank_rates,
+    REQUIRED_EXACT_BANK_SPEEDUP,
     REQUIRED_SHARDED_SPEEDUP,
     REQUIRED_SPEEDUP,
     REQUIRED_STAR_SPEEDUP,
@@ -200,6 +212,12 @@ def main() -> int:
     parser.add_argument("--star-updates", type=int, default=1_000_000)
     parser.add_argument("--skip-star", action="store_true",
                         help="skip the end-to-end star detection pass")
+    parser.add_argument("--skip-exact-bank", action="store_true",
+                        help="skip the exact-mode ℓ₀ sampler-bank pass")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the single-core measurement passes "
+                             "under cProfile and print the top 20 "
+                             "functions by cumulative time")
     parser.add_argument("--sharded-updates", type=int, default=1_000_000)
     parser.add_argument("--skip-sharded", action="store_true",
                         help="skip the multi-core sharded pass")
@@ -230,9 +248,33 @@ def main() -> int:
         "effective_cores": cores,
     }
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
+    def profiled(fn, *fn_args, **fn_kwargs):
+        """One measurement pass, under the profiler when asked.
+
+        Only the single-core laggard passes run profiled (the sharded
+        pass forks workers the parent profiler cannot see, and the
+        windowed/pipeline passes are engine-dominated) — exactly the
+        passes a tripped floor points at.
+        """
+        if profiler is None:
+            return fn(*fn_args, **fn_kwargs)
+        profiler.enable()
+        try:
+            return fn(*fn_args, **fn_kwargs)
+        finally:
+            profiler.disable()
+
     stream = make_stream(args.records)
     columnar = ColumnarEdgeStream.from_edge_stream(stream)
-    item_rates, batch_rates = measure_rates(stream, columnar, args.repeats)
+    item_rates, batch_rates = profiled(
+        measure_rates, stream, columnar, args.repeats
+    )
     results = {
         name: {
             "item_updates_per_s": item_rates[name],
@@ -265,7 +307,7 @@ def main() -> int:
 
     if not args.skip_star:
         cover = make_star_cover(n_updates=args.star_updates)
-        star_item, star_batch = measure_star_rates(cover)
+        star_item, star_batch = profiled(measure_star_rates, cover)
         star_row = {
             "item_updates_per_s": star_item,
             "batch_updates_per_s": star_batch,
@@ -283,6 +325,29 @@ def main() -> int:
             **star_row,
         }
         results["StarDetection (end-to-end)"] = dict(star_row)
+
+    if not args.skip_exact_bank:
+        bank_columnar = make_exact_bank_stream(args.records)
+        bank_item, bank_batch = profiled(
+            measure_exact_bank_rates, bank_columnar
+        )
+        bank_row = {
+            "item_updates_per_s": bank_item,
+            "batch_updates_per_s": bank_batch,
+            "batch_speedup": bank_batch / bank_item,
+        }
+        artifact["exact_bank"] = {
+            "config": {
+                "n": EXACT_BANK_N,
+                "m": EXACT_BANK_N,
+                "count": EXACT_BANK_COUNT,
+                "delta": EXACT_BANK_DELTA,
+                "updates": len(bank_columnar),
+                "mode": "exact (stacked s-sparse recovery kernels)",
+            },
+            **bank_row,
+        }
+        results["Algorithm 3 (FEwW, exact bank)"] = dict(bank_row)
 
     window_rates = None
     if not args.skip_windowed:
@@ -401,6 +466,14 @@ def main() -> int:
                   f"({sharded_rates[workers] / sharded_rates[1]:.2f}x vs 1)")
     print(f"\nartifact written to {args.out}")
 
+    if profiler is not None:
+        import pstats
+
+        print("\n--profile: top 20 by cumulative time "
+              "(zipf contenders + star + exact-bank passes)")
+        pstats.Stats(profiler, stream=sys.stdout) \
+            .sort_stats("cumulative").print_stats(20)
+
     # Absolute floors apply in every mode, smoke included — ci.yml's
     # smoke step is what gates them on every push.
     if not args.no_floors:
@@ -434,6 +507,14 @@ def main() -> int:
         if star_speedup < REQUIRED_STAR_SPEEDUP:
             failed.append(
                 f"StarDetection (end-to-end, {REQUIRED_STAR_SPEEDUP}x bar)"
+            )
+    if not args.skip_exact_bank:
+        bank_speedup = results["Algorithm 3 (FEwW, exact bank)"][
+            "batch_speedup"
+        ]
+        if bank_speedup < REQUIRED_EXACT_BANK_SPEEDUP:
+            failed.append(
+                f"exact ℓ₀ bank ({REQUIRED_EXACT_BANK_SPEEDUP}x bar)"
             )
     if sharded_rates is not None:
         best = max(sharded_rates)

@@ -24,7 +24,19 @@ from repro.streams.stream import EdgeStream
 
 
 class FullStorage:
-    """Store the whole graph; answer any FEwW query exactly."""
+    """Store the whole graph; answer any FEwW query exactly.
+
+    Batch updates are *deferred*: :meth:`process_batch` only copies the
+    column chunk onto a pending list, and the materialised
+    neighbour-set dictionary is (re)built lazily on first read — an
+    edge's final membership is decided by its **last** update, so one
+    last-update-wins collapse over the whole pending backlog lands on
+    exactly the state eager per-chunk application would have reached.
+    That moves the ``np.unique`` plus per-vertex Python set work off
+    the per-chunk hot path (it now runs once per query/merge instead of
+    once per chunk) and lets it operate on globally sorted distinct
+    edges, where the group boundaries fall out of the sort for free.
+    """
 
     #: An edge's final membership depends on its whole update history,
     #: so shards must own vertices outright (see repro.engine.protocol).
@@ -33,10 +45,22 @@ class FullStorage:
     def __init__(self, n: int, m: int) -> None:
         self.n = n
         self.m = m
-        self._neighbours: Dict[int, Set[int]] = {}
+        self._store: Dict[int, Set[int]] = {}
+        #: Unflushed (a, b, sign-or-None) column chunks, arrival order.
+        self._pending: List[
+            tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]
+        ] = []
+
+    @property
+    def _neighbours(self) -> Dict[int, Set[int]]:
+        """The materialised vertex -> witness-set map (flushes first)."""
+        self._flush()
+        return self._store
 
     def process_item(self, item: StreamItem) -> None:
-        witnesses = self._neighbours.setdefault(item.edge.a, set())
+        if self._pending:
+            self._flush()
+        witnesses = self._store.setdefault(item.edge.a, set())
         if item.is_insert:
             witnesses.add(item.edge.b)
         else:
@@ -48,35 +72,75 @@ class FullStorage:
         b: np.ndarray,
         sign: Optional[np.ndarray] = None,
     ) -> None:
-        """Apply a column chunk of signed updates.
+        """Buffer a column chunk of signed updates (deferred netting).
 
-        Within a valid stream chunk each edge's membership after the
-        chunk is decided by its *last* update, so the chunk is collapsed
-        to one add/discard per distinct edge (grouped per vertex).  Final
-        state is identical to per-item processing.
+        The columns are copied (chunk buffers may be recycled by the
+        caller, e.g. shared-memory transport segments) and applied on
+        the next read through :meth:`_flush`; final state is identical
+        to per-item processing.
         """
-        a = np.ascontiguousarray(a, dtype=np.int64)
-        b = np.ascontiguousarray(b, dtype=np.int64)
         if len(a) == 0:
             return
-        if sign is None:
-            sign = np.ones(len(a), dtype=np.int64)
+        self._pending.append(
+            (
+                np.array(a, dtype=np.int64),
+                np.array(b, dtype=np.int64),
+                None if sign is None else np.array(sign, dtype=np.int64),
+            )
+        )
+
+    def _flush(self) -> None:
+        """Collapse the pending backlog into the neighbour sets.
+
+        One ``np.unique`` over the concatenated flat edge keys (scanned
+        in reverse so the first hit per edge is its last update) yields
+        the distinct edges in ascending order — vertex groups are then
+        contiguous runs, no argsort needed — and each edge contributes
+        a single add/discard decided by its final sign.
+        """
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        if len(pending) == 1:
+            a, b, sign = pending[0]
+        else:
+            a = np.concatenate([chunk[0] for chunk in pending])
+            b = np.concatenate([chunk[1] for chunk in pending])
+            if all(chunk[2] is None for chunk in pending):
+                sign = None
+            else:
+                sign = np.concatenate(
+                    [
+                        np.ones(len(chunk[0]), dtype=np.int64)
+                        if chunk[2] is None
+                        else chunk[2]
+                        for chunk in pending
+                    ]
+                )
         flat = a * self.m + b
         reversed_unique, reversed_first = np.unique(flat[::-1], return_index=True)
-        last_positions = len(flat) - 1 - reversed_first
-        final_sign = np.asarray(sign)[last_positions]
         vertices = reversed_unique // self.m
         witnesses_col = reversed_unique % self.m
-        order, starts, ends = group_slices(vertices)
-        sorted_vertices = vertices[order]
+        cuts = np.flatnonzero(vertices[1:] != vertices[:-1]) + 1
+        starts = np.concatenate(([0], cuts))
+        ends = np.concatenate((cuts, [len(vertices)]))
+        if sign is None:
+            # Insertion-only backlog: every distinct edge is present.
+            for group_start, group_end in zip(starts.tolist(), ends.tolist()):
+                self._store.setdefault(
+                    int(vertices[group_start]), set()
+                ).update(witnesses_col[group_start:group_end].tolist())
+            return
+        last_positions = len(flat) - 1 - reversed_first
+        final_sign = sign[last_positions]
         for group_start, group_end in zip(starts.tolist(), ends.tolist()):
-            group = order[group_start:group_end]
-            witnesses = self._neighbours.setdefault(
-                int(sorted_vertices[group_start]), set()
+            witnesses = self._store.setdefault(
+                int(vertices[group_start]), set()
             )
-            inserts = final_sign[group] > 0
-            witnesses.update(witnesses_col[group[inserts]].tolist())
-            witnesses.difference_update(witnesses_col[group[~inserts]].tolist())
+            inserts = final_sign[group_start:group_end] > 0
+            group_witnesses = witnesses_col[group_start:group_end]
+            witnesses.update(group_witnesses[inserts].tolist())
+            witnesses.difference_update(group_witnesses[~inserts].tolist())
 
     def process(self, stream: EdgeStream) -> "FullStorage":
         for item in stream:
@@ -99,8 +163,10 @@ class FullStorage:
         return Neighbourhood.of(best_vertex, best)
 
     def finalize(self) -> "FullStorage":
-        """Engine hook (:class:`repro.engine.StreamProcessor`): the
-        stored graph stays queryable, so finalize returns the store."""
+        """Engine hook (:class:`repro.engine.StreamProcessor`):
+        materialises the pending backlog, then returns the store —
+        still queryable, now fully caught up."""
+        self._flush()
         return self
 
     def merge(self, other: "FullStorage") -> "FullStorage":
@@ -119,21 +185,24 @@ class FullStorage:
                 f"cannot merge FullStorage over ({self.n},{self.m}) with "
                 f"({other.n},{other.m})"
             )
-        for vertex, witnesses in other._neighbours.items():
-            self._neighbours.setdefault(vertex, set()).update(witnesses)
+        self._flush()
+        other._flush()
+        for vertex, witnesses in other._store.items():
+            self._store.setdefault(vertex, set()).update(witnesses)
         return self
 
     def split(self, n_shards: int) -> List["FullStorage"]:
         """``n_shards`` empty same-dimension shard stores (sharded runs)."""
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-        if self._neighbours:
+        if self._store or self._pending:
             raise RuntimeError("split() must be called before processing")
         return [copy.deepcopy(self) for _ in range(n_shards)]
 
     def space_words(self) -> int:
-        stored = sum(len(witnesses) for witnesses in self._neighbours.values())
-        return vertex_words(len(self._neighbours)) + edge_words(stored)
+        self._flush()
+        stored = sum(len(witnesses) for witnesses in self._store.values())
+        return vertex_words(len(self._store)) + edge_words(stored)
 
 
 class FirstKWitnessCollector:

@@ -729,6 +729,39 @@ def command_bench(args: argparse.Namespace) -> int:
                 f"{rate / 1e3:12.1f}" if rate is not None else f"{'-':>12s}"
             )
         print(f"  {name:{width}s}  " + "  ".join(cells))
+    # Star-detection trend: the end-to-end guess-ladder speedup of the
+    # engine pass over the per-item reference (the fused shared-pass
+    # ladder's acceptance metric), one column per run.
+    star_cells = []
+    have_star = False
+    for entry in history:
+        speedup = (entry.get("star_detection") or {}).get("batch_speedup")
+        if speedup is None:
+            star_cells.append(f"{'-':>12s}")
+        else:
+            have_star = True
+            star_cells.append(f"{speedup:11.1f}x")
+    if have_star:
+        print("star detection: engine-pass speedup vs per-item ladder:")
+        print(f"  {'guess ladder':{width}s}  " + "  ".join(star_cells))
+    # Windowed trend: Algorithm 2's engine rate under each window
+    # policy (tumbling vs smooth-histogram sliding), one row per policy.
+    windowed_rows: Dict[str, List[str]] = {}
+    for column, entry in enumerate(history):
+        for record in (entry.get("windowed") or {}).get("entries") or []:
+            policy = record.get("policy")
+            if policy is None:
+                continue
+            cells = windowed_rows.setdefault(
+                policy, [f"{'-':>12s}"] * len(history)
+            )
+            rate = record.get("updates_per_s")
+            if rate is not None:
+                cells[column] = f"{rate / 1e3:12.1f}"
+    if windowed_rows:
+        print("windowed Algorithm 2 (batch k-upd/s by policy):")
+        for policy in sorted(windowed_rows):
+            print(f"  {policy:{width}s}  " + "  ".join(windowed_rows[policy]))
     # Sharded scaling trend: only worker counts the host could actually
     # scale to — entries flagged gated: false are timesharing numbers,
     # not scaling results, and are excluded from the trend.

@@ -141,6 +141,7 @@ class DegResSampling:
         b: np.ndarray,
         degree_after: np.ndarray,
         grouping=None,
+        crossings: Optional[np.ndarray] = None,
     ) -> None:
         """Batch counterpart of :meth:`observe_edge` for a run of insertions.
 
@@ -148,7 +149,10 @@ class DegResSampling:
         (as produced by :meth:`DegreeCounter.increment_batch`);
         ``grouping`` optionally reuses a precomputed stable
         ``(order, starts, ends)`` grouping of ``a`` so Algorithm 2 can
-        share one sort across its α runs.
+        share one sort across its α runs.  ``crossings`` optionally
+        passes the ascending positions where ``degree_after == d1``
+        (Star Detection extracts every guess's crossings from one shared
+        scan of the chunk instead of ``O(α log n)`` full rescans).
 
         The reservoir only changes at the rare positions where a vertex
         crosses ``d1``.  Those crossings replay the exact scalar logic in
@@ -167,18 +171,48 @@ class DegResSampling:
         # Replay crossings in stream order, tracking residency windows.
         # window[v] = first position from which v may collect vectorized;
         # vertices resident before the chunk collect from position 0.
-        crossings = np.flatnonzero(degree_after == self.d1)
+        if crossings is None:
+            crossings = np.flatnonzero(degree_after == self.d1)
         windows: Dict[int, int] = {v: 0 for v in self._resident}
-        for crossing in crossings.tolist():
-            vertex = int(a[crossing])
-            admitted, evicted = self._cross(vertex)
-            if evicted is not None:
-                windows.pop(evicted, None)
-            if admitted:
-                # The crossing item itself is the vertex's first chance
-                # to collect (d2 >= 1, list fresh => always appends).
-                self._reservoir[vertex].append(int(b[crossing]))
-                windows[vertex] = crossing + 1
+        if len(crossings):
+            # Inlined :meth:`_cross` replay: same branch conditions in
+            # the same order, so the RNG trajectory — and with it the
+            # reservoir state — stays bit-identical to the per-item
+            # path.  Hoisting the numpy indexing (one gather + tolist
+            # instead of per-crossing scalar indexing) and the
+            # attribute/method lookups makes the rare-but-hot crossing
+            # loop several times cheaper; Star Detection replays this
+            # loop for every rung of its guess ladder.
+            reservoir, resident = self._reservoir, self._resident
+            seen = self._candidates_seen
+            s = self.s
+            rng_random = self._rng.random
+            rng_randrange = self._rng.randrange
+            for position, vertex, witness in zip(
+                crossings.tolist(),
+                a[crossings].tolist(),
+                b[crossings].tolist(),
+            ):
+                seen += 1
+                if len(reservoir) < s:
+                    pass
+                elif rng_random() < s / seen:
+                    slot = rng_randrange(len(resident))
+                    evicted = resident[slot]
+                    last = resident.pop()
+                    if slot < len(resident):
+                        resident[slot] = last
+                    del reservoir[evicted]
+                    windows.pop(evicted, None)
+                else:
+                    continue
+                # Admitted: the crossing item itself is the vertex's
+                # first chance to collect (d2 >= 1, fresh list =>
+                # always appends).
+                reservoir[vertex] = [witness]
+                resident.append(vertex)
+                windows[vertex] = position + 1
+            self._candidates_seen = seen
         if not windows:
             return
         reservoir, d2 = self._reservoir, self.d2

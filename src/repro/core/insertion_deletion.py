@@ -203,7 +203,30 @@ class InsertionDeletionFEwW:
         live = net != 0
         if not live.any():
             return
-        unique, net = unique[live], net[live]
+        self._apply_netted(unique[live], net[live])
+
+    def process_netted(
+        self, unique: np.ndarray, net: np.ndarray, n_updates: int
+    ) -> None:
+        """Feed a pre-netted chunk of flat-coordinate updates.
+
+        ``unique`` must be the sorted distinct flat edge coordinates
+        ``a * m + b`` of an already range-checked chunk of ``n_updates``
+        signed updates, and ``net`` their nonzero net signs — exactly
+        what :meth:`process_batch` computes internally.  Star Detection
+        calls this so the ``np.unique`` netting pass (and the range
+        validation) runs once per chunk instead of once per degree
+        guess; every sketch is linear, so the state is identical to
+        handing the raw chunk to :meth:`process_batch`.
+        """
+        self._result_cache = None
+        self._updates_seen += n_updates
+        if len(unique) == 0:
+            return
+        self._apply_netted(unique, net)
+
+    def _apply_netted(self, unique: np.ndarray, net: np.ndarray) -> None:
+        """Scatter netted flat-coordinate updates into both structures."""
         if self._vertex_banks:
             vertices = unique // self.m
             mask = self._bank_flags[vertices]

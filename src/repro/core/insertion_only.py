@@ -50,6 +50,14 @@ class InsertionOnlyFEwW:
         seed: RNG seed; runs derive independent generators from it.
         reservoir_override: replace the default ``ceil(ln n * n^{1/α})``
             reservoir size (used by ablation benchmarks).
+        own_degrees: when True (standalone mode) the instance maintains
+            its own shared degree counter and accepts :meth:`process` /
+            :meth:`process_item` / :meth:`process_batch`; when False the
+            caller (Star Detection's guess ladder) owns one counter for
+            the whole ladder and drives :meth:`observe_item` /
+            :meth:`observe_batch` with post-increment degrees.  The RNG
+            trajectory is identical either way (the counter draws no
+            randomness).
     """
 
     #: The paper's Algorithm 2 shards by vertex hash: the shared degree
@@ -65,6 +73,7 @@ class InsertionOnlyFEwW:
         alpha: int,
         seed: int | None = None,
         reservoir_override: int | None = None,
+        own_degrees: bool = True,
     ) -> None:
         if alpha < 1:
             raise ValueError(f"alpha must be an integer >= 1, got {alpha}")
@@ -78,7 +87,7 @@ class InsertionOnlyFEwW:
         self.s = reservoir_override if reservoir_override is not None else reservoir_size(n, alpha)
         self.d2 = math.ceil(d / alpha)
         root = random.Random(seed)
-        self._degrees = DegreeCounter(n)
+        self._degrees: Optional[DegreeCounter] = DegreeCounter(n) if own_degrees else None
         self.runs: List[DegResSampling] = []
         for i in range(alpha):
             d1 = max(1, (i * d) // alpha)
@@ -97,15 +106,14 @@ class InsertionOnlyFEwW:
     # Stream processing.
     # ------------------------------------------------------------------
 
-    def process_item(self, item: StreamItem) -> None:
-        """Feed one stream item to every parallel run."""
-        if item.is_delete:
-            raise ValueError(
-                "Algorithm 2 handles insertion-only streams; "
-                "use InsertionDeletionFEwW for turnstile input"
-            )
-        a, b = item.edge.a, item.edge.b
-        degree = self._degrees.increment(a)
+    def observe_item(self, a: int, b: int, degree: int) -> None:
+        """Feed one update to every run given ``a``'s post-increment degree.
+
+        Externally-driven counterpart of :meth:`process_item` — the
+        caller owns the degree counter shared across a whole guess
+        ladder, so the ``O(n log n)``-bit table is charged (and
+        incremented) once, not once per guess.
+        """
         for run in self.runs:
             # Fast path: a run only reacts when the vertex crosses its d1
             # threshold or already sits in its reservoir; anything else is
@@ -113,6 +121,22 @@ class InsertionOnlyFEwW:
             if degree != run.d1 and a not in run._reservoir:
                 continue
             run.observe_edge(a, b, degree)
+
+    def process_item(self, item: StreamItem) -> None:
+        """Feed one stream item to every parallel run."""
+        if item.is_delete:
+            raise ValueError(
+                "Algorithm 2 handles insertion-only streams; "
+                "use InsertionDeletionFEwW for turnstile input"
+            )
+        if self._degrees is None:
+            raise RuntimeError(
+                "this instance is driven externally (own_degrees=False); "
+                "use observe_item"
+            )
+        a, b = item.edge.a, item.edge.b
+        degree = self._degrees.increment(a)
+        self.observe_item(a, b, degree)
 
     def process_batch(
         self,
@@ -141,6 +165,11 @@ class InsertionOnlyFEwW:
                 "Algorithm 2 handles insertion-only streams; "
                 "use InsertionDeletionFEwW for turnstile input"
             )
+        if self._degrees is None:
+            raise RuntimeError(
+                "this instance is driven externally (own_degrees=False); "
+                "use observe_batch"
+            )
         a = np.ascontiguousarray(a, dtype=np.int64)
         b = np.ascontiguousarray(b, dtype=np.int64)
         if len(a) == 0:
@@ -154,8 +183,36 @@ class InsertionOnlyFEwW:
             a, grouping=(order, starts, ends)
         )
         run_grouping = (order, starts, ends, a[order[starts]])
+        self.observe_batch(a, b, degree_after, grouping=run_grouping)
+
+    def observe_batch(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        degree_after: np.ndarray,
+        *,
+        grouping,
+        crossings=None,
+    ) -> None:
+        """Feed a pre-counted column chunk of insertions to every run.
+
+        Externally-driven counterpart of :meth:`process_batch`: the
+        caller owns the shared degree counter and passes the
+        post-increment degree column plus the four-element run grouping
+        ``(order, starts, ends, group_vertices)``.  ``crossings``
+        optionally maps each distinct ``d1`` threshold to the ascending
+        chunk positions where ``degree_after`` equals it, letting Star
+        Detection extract every rung's crossings from one shared scan.
+        ``a``/``b`` must already be contiguous ``int64`` and non-empty.
+        """
         for run in self.runs:
-            run.observe_batch(a, b, degree_after, grouping=run_grouping)
+            run.observe_batch(
+                a,
+                b,
+                degree_after,
+                grouping=grouping,
+                crossings=None if crossings is None else crossings.get(run.d1),
+            )
 
     def process(self, stream: EdgeStream) -> "InsertionOnlyFEwW":
         """Consume an entire stream; returns self for chaining."""
@@ -193,7 +250,13 @@ class InsertionOnlyFEwW:
                 f"alpha={self.alpha}, s={self.s}) with (n={other.n}, "
                 f"d={other.d}, alpha={other.alpha}, s={other.s})"
             )
-        self._degrees.merge(other._degrees)
+        if (self._degrees is None) != (other._degrees is None):
+            raise ValueError(
+                "cannot merge a standalone instance (own_degrees=True) "
+                "with an externally driven one"
+            )
+        if self._degrees is not None and other._degrees is not None:
+            self._degrees.merge(other._degrees)
         for mine, theirs in zip(self.runs, other.runs):
             mine.merge(theirs)
         return self
@@ -217,6 +280,11 @@ class InsertionOnlyFEwW:
         """
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if self._degrees is None:
+            raise RuntimeError(
+                "this instance is driven externally (own_degrees=False); "
+                "split the owning wrapper instead"
+            )
         if self._degrees.max_degree() > 0:
             raise RuntimeError("split() must be called before processing")
         children = np.random.SeedSequence(self._seed_entropy).spawn(n_shards)
@@ -267,6 +335,11 @@ class InsertionOnlyFEwW:
 
     def current_degree(self, a: int) -> int:
         """Degree of A-vertex ``a`` seen so far (the shared counter)."""
+        if self._degrees is None:
+            raise RuntimeError(
+                "this instance is driven externally (own_degrees=False); "
+                "query the owning wrapper's counter"
+            )
         return self._degrees.degree(a)
 
     # ------------------------------------------------------------------
@@ -274,9 +347,11 @@ class InsertionOnlyFEwW:
     # ------------------------------------------------------------------
 
     def space_breakdown(self) -> SpaceBreakdown:
-        """Degree table charged once, plus every run's reservoir state."""
+        """Degree table charged once, plus every run's reservoir state;
+        excludes the counter when a guess-ladder wrapper owns it."""
         breakdown = SpaceBreakdown()
-        breakdown.add("degree counts", self._degrees.space_words())
+        if self._degrees is not None:
+            breakdown.add("degree counts", self._degrees.space_words())
         for i, run in enumerate(self.runs):
             breakdown.merge(run.space_breakdown(), prefix=f"run{i} ")
         return breakdown

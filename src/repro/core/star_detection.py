@@ -36,10 +36,11 @@ import numpy as np
 from repro.core.insertion_deletion import InsertionDeletionFEwW
 from repro.core.insertion_only import InsertionOnlyFEwW
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
+from repro.sketch.exact import DegreeCounter
 from repro.spacemeter import SpaceBreakdown
 from repro.streams.adapters import bipartite_double_cover_columnar
 from repro.streams.columnar import group_slices
-from repro.streams.edge import INSERT, StreamItem
+from repro.streams.edge import INSERT, Edge, StreamItem, insert_signs
 from repro.streams.stream import EdgeStream
 
 
@@ -127,6 +128,14 @@ class StarDetection:
 
     MODELS = ("insertion-only", "insertion-deletion")
 
+    #: Chunk size for :meth:`process`.  The ladder-wide hoisted work
+    #: (sort, degree scatter, crossing scan / netting) amortises over
+    #: the chunk, but every rung still pays a small fixed cost per
+    #: chunk — larger chunks than the engine default keep that fan-out
+    #: overhead negligible.  Chunking never changes results (state is
+    #: bit-identical to per-item processing at any chunk size).
+    PROCESS_CHUNK_SIZE = 1 << 16
+
     def __init__(
         self,
         n_vertices: int,
@@ -150,7 +159,7 @@ class StarDetection:
             run_seed = root.getrandbits(64)
             if model == "insertion-only":
                 algorithm: object = InsertionOnlyFEwW(
-                    n_vertices, guess, alpha, seed=run_seed
+                    n_vertices, guess, alpha, seed=run_seed, own_degrees=False
                 )
             else:
                 algorithm = InsertionDeletionFEwW(
@@ -164,6 +173,27 @@ class StarDetection:
                 )
             self._runs.append((guess, algorithm))
         self._updates_seen = 0
+        #: One degree counter shared by the whole guess ladder
+        #: (insertion-only): each rung's Algorithm 2 runs in
+        #: externally-driven mode, so the O(n log n)-bit table is
+        #: incremented once per chunk instead of once per guess.  The
+        #: counter draws no randomness, so per-guess RNG trajectories
+        #: are identical to independently-counting instances.
+        self._degrees: Optional[DegreeCounter] = None
+        if model == "insertion-only":
+            self._degrees = DegreeCounter(n_vertices)
+            # Every distinct d1 threshold across all rungs and their α
+            # parallel runs, plus a boolean lookup table over degree
+            # values so one scan of a chunk finds every rung's
+            # crossings (degree_after == d1) at once.
+            thresholds = sorted(
+                {run.d1 for _, algorithm in self._runs for run in algorithm.runs}
+            )
+            self._thresholds: List[int] = thresholds
+            self._max_threshold = thresholds[-1]
+            lut = np.zeros(self._max_threshold + 2, dtype=bool)
+            lut[np.asarray(thresholds, dtype=np.int64)] = True
+            self._threshold_lut = lut
 
     # ------------------------------------------------------------------
     # Stream processing.
@@ -201,15 +231,31 @@ class StarDetection:
         # package at module load (engine imports streams, not core).
         from repro.engine import as_chunks
 
-        for a, b, sign in as_chunks(stream):
+        for a, b, sign in as_chunks(stream, self.PROCESS_CHUNK_SIZE):
             self.process_batch(a, b, sign)
         return self
 
     def process_item(self, item: StreamItem) -> None:
-        """Reference per-item path: feed one doubled update to every run."""
+        """Reference per-item path: feed one doubled update to every run.
+
+        Insertion-only: the shared counter increments once and the
+        post-increment degree fans out to every rung — bit-identical to
+        each rung counting for itself (the counts would be equal).
+        """
         self._updates_seen += 1
-        for _, algorithm in self._runs:
-            algorithm.process_item(item)  # type: ignore[attr-defined]
+        if self.model == "insertion-only":
+            if item.is_delete:
+                raise ValueError(
+                    "Algorithm 2 handles insertion-only streams; "
+                    "use InsertionDeletionFEwW for turnstile input"
+                )
+            a, b = item.edge.a, item.edge.b
+            degree = self._degrees.increment(a)
+            for _, algorithm in self._runs:
+                algorithm.observe_item(a, b, degree)  # type: ignore[attr-defined]
+        else:
+            for _, algorithm in self._runs:
+                algorithm.process_item(item)  # type: ignore[attr-defined]
 
     def process_batch(
         self,
@@ -219,14 +265,20 @@ class StarDetection:
     ) -> None:
         """Feed one column chunk of the double cover to every guess.
 
-        For the insertion-only model the chunk is sorted once
-        (:func:`~repro.streams.columnar.group_slices`) and that grouping
-        is shared by every guess's Algorithm 2 instance, which is what
-        collapses the ``O(log_{1+ε} n)`` guess ladder into a single
-        vectorized pass.  State after the call is bit-identical to
-        feeding the chunk through :meth:`process_item` in order: the
-        per-guess structures are independent, so fanning a chunk to the
-        guesses sequentially commutes with interleaving items.
+        The ladder-wide work is hoisted and done once per chunk, not
+        once per guess.  Insertion-only: the chunk is sorted once
+        (:func:`~repro.streams.columnar.group_slices`), the shared
+        degree counter increments once, and a single lookup-table scan
+        finds every rung's threshold crossings
+        (``degree_after == d1``) — each of the ``O(α log_{1+ε} n)``
+        parallel runs then only replays its own rare crossings.
+        Insertion-deletion: the chunk is range-checked and netted
+        (``np.unique`` + scatter-add on the flat edge coordinate) once,
+        and every rung's linear sketches consume the shared netted
+        column.  State after the call is bit-identical to feeding the
+        chunk through :meth:`process_item` in order: the per-guess
+        structures are independent, so fanning a chunk to the guesses
+        sequentially commutes with interleaving items.
         """
         a = np.ascontiguousarray(a, dtype=np.int64)
         b = np.ascontiguousarray(b, dtype=np.int64)
@@ -240,13 +292,56 @@ class StarDetection:
                     "construct with model='insertion-deletion'"
                 )
             grouping = group_slices(a)
+            order, starts, ends = grouping
+            degree_after = self._degrees.increment_batch(a, grouping=grouping)
+            run_grouping = (order, starts, ends, a[order[starts]])
+            # One pass over the chunk finds every rung's crossings: a
+            # position crosses threshold t iff degree_after == t, and
+            # the LUT marks exactly the ladder's thresholds.  Slicing
+            # the (rare) hits per threshold preserves ascending order,
+            # so each run sees exactly np.flatnonzero(degree_after == d1).
+            capped = np.minimum(degree_after, self._max_threshold + 1)
+            hits = np.flatnonzero(self._threshold_lut[capped])
+            hit_degrees = degree_after[hits]
+            crossings = {
+                threshold: hits[hit_degrees == threshold]
+                for threshold in self._thresholds
+            }
             for _, algorithm in self._runs:
-                algorithm.process_batch(  # type: ignore[attr-defined]
-                    a, b, grouping=grouping
+                algorithm.observe_batch(  # type: ignore[attr-defined]
+                    a,
+                    b,
+                    degree_after,
+                    grouping=run_grouping,
+                    crossings=crossings,
                 )
         else:
+            n, m = self.n_vertices, self.n_vertices
+            if sign is None:
+                sign = insert_signs(len(a))
+            else:
+                sign = np.ascontiguousarray(sign, dtype=np.int64)
+            if (
+                int(a.min()) < 0
+                or int(a.max()) >= n
+                or int(b.min()) < 0
+                or int(b.max()) >= m
+            ):
+                bad = np.flatnonzero(
+                    (a < 0) | (a >= n) | (b < 0) | (b >= m)
+                )[0]
+                edge = Edge(int(a[bad]), int(b[bad]))
+                raise ValueError(f"edge {edge} out of range for ({n}, {m})")
+            flat = a * m + b
+            unique, inverse = np.unique(flat, return_inverse=True)
+            net = np.zeros(len(unique), dtype=np.int64)
+            np.add.at(net, inverse, sign)
+            live = net != 0
+            unique, net = unique[live], net[live]
             for _, algorithm in self._runs:
-                algorithm.process_batch(a, b, sign)  # type: ignore[attr-defined]
+                algorithm.process_netted(  # type: ignore[attr-defined]
+                    unique, net, len(a)
+                )
 
     # ------------------------------------------------------------------
     # Mergeable-summary layer.
@@ -287,6 +382,8 @@ class StarDetection:
                 "cannot merge Star Detection wrappers with different "
                 "parameters; split both from the same seeded instance"
             )
+        if self._degrees is not None:
+            self._degrees.merge(other._degrees)
         for (_, mine), (_, theirs) in zip(self._runs, other._runs):
             mine.merge(theirs)  # type: ignore[attr-defined]
         self._updates_seen += other._updates_seen
@@ -340,7 +437,11 @@ class StarDetection:
     # ------------------------------------------------------------------
 
     def space_breakdown(self) -> SpaceBreakdown:
+        """Shared degree table charged once for the whole ladder
+        (insertion-only), plus each rung's residency/sampler state."""
         breakdown = SpaceBreakdown()
+        if self._degrees is not None:
+            breakdown.add("degree counts", self._degrees.space_words())
         for guess, algorithm in self._runs:
             breakdown.merge(
                 algorithm.space_breakdown(),  # type: ignore[attr-defined]

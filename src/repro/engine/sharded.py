@@ -5,10 +5,12 @@ parallel one.  Every registered structure is :meth:`split
 <repro.engine.protocol.MergeableStreamProcessor.split>` into
 ``n_workers`` independent shard instances; a pool of worker processes
 each runs a :class:`~repro.engine.runner.FanoutRunner` over its shard
-of the stream; the shard summaries stream back to the parent, which
-:meth:`merge <repro.engine.protocol.MergeableStreamProcessor.merge>`\\ s
-them and finalizes — the classical mergeable-summaries execution plan
-(Agarwal et al.) applied to every structure in the library.
+of the stream; the shard summaries combine pairwise along the binomial
+reduction tree of :mod:`repro.engine.merge` — worker-side and in
+parallel on the plain process path, in the parent otherwise — and the
+parent finalizes: the classical mergeable-summaries execution plan
+(Agarwal et al.) applied to every structure in the library, with a
+log-depth combine instead of a serial fold.
 
 How the stream is partitioned is dictated by the structures themselves
 through their ``shard_routing`` metadata (see
@@ -86,6 +88,7 @@ from repro.engine.checkpoint import (
     CheckpointStore,
 )
 from repro.engine.faults import FaultPlan
+from repro.engine.merge import tree_reduce, tree_rounds
 from repro.engine.protocol import (
     SHARD_ANY,
     SHARD_BY_VERTEX,
@@ -364,6 +367,52 @@ def _file_worker(conn, task) -> None:
         if fault_plan.corrupts_result(worker, attempt):
             conn.send("injected-garbage-result")
             return
+    conn.send(outcome)
+    conn.close()
+
+
+def _tree_file_worker(conn, task, recv_edges, send_edge, strays) -> None:
+    """Process body for the plain-path file pool with worker-side merge.
+
+    After driving its own shard the worker joins the binomial reduction
+    tree (:func:`~repro.engine.merge.tree_rounds`): it first absorbs its
+    partners' summaries round by round (``recv_edges``, ascending round
+    order — a worker only ever receives in rounds *before* the one it
+    sends in), then either ships the accumulated summaries to its
+    receiver (``send_edge``) or, for worker 0, reports the fully merged
+    map to the parent.  The receiver is always the tree's lower shard
+    index and always the left operand of :meth:`merge
+    <repro.engine.protocol.MergeableStreamProcessor.merge>`, so the
+    merge order is exactly the one :func:`~repro.engine.merge.tree_reduce`
+    executes in-process.
+
+    ``strays`` are this process's inherited copies of every tree pipe
+    end owned by *other* workers; they are closed first so that a peer
+    dying mid-run surfaces as EOF on its edge instead of deadlocking
+    the tree.
+    """
+    for stray in strays:
+        stray.close()
+    (worker, n_workers, shard, path, routing, chunk_size, mmap,
+     readahead, readahead_depth) = task
+    try:
+        processors = _drive(
+            shard, path, routing, worker, n_workers, chunk_size, mmap,
+            readahead, readahead_depth,
+        )
+        for edge in recv_edges:
+            theirs = edge.recv()
+            edge.close()
+            for name in processors:
+                processors[name] = processors[name].merge(theirs[name])
+        if send_edge is not None:
+            send_edge.send(processors)
+            send_edge.close()
+            outcome = (worker, None, None)
+        else:
+            outcome = (worker, processors, None)
+    except BaseException as exc:
+        outcome = (worker, None, _describe_error(exc))
     conn.send(outcome)
     conn.close()
 
@@ -757,6 +806,12 @@ class ShardedRunner:
         stream — bit-identically for the linear/exact structures,
         guarantee-identically for the sampled/counter summaries (see
         ``tests/integration/test_sharded_equivalence.py``).
+
+        Shard summaries combine along the fixed shard-index reduction
+        tree of :mod:`repro.engine.merge` — distributed across the
+        workers themselves on the plain process path — so the combine
+        order, and with it every answer, is a function of ``n_workers``
+        alone, never of timing or backend.
         """
         if source is None:
             source = self._resume_source
@@ -819,12 +874,20 @@ class ShardedRunner:
     def _merge_and_finalize(
         self, completed: List[Dict[str, Any]]
     ) -> Dict[str, Any]:
+        """Combine shard summaries along the reduction tree, finalize.
+
+        Every combine path — serial backend, queue pool, file pool,
+        and the distributed worker-side tree — uses the same
+        shard-index merge order (see :mod:`repro.engine.merge`), so
+        answers never depend on which backend ran the pass.
+        """
         self._merged = {}
         results = {}
         for name in self._processors:
-            merged = completed[0][name]
-            for shard in completed[1:]:
-                merged = merged.merge(shard[name])
+            merged = tree_reduce(
+                [shard[name] for shard in completed],
+                lambda mine, theirs: mine.merge(theirs),
+            )
             self._merged[name] = merged
             results[name] = merged.finalize()
         return results
@@ -944,7 +1007,23 @@ class ShardedRunner:
         the shard under the retry policy with exponential backoff.  A
         message from a superseded attempt is impossible: it would have
         gone to a pipe the parent no longer holds.
+
+        On the plain fail-fast path (no retries, no timeouts, no
+        checkpoints, no fault injection, no resume) the pool instead
+        merges worker-side along the reduction tree — see
+        :meth:`_run_file_tree`.
         """
+        if (
+            self.n_workers > 1
+            and self.on_failure == "raise"
+            and self.timeout_s is None
+            and self._checkpoint_store() is None
+            and (self.fault_plan is None or self.fault_plan.is_noop)
+            and not self._resuming
+        ):
+            return self._run_file_tree(
+                context, shards, source, routing, chunk_size
+            )
         mmap = self._worker_mmap(source)
         readahead = self._effective_readahead(mmap)
         store = self._checkpoint_store()
@@ -1125,6 +1204,168 @@ class ShardedRunner:
                 checkpoint=self._shard_checkpoint(worker), in_process=True,
             )
         return completed  # type: ignore[return-value]
+
+    def _run_file_tree(
+        self, context, shards, source, routing, chunk_size
+    ) -> List[Dict[str, Any]]:
+        """Plain-path file pool: workers merge pairwise before reporting.
+
+        Replaces the serial parent-side fold over ``n_workers`` full
+        summary maps with the distributed reduction tree of
+        :func:`~repro.engine.merge.tree_rounds`: in round ``k`` worker
+        ``i + 2**k`` ships its (already partially merged) summaries
+        over a pre-forked pipe to worker ``i``, which folds them in
+        shard order.  Merges at the same depth run on different cores
+        concurrently, the chain the parent must wait for is ``log2``
+        deep instead of linear, and the parent receives exactly one
+        fully merged map (from worker 0) instead of ``n_workers``.
+        The merge order is the one :func:`~repro.engine.merge.tree_reduce`
+        executes in-process, so answers match the serial backend
+        exactly (see :mod:`repro.engine.merge` for which structures
+        that makes bit-identical).
+
+        The path is fail-fast by construction — it is only taken under
+        ``on_failure="raise"`` with no timeout, checkpointing, fault
+        injection, or resume state.  A worker that raises reports its
+        error over its result pipe; one that dies silently surfaces as
+        EOF both to its tree partner (whose stray pipe copies were
+        closed at startup precisely so the tree cannot deadlock on a
+        dead peer) and to the parent, which kills the survivors and
+        raises the primary cause.
+        """
+        mmap = self._worker_mmap(source)
+        readahead = self._effective_readahead(mmap)
+        n_workers = self.n_workers
+
+        # Tree plumbing, created before any fork so every edge can be
+        # handed to both of its endpoints (and closed by everyone
+        # else).
+        recv_edges: Dict[int, List[Any]] = {w: [] for w in range(n_workers)}
+        send_edges: Dict[int, Any] = {}
+        owned: Dict[int, List[Any]] = {w: [] for w in range(n_workers)}
+        edge_conns: List[Any] = []
+        for pairs in tree_rounds(n_workers):
+            for receiver, sender in pairs:
+                recv_end, send_end = context.Pipe(duplex=False)
+                recv_edges[receiver].append(recv_end)
+                send_edges[sender] = send_end
+                owned[receiver].append(recv_end)
+                owned[sender].append(send_end)
+                edge_conns.extend((recv_end, send_end))
+
+        procs: Dict[int, Any] = {}
+        results: Dict[int, Any] = {}
+        merged: Optional[Dict[str, Any]] = None
+        try:
+            for worker, shard in enumerate(shards):
+                task = (
+                    worker, n_workers, shard, str(source), routing,
+                    chunk_size, mmap, readahead, self.readahead_depth,
+                )
+                mine = set(map(id, owned[worker]))
+                strays = [c for c in edge_conns if id(c) not in mine]
+                recv_end, send_end = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_tree_file_worker,
+                    args=(
+                        send_end, task, recv_edges[worker],
+                        send_edges.get(worker), strays,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                send_end.close()
+                procs[worker] = process
+                results[worker] = recv_end
+            # The children now hold the only live copies of the tree
+            # pipes; the parent keeping them open would mask peer
+            # deaths (no EOF) and deadlock the tree.
+            for conn in edge_conns:
+                conn.close()
+
+            errors: Dict[int, ShardedWorkerError] = {}
+            pending = set(range(n_workers))
+            readers = {results[worker]: worker for worker in pending}
+            while pending and not errors:
+                ready = mp_connection.wait(
+                    [results[worker] for worker in sorted(pending)],
+                    timeout=self.RESULT_POLL_TIMEOUT_S,
+                )
+                for recv_end in ready:
+                    worker = readers[recv_end]
+                    try:
+                        message = recv_end.recv()
+                    except (EOFError, OSError):
+                        pending.discard(worker)
+                        errors[worker] = ShardedWorkerError(
+                            f"sharded worker {worker} terminated "
+                            f"abnormally without reporting a result "
+                            f"(exit code {procs[worker].exitcode})",
+                            cause_type="WorkerDied",
+                            worker=worker,
+                        )
+                        continue
+                    if (
+                        not isinstance(message, tuple)
+                        or len(message) != 3
+                        or message[0] != worker
+                    ):
+                        raise ShardedWorkerError(
+                            f"sharded worker returned a corrupt result "
+                            f"message: {message!r}",
+                            cause_type="CorruptResult",
+                            worker=worker,
+                        )
+                    _worker, processors, error = message
+                    pending.discard(worker)
+                    if error is not None:
+                        cause_type, is_stream_error, formatted, _ = error
+                        errors[worker] = ShardedWorkerError(
+                            f"sharded worker {worker} failed:\n{formatted}",
+                            cause_type=cause_type,
+                            is_stream_error=is_stream_error,
+                            worker=worker,
+                        )
+                    elif worker == 0:
+                        merged = processors
+            if errors:
+                raise self._primary_tree_error(errors)
+            if merged is None:
+                raise ShardedWorkerError(
+                    "sharded worker 0 finished without reporting the "
+                    "merged summaries",
+                    cause_type="CorruptResult",
+                    worker=0,
+                )
+        finally:
+            for worker, process in procs.items():
+                recv_end = results.get(worker)
+                if recv_end is not None:
+                    recv_end.close()
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=self.WORKER_JOIN_TIMEOUT_S)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=self.TERMINATE_JOIN_TIMEOUT_S)
+        return [merged]
+
+    @staticmethod
+    def _primary_tree_error(
+        errors: Dict[int, "ShardedWorkerError"],
+    ) -> "ShardedWorkerError":
+        """The root cause out of a tree-abort cascade.
+
+        A worker that raises reports the actual exception; its tree
+        partners then see EOF on their edges and the parent may see
+        workers die — all consequences, not causes.  Prefer the
+        reported exception; fall back to the lowest worker index.
+        """
+        secondary = ("EOFError", "OSError", "WorkerDied")
+        for worker in sorted(errors):
+            if errors[worker].cause_type not in secondary:
+                return errors[worker]
+        return errors[min(errors)]
 
     def _run_queue_pool(
         self, context, shards, source, routing, chunk_size

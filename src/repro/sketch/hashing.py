@@ -59,6 +59,29 @@ def mulmod_p61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return _fold61(_fold61(hi << _ONE) + _fold61(mid_term) + _fold61(a0 * b0))
 
 
+def powmod_p61(base: np.ndarray, exponent: np.ndarray) -> np.ndarray:
+    """Element-wise ``base ** exponent mod (2**61 - 1)`` via binary exponentiation.
+
+    Broadcasts like a normal ufunc and returns bit-identical values to
+    ``pow(int(b), int(e), PRIME_61)`` for every element (including
+    ``e == 0`` which yields 1).  Runs ``bit_length(max(exponent))``
+    rounds of :func:`mulmod_p61`, so the cost is logarithmic in the
+    largest exponent, shared across the whole array.
+    """
+    base = np.asarray(base, dtype=np.uint64)
+    exponent = np.asarray(exponent, dtype=np.uint64)
+    base, exponent = np.broadcast_arrays(base, exponent)
+    base = _fold61(base.copy())
+    result = np.ones(base.shape, dtype=np.uint64)
+    n_bits = int(exponent.max()).bit_length() if exponent.size else 0
+    for bit in range(n_bits):
+        take = ((exponent >> np.uint64(bit)) & _ONE) == _ONE
+        result = np.where(take, mulmod_p61(result, base), result)
+        if bit + 1 < n_bits:
+            base = mulmod_p61(base, base)
+    return result
+
+
 class KWiseHash:
     """A member of a k-wise independent hash family ``[p] -> [range_size]``.
 
@@ -106,8 +129,12 @@ class KWiseHash:
     def field_batch(self, xs: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`field_value` over an integer array (``uint64``)."""
         xs = _fold61(np.asarray(xs, dtype=np.uint64))
-        values = np.zeros(xs.shape, dtype=np.uint64)
-        for coefficient in self.coefficients:
+        # Horner's first round multiplies zero — start from the leading
+        # coefficient instead (bit-identical, one round cheaper).
+        if len(self.coefficients) == 1:
+            return np.full(xs.shape, np.uint64(self.coefficients[0]))
+        values = np.broadcast_to(np.uint64(self.coefficients[0]), xs.shape)
+        for coefficient in self.coefficients[1:]:
             values = _fold61(mulmod_p61(values, xs) + np.uint64(coefficient))
         return values
 
@@ -171,8 +198,14 @@ class KWiseHashStack:
     def field_batch_rows(self, xs: np.ndarray) -> np.ndarray:
         """All raw polynomial values as a ``(rows, len(xs))`` ``uint64`` array."""
         xs = _fold61(np.asarray(xs, dtype=np.uint64))[np.newaxis, :]
-        values = np.zeros((len(self.hashes), xs.shape[1]), dtype=np.uint64)
-        for j in range(self._coefficients.shape[1]):
+        # Start Horner from the leading coefficients (bit-identical to a
+        # zero-initialised first round, one round cheaper).
+        if self._coefficients.shape[1] == 1:
+            return np.broadcast_to(
+                self._coefficients[:, 0:1], (len(self.hashes), xs.shape[1])
+            ).copy()
+        values: np.ndarray = self._coefficients[:, 0:1]
+        for j in range(1, self._coefficients.shape[1]):
             values = _fold61(mulmod_p61(values, xs) + self._coefficients[:, j : j + 1])
         return values
 

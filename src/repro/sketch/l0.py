@@ -9,14 +9,23 @@ these as a black box, citing Jowhari–Sağlam–Tardos [26] for the bound
 
 :class:`L0Sampler` is the real structure: nested geometric subsampling
 levels, an s-sparse recovery per level, and a min-hash tiebreak so that
-the returned coordinate is uniform over the support.
+the returned coordinate is uniform over the support.  All ``n_levels``
+recoveries share one sparsity/row geometry, so their accumulator planes
+are stacked into single 3-D ``(n_levels, n_rows, n_buckets)`` arrays and
+a batch is absorbed with ONE scatter-add per plane across every level
+(level membership is nested, so each level's surviving subset is a
+prefix-filtered view of the previous one).  ``decode``/``merge``/
+``split`` rebuild per-level :class:`SSparseRecovery` views over the
+stacked planes; the state is bit-identical to a list of independent
+per-level structures fed the same stream.
 
 :class:`L0SamplerBank` manages the many independent samplers Algorithm 3
 needs.  It has two modes:
 
 * ``"exact"`` — every sampler is a real :class:`L0Sampler`; updates fan
-  out to each of them.  Faithful but slow; used by tests and small
-  benchmarks.
+  out to each of them.  The bank stacks all samplers' level hashes into
+  one :class:`~repro.sketch.hashing.KWiseHashStack` so a chunk's level
+  assignment for every sampler is one fused evaluation.
 * ``"fast"`` — the bank tracks the exact support once (simulator state,
   not charged) and at query time draws each sampler's output uniformly
   from the support with an independent seeded RNG.  Distributionally
@@ -37,8 +46,24 @@ from typing import List, Optional
 import numpy as np
 
 from repro.sketch.exact import ExactSupport
-from repro.sketch.hashing import KWiseHash, random_kwise
-from repro.sketch.ssparse import SSparseRecovery
+from repro.sketch.hashing import (
+    PRIME_61,
+    KWiseHash,
+    KWiseHashStack,
+    _fold61,
+    mulmod_p61,
+    powmod_p61,
+    random_kwise,
+)
+from repro.sketch.ssparse import (
+    POWER_TABLE_MAX_ENTRIES,
+    _WINDOW_BITS,
+    _WINDOW_MASK,
+    SSparseRecovery,
+    build_power_tables,
+    power_table_windows,
+    scatter_cell_updates,
+)
 
 
 def l0_sampler_space_words(dim: int, delta: float) -> int:
@@ -65,8 +90,6 @@ class L0Sampler:
         dim: vector dimension.
         delta: failure probability target; drives the per-level sparse
             recovery size.
-        rng: randomness for level hashes, recovery structures and the
-            tiebreak hash.
     """
 
     def __init__(self, dim: int, delta: float, rng: random.Random) -> None:
@@ -80,10 +103,79 @@ class L0Sampler:
         sparsity = max(2, math.ceil(math.log2(2.0 / delta)))
         self._level_hash: KWiseHash = random_kwise(2, 1 << self.n_levels, rng)
         self._tiebreak: KWiseHash = random_kwise(2, 1 << 61, rng)
-        self._recoveries: List[SSparseRecovery] = [
+        # Construct real per-level recoveries first so the RNG draw order
+        # is identical to a list of independent structures, then stack
+        # their accumulator planes into the sampler-owned 3-D arrays.
+        recoveries = [
             SSparseRecovery(dim, sparsity, delta / (2 * self.n_levels), rng)
             for _ in range(self.n_levels)
         ]
+        template = recoveries[0]
+        self._sparsity = template.s
+        self._recovery_delta = template.delta
+        self._n_rows = template.n_rows
+        self._n_buckets = template.n_buckets
+        self._row_hashes: List[List[KWiseHash]] = [r._hashes for r in recoveries]
+        self._row_stacks: List[KWiseHashStack] = [r._stack for r in recoveries]
+        self._r = np.stack([r._r for r in recoveries])
+        self._weight = np.stack([r._weight for r in recoveries])
+        self._dot = np.stack([r._dot for r in recoveries])
+        self._fingerprint = np.stack([r._fingerprint for r in recoveries])
+        # Row-hash coefficients stacked as (n_levels, n_rows) matrices so
+        # the fused batch path evaluates every (level, row) bucket with
+        # one broadcast Horner step (all row hashes are pairwise
+        # independent, i.e. degree-1 polynomials).
+        self._row_a = np.array(
+            [[h.coefficients[0] for h in hashes] for hashes in self._row_hashes],
+            dtype=np.uint64,
+        )
+        self._row_b = np.array(
+            [[h.coefficients[1] for h in hashes] for hashes in self._row_hashes],
+            dtype=np.uint64,
+        )
+        # Lazily-built windowed fingerprint power tables, stacked over
+        # all levels (pure cache derived from _r; not charged).
+        self._power_tables: Optional[np.ndarray] = None
+
+    def _ensure_power_tables(self) -> Optional[np.ndarray]:
+        """Build the stacked ``(windows, 256, L, R, B)`` tables when small."""
+        if self._power_tables is None:
+            entries = (
+                power_table_windows(self.dim) * 256 * self._r.size
+            )
+            if entries <= POWER_TABLE_MAX_ENTRIES:
+                self._power_tables = build_power_tables(self._r, self.dim)
+        return self._power_tables
+
+    def _recovery(self, level: int) -> SSparseRecovery:
+        """A view-backed :class:`SSparseRecovery` over one level's planes.
+
+        The views write through to the stacked arrays, so scalar updates,
+        decoding and merging through the view mutate the sampler state.
+        Views are transient — never stored — so ``deepcopy`` of the
+        sampler only ever copies the stacked planes.
+        """
+        recovery = SSparseRecovery.__new__(SSparseRecovery)
+        recovery.dim = self.dim
+        recovery.s = self._sparsity
+        recovery.delta = self._recovery_delta
+        recovery.n_buckets = self._n_buckets
+        recovery.n_rows = self._n_rows
+        recovery._hashes = self._row_hashes[level]
+        recovery._stack = self._row_stacks[level]
+        recovery._r = self._r[level]
+        recovery._weight = self._weight[level]
+        recovery._dot = self._dot[level]
+        recovery._fingerprint = self._fingerprint[level]
+        recovery._power_tables = (
+            None if self._power_tables is None else self._power_tables[:, :, level]
+        )
+        return recovery
+
+    @property
+    def _recoveries(self) -> List[SSparseRecovery]:
+        """Per-level recovery views (see :meth:`_recovery`)."""
+        return [self._recovery(level) for level in range(self.n_levels)]
 
     def _level_of(self, index: int) -> int:
         """Deepest level at which ``index`` survives nested subsampling.
@@ -102,28 +194,108 @@ class L0Sampler:
         """Apply ``vector[index] += delta``."""
         deepest = self._level_of(index)
         for level in range(deepest + 1):
-            self._recoveries[level].update(index, delta)
+            self._recovery(level).update(index, delta)
 
-    def update_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
-        """Apply a batch of signed updates.
-
-        The level of every index is computed with one vectorized hash
-        evaluation (instead of a Python polynomial per item), then each
-        level's surviving subset is handed to its recovery structure.
-        Final state matches item-by-item updates exactly — the sketch is
-        linear.
-        """
-        if len(indices) == 0:
-            return
+    def _levels_of_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Deepest surviving level for every index, vectorized."""
         values = self._level_hash.batch(indices)
         levels = np.zeros(len(indices), dtype=np.int64)
         for level in range(1, self.n_levels):
             survives = (levels == level - 1) & (values % (1 << level) == 0)
             levels[survives] = level
-        for level, recovery in enumerate(self._recoveries):
-            selected = levels >= level
-            if selected.any():
-                recovery.update_batch(indices[selected], deltas[selected])
+        return levels
+
+    def update_batch(
+        self,
+        indices: np.ndarray,
+        deltas: np.ndarray,
+        *,
+        levels: Optional[np.ndarray] = None,
+    ) -> None:
+        """Apply a batch of signed updates.
+
+        The level of every index is computed with one vectorized hash
+        evaluation (or taken from ``levels`` when a bank already fused
+        that pass across samplers).  An index surviving to level ``l``
+        updates levels ``0..l``, so the batch expands into flat
+        ``(item, level)`` entries; every entry's bucket, fingerprint
+        power and cell address are computed with broadcast passes over
+        the stacked planes and ALL levels are absorbed with one exact
+        scatter per accumulator plane — no Python loop over levels or
+        recovery objects.  Final state matches item-by-item updates
+        exactly — the sketch is linear.
+        """
+        if len(indices) == 0:
+            return
+        if int(indices.min()) < 0 or int(indices.max()) >= self.dim:
+            bad = indices[(indices < 0) | (indices >= self.dim)][0]
+            raise ValueError(f"index {int(bad)} out of range [0, {self.dim})")
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+        if levels is None:
+            levels = self._levels_of_batch(indices)
+        power_tables = self._ensure_power_tables()
+        # Expand to one entry per (item, level <= deepest(item)).  Entry
+        # e carries item index x[e], delta d[e] and level lab[e].
+        counts = levels + 1
+        starts = np.cumsum(counts) - counts
+        n_entries = int(counts[-1] + starts[-1])
+        x = np.repeat(indices, counts)
+        lab = np.arange(n_entries, dtype=np.int64) - np.repeat(starts, counts)
+        d = np.repeat(deltas, counts)
+        rows = np.arange(self._n_rows, dtype=np.int64)[np.newaxis, :]
+        # Degree-1 Horner with per-entry coefficients — bit-identical to
+        # each level's KWiseHash on its surviving subset.
+        field = _fold61(
+            mulmod_p61(self._row_a[lab], _fold61(x.astype(np.uint64))[:, np.newaxis])
+            + self._row_b[lab]
+        )
+        buckets = (field % np.uint64(self._n_buckets)).astype(np.int64)
+        addr = (lab[:, np.newaxis] * self._n_rows + rows) * self._n_buckets + buckets
+        if power_tables is not None:
+            powers = power_tables[
+                0, (x & _WINDOW_MASK)[:, np.newaxis], lab[:, np.newaxis], rows, buckets
+            ]
+            for window in range(1, power_tables.shape[0]):
+                window_values = (x >> np.int64(window * _WINDOW_BITS)) & _WINDOW_MASK
+                powers = mulmod_p61(
+                    powers,
+                    power_tables[
+                        window,
+                        window_values[:, np.newaxis],
+                        lab[:, np.newaxis],
+                        rows,
+                        buckets,
+                    ],
+                )
+        else:
+            powers = powmod_p61(
+                self._r[lab[:, np.newaxis], rows, buckets],
+                x.astype(np.uint64)[:, np.newaxis],
+            )
+        # delta = ±1 covers edge streams: ±r^i mod p needs no multiply
+        # (powers lie in [1, p), so p - powers is the exact negation).
+        magnitudes = np.abs(d)
+        if magnitudes.max() == 1 and magnitudes.min() == 1:
+            contrib = np.where(
+                (d > 0)[:, np.newaxis],
+                powers,
+                np.uint64(PRIME_61) - powers,
+            )
+        else:
+            contrib = mulmod_p61(
+                powers, np.remainder(d, PRIME_61).astype(np.uint64)[:, np.newaxis]
+            )
+        shape = addr.shape
+        scatter_cell_updates(
+            self._weight.reshape(-1),
+            self._dot.reshape(-1),
+            self._fingerprint.reshape(-1),
+            addr.ravel(),
+            np.broadcast_to(d[:, np.newaxis], shape).ravel(),
+            np.broadcast_to((x * d)[:, np.newaxis], shape).ravel(),
+            contrib.ravel(),
+        )
 
     def merge(self, other: "L0Sampler") -> "L0Sampler":
         """Level-wise merge of two samplers over disjoint sub-streams.
@@ -143,8 +315,21 @@ class L0Sampler:
                 "cannot merge incompatible l0-samplers; split both from the "
                 "same seeded structure"
             )
-        for mine, theirs in zip(self._recoveries, other._recoveries):
-            mine.merge(theirs)
+        for mine, theirs in zip(self._row_hashes, other._row_hashes):
+            for my_hash, their_hash in zip(mine, theirs):
+                if my_hash.coefficients != their_hash.coefficients:
+                    raise ValueError(
+                        "cannot merge s-sparse recoveries with different row "
+                        "hashes; split both from the same seeded structure"
+                    )
+        if not np.array_equal(self._r, other._r):
+            raise ValueError(
+                "cannot merge 1-sparse cells with different dimensions or "
+                "fingerprint bases; split both from the same seeded structure"
+            )
+        self._weight += other._weight
+        self._dot += other._dot
+        self._fingerprint = _fold61(self._fingerprint + other._fingerprint)
         return self
 
     def sample(self) -> Optional[int]:
@@ -156,7 +341,7 @@ class L0Sampler:
         or the vector is empty.
         """
         for level in range(self.n_levels - 1, -1, -1):
-            decoded = self._recoveries[level].decode()
+            decoded = self._recovery(level).decode()
             if decoded is None:
                 continue
             if decoded:
@@ -166,7 +351,7 @@ class L0Sampler:
     def space_words(self) -> int:
         """Actual words retained: recoveries plus the two hashes."""
         return (
-            sum(recovery.space_words() for recovery in self._recoveries)
+            sum(self._recovery(level).space_words() for level in range(self.n_levels))
             + self._level_hash.space_words()
             + self._tiebreak.space_words()
         )
@@ -207,10 +392,18 @@ class L0SamplerBank:
             self._samplers: List[L0Sampler] = [
                 L0Sampler(dim, delta, rng) for _ in range(count)
             ]
+            # One fused evaluation assigns a chunk's subsampling levels
+            # for every sampler at once (all share one n_levels).
+            self._level_stack: Optional[KWiseHashStack] = (
+                KWiseHashStack([sampler._level_hash for sampler in self._samplers])
+                if self._samplers
+                else None
+            )
             self._support: Optional[ExactSupport] = None
             self._draw_rng: Optional[random.Random] = None
         else:
             self._samplers = []
+            self._level_stack = None
             self._support = ExactSupport(dim)
             self._draw_rng = random.Random(rng.getrandbits(64))
 
@@ -238,7 +431,9 @@ class L0SamplerBank:
         path; exact mode nets per coordinate before fanning out, unless
         the caller already did (``netted=True`` promises ``indices`` are
         unique with per-coordinate net ``deltas`` — Algorithm 3 nets a
-        whole chunk for all its banks in one pass).
+        whole chunk for all its banks in one pass).  The exact fan-out
+        computes every sampler's level assignment with one stacked hash
+        evaluation before each sampler's fused scatter.
         """
         if len(indices) == 0:
             return
@@ -257,8 +452,16 @@ class L0SamplerBank:
             if not live.any():
                 return
             unique, net = unique[live], net[live]
-        for sampler in self._samplers:
-            sampler.update_batch(unique, net)
+        if not self._samplers:
+            return
+        assert self._level_stack is not None
+        values = self._level_stack.batch_rows(unique)
+        levels = np.zeros(values.shape, dtype=np.int64)
+        for level in range(1, self._samplers[0].n_levels):
+            survives = (levels == level - 1) & (values % (1 << level) == 0)
+            levels[survives] = level
+        for sampler, sampler_levels in zip(self._samplers, levels):
+            sampler.update_batch(unique, net, levels=sampler_levels)
 
     def merge(self, other: "L0SamplerBank") -> "L0SamplerBank":
         """Merge two banks over disjoint sub-streams of one vector.
@@ -350,6 +553,11 @@ class L0EdgeBank:
         self._bank = L0SamplerBank(
             n * m, count, delta, random.Random(seed), mode=mode
         )
+
+    def process_item(self, item) -> None:
+        """Apply one signed edge update (the engine's per-item path)."""
+        self._started = True
+        self._bank.update(item.edge.flat_index(self.m), item.sign)
 
     def process_batch(
         self,

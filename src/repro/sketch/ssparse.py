@@ -10,18 +10,179 @@ in one row with probability <= 1/2).
 
 This is the standard building block used by ℓ₀-samplers to recover the
 coordinates surviving level-wise subsampling.
+
+Layout
+------
+The cells live in three flat NumPy accumulator planes of shape
+``(n_rows, n_buckets)`` — ``weight`` (sum of deltas, ``int64``),
+``dot`` (sum of ``index * delta``, ``int64``) and ``fingerprint``
+(sum of ``delta * r^index`` in GF(2^61 - 1), ``uint64``) — plus one
+``uint64`` plane of per-cell fingerprint bases ``r``.  This is the same
+state a grid of :class:`~repro.sketch.onesparse.OneSparseCell` objects
+would hold (and the RNG draw order matches that layout exactly: row
+hashes first, then fingerprint bases row-major), but a whole batch is
+absorbed with one fused :class:`~repro.sketch.hashing.KWiseHashStack`
+evaluation and one scatter-add per plane instead of a Python loop per
+(row, item) pair.
+
+The ``int64`` planes are exact until a cell's running ``|weight|`` or
+``|dot|`` exceeds 2^63 — with graph streams (unit deltas, indices below
+2^40) that takes >2^23 net updates landing in one cell, far beyond any
+supported stream; the fingerprint plane is modular and cannot overflow.
+
+The fingerprint scatter is modular: per-item contributions
+``(delta mod p) * r^index mod p`` are split into 32-bit limbs,
+scatter-added into temporary ``int64`` planes (a chunk of ``< 2^31``
+items cannot overflow them), and the limbs are recombined per cell with
+``2^61 ≡ 1`` folds.  Addition in GF(p) is commutative, so the result is
+bit-identical to applying the items one at a time.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.sketch.hashing import KWiseHash, random_kwise
-from repro.sketch.onesparse import CellState, OneSparseCell
+from repro.sketch.hashing import (
+    PRIME_61,
+    KWiseHash,
+    KWiseHashStack,
+    _fold61,
+    mulmod_p61,
+    powmod_p61,
+    random_kwise,
+)
+from repro.sketch.onesparse import CellState, OneSparseResult
+
+_MASK32 = np.uint64((1 << 32) - 1)
+_SHIFT32 = np.uint64(32)
+_POW32 = np.uint64(1 << 32)  # 2^32 < p, already reduced
+
+_WINDOW_BITS = 8
+_WINDOW_SIZE = 1 << _WINDOW_BITS
+_WINDOW_MASK = np.int64(_WINDOW_SIZE - 1)
+#: Upper bound on cached power-table entries per structure (32 MB of
+#: uint64) — beyond this the fingerprint falls back to the shared
+#: square-and-multiply chain.
+POWER_TABLE_MAX_ENTRIES = 1 << 22
+
+
+def power_table_windows(dim: int) -> int:
+    """Number of 8-bit exponent windows needed to cover ``[0, dim)``."""
+    return max(1, (max(dim - 1, 1).bit_length() + _WINDOW_BITS - 1) // _WINDOW_BITS)
+
+
+def build_power_tables(r: np.ndarray, dim: int) -> np.ndarray:
+    """Per-cell windowed power tables for fingerprint exponentiation.
+
+    Returns a ``(windows, 256) + r.shape`` ``uint64`` array where entry
+    ``[w, v]`` holds ``r ** (v * 256**w) mod p`` element-wise, so any
+    ``r ** index`` with ``index < dim`` is the product of one lookup per
+    window — ``windows - 1`` modular multiplies per element instead of a
+    ``2 * bit_length(index)``-round square-and-multiply chain.  Built
+    with exact GF(p) arithmetic, so lookups are bit-identical to
+    ``pow(int(r), index, PRIME_61)``.
+    """
+    n_windows = power_table_windows(dim)
+    tables = np.empty((n_windows, _WINDOW_SIZE) + r.shape, dtype=np.uint64)
+    base = np.asarray(r, dtype=np.uint64)
+    for window in range(n_windows):
+        tables[window, 0] = np.uint64(1)
+        for value in range(1, _WINDOW_SIZE):
+            tables[window, value] = mulmod_p61(tables[window, value - 1], base)
+        if window + 1 < n_windows:
+            base = mulmod_p61(tables[window, _WINDOW_SIZE - 1], base)
+    return tables
+
+
+def _decode_cell(
+    weight: int, dot: int, fingerprint: int, r: int, dim: int
+) -> OneSparseResult:
+    """Classify one cell's accumulators (Python-int arithmetic throughout).
+
+    Mirrors :meth:`OneSparseCell.decode` exactly — including Python's
+    floor-division semantics for negative ``weight``.
+    """
+    if weight == 0 and dot == 0 and fingerprint == 0:
+        return OneSparseResult(CellState.ZERO)
+    if weight != 0 and dot % weight == 0:
+        index = dot // weight
+        if 0 <= index < dim:
+            expected = (weight * pow(r, index, PRIME_61)) % PRIME_61
+            if expected == fingerprint:
+                return OneSparseResult(CellState.ONE_SPARSE, index, weight)
+    return OneSparseResult(CellState.COLLISION)
+
+
+_BINCOUNT_CHUNK = 1 << 20  # keeps every float64 limb sum integral (< 2^53)
+
+
+def _bincount_sum_int64(
+    addr: np.ndarray, values: np.ndarray, length: int
+) -> np.ndarray:
+    """Exact per-address ``int64`` sums via two float64 bincounts.
+
+    Splits each value into a non-negative low 32-bit limb and a signed
+    high limb; with at most 2^20 contributions every limb sum stays an
+    integer below 2^53, so the float64 accumulation is exact and the
+    recombined ``int64`` result is bit-identical to sequential addition.
+    """
+    lo = np.bincount(
+        addr, weights=(values & np.int64(0xFFFFFFFF)).astype(np.float64),
+        minlength=length,
+    ).astype(np.int64)
+    hi = np.bincount(
+        addr, weights=(values >> np.int64(32)).astype(np.float64),
+        minlength=length,
+    ).astype(np.int64)
+    return (hi << np.int64(32)) + lo
+
+
+def scatter_cell_updates(
+    weight: np.ndarray,
+    dot: np.ndarray,
+    fingerprint: np.ndarray,
+    addr: np.ndarray,
+    weight_values: np.ndarray,
+    dot_values: np.ndarray,
+    fingerprint_values: np.ndarray,
+) -> None:
+    """Scatter-add per-item contributions into flat accumulator planes.
+
+    ``weight``/``dot``/``fingerprint`` are 1-D views over all target
+    cells; ``addr`` holds a flat cell address per contribution.  Each
+    plane reduces with exact limb-split ``np.bincount`` passes (far
+    faster than ``np.add.at``), processed in chunks small enough that
+    every float64 limb sum stays integral; the fingerprint plane
+    recombines its 32-bit limb sums modulo ``2^61 - 1``.  Addition is
+    commutative and exact in every plane, hence the result is
+    bit-identical to applying the items one at a time.
+    """
+    total = len(addr)
+    length = len(weight)
+    for start in range(0, total, _BINCOUNT_CHUNK):
+        stop = min(start + _BINCOUNT_CHUNK, total)
+        chunk_addr = addr[start:stop]
+        weight += _bincount_sum_int64(chunk_addr, weight_values[start:stop], length)
+        dot += _bincount_sum_int64(chunk_addr, dot_values[start:stop], length)
+        contrib = fingerprint_values[start:stop]
+        lo = np.bincount(
+            chunk_addr,
+            weights=(contrib & _MASK32).astype(np.float64),
+            minlength=length,
+        ).astype(np.uint64)
+        hi = np.bincount(
+            chunk_addr,
+            weights=(contrib >> _SHIFT32).astype(np.float64),
+            minlength=length,
+        ).astype(np.uint64)
+        fingerprint[:] = _fold61(
+            fingerprint
+            + _fold61(mulmod_p61(_fold61(hi), _POW32) + _fold61(lo))
+        )
 
 
 class SSparseRecovery:
@@ -47,37 +208,126 @@ class SSparseRecovery:
         self._hashes: List[KWiseHash] = [
             random_kwise(2, self.n_buckets, rng) for _ in range(self.n_rows)
         ]
-        self._cells: List[List[OneSparseCell]] = [
-            [OneSparseCell(dim, rng) for _ in range(self.n_buckets)]
-            for _ in range(self.n_rows)
-        ]
+        self._stack = KWiseHashStack(self._hashes)
+        # Fingerprint bases drawn row-major — the same order a grid of
+        # OneSparseCell objects would consume the RNG.
+        self._r = np.array(
+            [
+                [rng.randrange(2, PRIME_61) for _ in range(self.n_buckets)]
+                for _ in range(self.n_rows)
+            ],
+            dtype=np.uint64,
+        )
+        self._weight = np.zeros((self.n_rows, self.n_buckets), dtype=np.int64)
+        self._dot = np.zeros((self.n_rows, self.n_buckets), dtype=np.int64)
+        self._fingerprint = np.zeros((self.n_rows, self.n_buckets), dtype=np.uint64)
+        # Lazily-built windowed power tables (pure cache, derived from
+        # _r — not charged to space_words, like a hash stack's stacked
+        # coefficient matrix).
+        self._power_tables: Optional[np.ndarray] = None
+
+    def _ensure_power_tables(self) -> Optional[np.ndarray]:
+        """Build the fingerprint power tables when affordably small."""
+        if self._power_tables is None:
+            entries = (
+                power_table_windows(self.dim)
+                * _WINDOW_SIZE
+                * self.n_rows
+                * self.n_buckets
+            )
+            if entries <= POWER_TABLE_MAX_ENTRIES:
+                self._power_tables = build_power_tables(self._r, self.dim)
+        return self._power_tables
 
     def update(self, index: int, delta: int) -> None:
         """Apply ``vector[index] += delta``."""
         if not 0 <= index < self.dim:
             raise ValueError(f"index {index} out of range [0, {self.dim})")
-        for hash_function, row in zip(self._hashes, self._cells):
-            row[hash_function(index)].update(index, delta)
+        for row, hash_function in enumerate(self._hashes):
+            bucket = hash_function(index)
+            self._weight[row, bucket] += delta
+            self._dot[row, bucket] += index * delta
+            self._fingerprint[row, bucket] = (
+                int(self._fingerprint[row, bucket])
+                + delta * pow(int(self._r[row, bucket]), index, PRIME_61)
+            ) % PRIME_61
+
+    def batch_contributions(
+        self,
+        indices: np.ndarray,
+        deltas: np.ndarray,
+        power_tables: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-item cell contributions for a chunk, ready to scatter.
+
+        Returns ``(addr, weight_values, dot_values, fingerprint_values)``
+        — flat arrays of length ``n_rows * len(indices)`` where ``addr``
+        is the flat cell address (``row * n_buckets + bucket``).  Callers
+        stacking several recoveries offset ``addr`` and concatenate
+        before one :func:`scatter_cell_updates` pass (and may pass their
+        own ``power_tables`` slice when they cache the tables stacked,
+        or ``False`` to force the square-and-multiply chain — transient
+        views must not rebuild tables per chunk).
+        """
+        buckets = self._stack.batch_rows(indices)
+        rows = np.arange(self.n_rows, dtype=np.int64)[:, np.newaxis]
+        addr = (rows * self.n_buckets + buckets).ravel()
+        if power_tables is None:
+            power_tables = self._ensure_power_tables()
+        elif power_tables is False:
+            power_tables = None
+        if power_tables is not None:
+            powers = power_tables[
+                0, (indices & _WINDOW_MASK)[np.newaxis, :], rows, buckets
+            ]
+            for window in range(1, power_tables.shape[0]):
+                window_values = (indices >> np.int64(window * _WINDOW_BITS)) & (
+                    _WINDOW_MASK
+                )
+                powers = mulmod_p61(
+                    powers,
+                    power_tables[window, window_values[np.newaxis, :], rows, buckets],
+                )
+        else:
+            r_selected = self._r[rows, buckets]
+            powers = powmod_p61(
+                r_selected, indices.astype(np.uint64)[np.newaxis, :]
+            )
+        contrib = mulmod_p61(
+            powers,
+            np.remainder(deltas, PRIME_61).astype(np.uint64)[np.newaxis, :],
+        )
+        shape = (self.n_rows, len(indices))
+        weight_values = np.broadcast_to(deltas, shape).ravel()
+        dot_values = np.broadcast_to(indices * deltas, shape).ravel()
+        return addr, weight_values, dot_values, contrib.ravel()
 
     def update_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
         """Apply a batch of signed updates.
 
-        Bucket positions for all items are computed with one vectorized
-        hash evaluation per row — the dominant cost of the scalar path —
-        before the (linear) 1-sparse cells absorb their updates.  Final
-        state matches item-by-item updates exactly.
+        One fused hash evaluation over all rows, one modular-exponent
+        pass for the fingerprints and one scatter-add per accumulator
+        plane.  Final state matches item-by-item updates exactly.
         """
         if len(indices) == 0:
             return
         if int(indices.min()) < 0 or int(indices.max()) >= self.dim:
             bad = indices[(indices < 0) | (indices >= self.dim)][0]
             raise ValueError(f"index {int(bad)} out of range [0, {self.dim})")
-        index_list = indices.tolist()
-        delta_list = deltas.tolist()
-        for hash_function, row in zip(self._hashes, self._cells):
-            buckets = hash_function.batch(indices).tolist()
-            for bucket, index, delta in zip(buckets, index_list, delta_list):
-                row[bucket].update(index, delta)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+        addr, weight_values, dot_values, contrib = self.batch_contributions(
+            indices, deltas
+        )
+        scatter_cell_updates(
+            self._weight.reshape(-1),
+            self._dot.reshape(-1),
+            self._fingerprint.reshape(-1),
+            addr,
+            weight_values,
+            dot_values,
+            contrib,
+        )
 
     def merge(self, other: "SSparseRecovery") -> "SSparseRecovery":
         """Cell-wise sum of two recoveries over disjoint sub-streams.
@@ -100,10 +350,25 @@ class SSparseRecovery:
                     "cannot merge s-sparse recoveries with different row "
                     "hashes; split both from the same seeded structure"
                 )
-        for my_row, their_row in zip(self._cells, other._cells):
-            for my_cell, their_cell in zip(my_row, their_row):
-                my_cell.merge(their_cell)
+        if not np.array_equal(self._r, other._r):
+            raise ValueError(
+                "cannot merge 1-sparse cells with different dimensions or "
+                "fingerprint bases; split both from the same seeded structure"
+            )
+        self._weight += other._weight
+        self._dot += other._dot
+        self._fingerprint = _fold61(self._fingerprint + other._fingerprint)
         return self
+
+    def _nonzero_cells(
+        self,
+        weight: np.ndarray,
+        dot: np.ndarray,
+        fingerprint: np.ndarray,
+    ) -> np.ndarray:
+        """Row-major flat addresses of cells with any non-zero accumulator."""
+        mask = (weight != 0) | (dot != 0) | (fingerprint != 0)
+        return np.flatnonzero(mask.reshape(-1))
 
     def decode(self) -> Optional[Dict[int, int]]:
         """Recover the support, or None when the vector looks >s-sparse.
@@ -115,13 +380,22 @@ class SSparseRecovery:
         """
         recovered: Dict[int, int] = {}
         saw_collision = False
-        for row in self._cells:
-            for cell in row:
-                result = cell.decode()
-                if result.state is CellState.ONE_SPARSE:
-                    recovered[result.index] = result.value
-                elif result.state is CellState.COLLISION:
-                    saw_collision = True
+        weight = self._weight.reshape(-1)
+        dot = self._dot.reshape(-1)
+        fingerprint = self._fingerprint.reshape(-1)
+        r = self._r.reshape(-1)
+        for cell in self._nonzero_cells(self._weight, self._dot, self._fingerprint):
+            result = _decode_cell(
+                int(weight[cell]),
+                int(dot[cell]),
+                int(fingerprint[cell]),
+                int(r[cell]),
+                self.dim,
+            )
+            if result.state is CellState.ONE_SPARSE:
+                recovered[result.index] = result.value
+            elif result.state is CellState.COLLISION:
+                saw_collision = True
         if not saw_collision:
             return recovered
         # Collisions may be resolvable: peel recovered coordinates and
@@ -136,48 +410,54 @@ class SSparseRecovery:
         into 1-sparse cells.  Operates on copies; the structure itself is
         not mutated.
         """
-        shadow: List[List[OneSparseCell]] = []
-        rng = random.Random(0)
-        for row_index, row in enumerate(self._cells):
-            shadow_row = []
-            for cell in row:
-                clone = OneSparseCell(self.dim, rng)
-                clone._r = cell._r
-                clone._weight = cell._weight
-                clone._dot = cell._dot
-                clone._fingerprint = cell._fingerprint
-                shadow_row.append(clone)
-            shadow.append(shadow_row)
+        weight = self._weight.copy().reshape(-1)
+        dot = self._dot.copy().reshape(-1)
+        fingerprint = self._fingerprint.copy().reshape(-1)
+        r = self._r.reshape(-1)
+
+        def rescan():
+            for cell in self._nonzero_cells(
+                weight.reshape(self._weight.shape),
+                dot.reshape(self._dot.shape),
+                fingerprint.reshape(self._fingerprint.shape),
+            ):
+                yield _decode_cell(
+                    int(weight[cell]),
+                    int(dot[cell]),
+                    int(fingerprint[cell]),
+                    int(r[cell]),
+                    self.dim,
+                )
 
         recovered = dict(seed)
         frontier = list(seed.items())
         while frontier:
             index, value = frontier.pop()
-            for hash_function, row in zip(self._hashes, shadow):
-                cell = row[hash_function(index)]
-                cell.update(index, -value)
-            for row in shadow:
-                for cell in row:
-                    result = cell.decode()
-                    if (
-                        result.state is CellState.ONE_SPARSE
-                        and result.index not in recovered
-                    ):
-                        recovered[result.index] = result.value
-                        frontier.append((result.index, result.value))
-        for row in shadow:
-            for cell in row:
-                result = cell.decode()
-                if result.state is CellState.COLLISION:
-                    return None
-                if result.state is CellState.ONE_SPARSE and result.index not in recovered:
+            for row, hash_function in enumerate(self._hashes):
+                cell = row * self.n_buckets + hash_function(index)
+                weight[cell] -= value
+                dot[cell] -= index * value
+                fingerprint[cell] = (
+                    int(fingerprint[cell])
+                    - value * pow(int(r[cell]), index, PRIME_61)
+                ) % PRIME_61
+            for result in rescan():
+                if (
+                    result.state is CellState.ONE_SPARSE
+                    and result.index not in recovered
+                ):
                     recovered[result.index] = result.value
+                    frontier.append((result.index, result.value))
+        for result in rescan():
+            if result.state is CellState.COLLISION:
+                return None
+            if result.state is CellState.ONE_SPARSE and result.index not in recovered:
+                recovered[result.index] = result.value
         return recovered
 
     def space_words(self) -> int:
-        """Cells plus one hash function per row."""
-        cell_words = sum(
-            cell.space_words() for row in self._cells for cell in row
-        )
+        """Cells (4 words each: three accumulators plus the fingerprint
+        base) plus one hash function per row."""
+        cell_words = 4 * self.n_rows * self.n_buckets
         hash_words = sum(h.space_words() for h in self._hashes)
         return cell_words + hash_words

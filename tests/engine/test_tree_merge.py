@@ -1,0 +1,220 @@
+"""Tree-reduction merge: schedule, order contract, distributed path.
+
+The contract under test (see :mod:`repro.engine.merge`): shard
+summaries combine along a binomial reduction tree whose shape is a
+fixed function of the worker count, the receiver is always the lower
+shard index, and for associative merges the result is bit-identical to
+the sequential left-fold — which makes the worker-side distributed
+merge of the plain file pool indistinguishable from the serial
+backend for every linear/exact structure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CountMinSketch, CountSketch, FullStorage
+from repro.core.insertion_only import InsertionOnlyFEwW
+from repro.engine import FanoutRunner, ShardedRunner
+from repro.engine.merge import tree_reduce, tree_rounds
+from repro.engine.sharded import ShardedWorkerError, fork_available
+from repro.streams.columnar import ColumnarEdgeStream
+from repro.streams.persist import dump_stream
+
+CHUNK = 173
+
+
+# ----------------------------------------------------------------------
+# The schedule.
+# ----------------------------------------------------------------------
+
+
+class TestTreeRounds:
+    @pytest.mark.parametrize("n", range(1, 18))
+    def test_every_shard_sends_exactly_once_except_zero(self, n):
+        senders = [s for pairs in tree_rounds(n) for _, s in pairs]
+        assert sorted(senders) == list(range(1, n))
+
+    @pytest.mark.parametrize("n", range(1, 18))
+    def test_receiver_is_always_the_lower_index(self, n):
+        for pairs in tree_rounds(n):
+            for receiver, sender in pairs:
+                assert receiver < sender
+
+    @pytest.mark.parametrize("n", range(2, 18))
+    def test_log_depth(self, n):
+        assert len(tree_rounds(n)) == (n - 1).bit_length()
+
+    def test_receives_precede_the_send(self):
+        # A worker's send round is the lowest set bit of its index;
+        # it must only receive in strictly earlier rounds, or the
+        # distributed pipeline would deadlock.
+        n = 13
+        for k, pairs in enumerate(tree_rounds(n)):
+            for receiver, sender in pairs:
+                assert sender % (2 ** (k + 1)) == 2**k
+                assert receiver % (2 ** (k + 1)) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_rounds(0)
+
+
+# ----------------------------------------------------------------------
+# The in-process reduction.
+# ----------------------------------------------------------------------
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("n", range(1, 18))
+    def test_matches_left_fold_for_associative_merge(self, n):
+        # Tuple concatenation is associative but not commutative, so
+        # this checks both the result and the left-to-right order.
+        items = [(i,) for i in range(n)]
+        assert tree_reduce(items, lambda x, y: x + y) == tuple(range(n))
+
+    def test_pairing_shape(self):
+        # Non-associative merge exposes the exact tree: for five
+        # shards, ((0+1)+(2+3))+4.
+        shape = tree_reduce(list(range(5)), lambda x, y: (x, y))
+        assert shape == (((0, 1), (2, 3)), 4)
+
+    def test_single_item_returned_unmerged(self):
+        marker = object()
+        assert tree_reduce([marker], lambda x, y: None) is marker
+
+    def test_receiver_is_left_operand(self):
+        calls = []
+
+        def merge(x, y):
+            calls.append((x, y))
+            return x
+
+        tree_reduce([0, 1, 2, 3], merge)
+        assert calls == [(0, 1), (2, 3), (0, 2)]
+
+
+# ----------------------------------------------------------------------
+# The distributed worker-side tree (plain file pool).
+# ----------------------------------------------------------------------
+
+
+def _stream():
+    rng = np.random.default_rng(19)
+    a = rng.integers(0, 64, size=2400)
+    b = rng.integers(0, 4000, size=2400)
+    # Insertion-only streams must not re-insert a live edge; keep the
+    # first occurrence of every (a, b) pair.
+    _, first = np.unique(a * 4000 + b, return_index=True)
+    first.sort()
+    return ColumnarEdgeStream(a[first], b[first], n=64, m=4000)
+
+
+def _factory():
+    return {
+        "cm": CountMinSketch(0.05, 0.05, seed=5),
+        "cs": CountSketch(256, 5, seed=9),
+        "alg2": InsertionOnlyFEwW(64, 80, 2, seed=13),
+        "full": FullStorage(64, 4000),
+    }
+
+
+class _PoisonSketch(CountMinSketch):
+    """Raises midway through its shard: exercises tree-path fail-fast."""
+
+    def process_batch(self, a, b, sign=None):
+        if np.any(np.asarray(a) == 63):
+            raise ValueError("poison vertex observed")
+        super().process_batch(a, b, sign)
+
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def stream_file(tmp_path_factory):
+    stream = _stream()
+    path = tmp_path_factory.mktemp("tree") / "stream.npz"
+    dump_stream(stream, path, format="v2")
+    return stream, str(path)
+
+
+@needs_fork
+class TestDistributedTree:
+    @pytest.mark.parametrize("workers", (2, 3, 4, 5))
+    def test_matches_single_core_bit_identically(self, stream_file, workers):
+        stream, path = stream_file
+        single = FanoutRunner(_factory(), chunk_size=CHUNK)
+        single.run(stream)
+        runner = ShardedRunner(
+            _factory(), n_workers=workers, chunk_size=CHUNK
+        )
+        runner.run(path)
+        assert np.array_equal(single["cm"]._table, runner["cm"]._table)
+        assert np.array_equal(single["cs"]._table, runner["cs"]._table)
+        assert single["full"]._neighbours == runner["full"]._neighbours
+
+    @pytest.mark.parametrize("workers", (2, 3, 4, 5))
+    def test_matches_serial_backend(self, stream_file, workers):
+        _, path = stream_file
+        serial = ShardedRunner(
+            _factory(), n_workers=workers, chunk_size=CHUNK, backend="serial"
+        )
+        serial.run(path)
+        process = ShardedRunner(
+            _factory(), n_workers=workers, chunk_size=CHUNK
+        )
+        process.run(path)
+        assert np.array_equal(serial["cm"]._table, process["cm"]._table)
+        assert np.array_equal(serial["cs"]._table, process["cs"]._table)
+        for left, right in zip(
+            serial["alg2"].runs, process["alg2"].runs
+        ):
+            assert left._candidates_seen == right._candidates_seen
+            assert dict(left._reservoir) == dict(right._reservoir)
+
+    def test_tree_path_is_taken_when_plain(self, stream_file, monkeypatch):
+        _, path = stream_file
+        taken = []
+        original = ShardedRunner._run_file_tree
+
+        def spy(self, *args, **kwargs):
+            taken.append(True)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(ShardedRunner, "_run_file_tree", spy)
+        runner = ShardedRunner(_factory(), n_workers=2, chunk_size=CHUNK)
+        runner.run(path)
+        assert taken
+
+    def test_tree_path_skipped_under_retry_policy(
+        self, stream_file, monkeypatch
+    ):
+        _, path = stream_file
+
+        def explode(self, *args, **kwargs):  # pragma: no cover
+            raise AssertionError("tree path taken on a retrying runner")
+
+        monkeypatch.setattr(ShardedRunner, "_run_file_tree", explode)
+        runner = ShardedRunner(
+            _factory(), n_workers=2, chunk_size=CHUNK, on_failure="retry"
+        )
+        single = FanoutRunner(_factory(), chunk_size=CHUNK)
+        single.run(stream_file[0])
+        runner.run(path)
+        assert np.array_equal(single["cm"]._table, runner["cm"]._table)
+
+    def test_worker_error_fails_fast_with_root_cause(self, stream_file):
+        _, path = stream_file
+        runner = ShardedRunner(
+            {"poison": _PoisonSketch(0.05, 0.05, seed=5)},
+            n_workers=4,
+            chunk_size=CHUNK,
+        )
+        with pytest.raises(ShardedWorkerError) as excinfo:
+            runner.run(path)
+        # The reported cause must be the worker's actual exception,
+        # not the EOF cascade its tree partners see when it dies.
+        assert excinfo.value.cause_type == "ValueError"
+        assert "poison vertex observed" in str(excinfo.value)
