@@ -16,7 +16,6 @@ tests/integration/test_batch_equivalence.py).
 """
 
 import itertools
-import os
 import tempfile
 import time
 from pathlib import Path
@@ -74,8 +73,33 @@ FLOOR_UPDATES_PER_S = {
     "Algorithm 2 (FEwW)": 250_000,
     "Algorithm 3 (FEwW, fast bank)": 180_000,
     "StarDetection (end-to-end)": 140_000,
-    "Algorithm 3 (FEwW, exact bank)": 600,
+    # Deferred bank ingest: the batch pass buffers and nets update
+    # columns (consolidation is forced — and asserted live — by the
+    # sample_all() read after the timed region), so the in-band rate is
+    # memory-bandwidth-bound.  A floor this high is only passable by
+    # the deferred path: the old eager per-sampler fan-out peaked in
+    # the tens of k-upd/s.
+    "Algorithm 3 (FEwW, exact bank)": 2_000_000,
 }
+
+#: Windowed-pipeline floors (updates/s by policy), enforced by
+#: scripts/bench_quick.py in every mode including ``--smoke``.
+#: Calibrated against the *smoke* workload (4000 updates, span 500 —
+#: a bucket closes every 125 updates, so per-bucket overhead dominates
+#: and rates sit far below the full-size run), with ~5x slack for
+#: CI-class hosts: tripping one means the window wrapper's bucket path
+#: regressed structurally, not that the host was slow.
+WINDOW_FLOOR_UPDATES_PER_S = {
+    "tumbling": 400_000,
+    "sliding": 150_000,
+}
+
+#: Mid-stream probe floor (cached ``query()`` calls per second on the
+#: sliding wrapper, see :func:`measure_probe_rates`).  The suffix-merge
+#: cache makes repeat probes a clone + one merge instead of a
+#: O(retained) re-fold; a rate below this floor means the cache stopped
+#: serving (every probe re-merging every retained bucket).
+FLOOR_PROBES_PER_S = 50
 
 #: Exact-mode ℓ₀ sampler-bank workload: Algorithm 3's rigorous-mode
 #: edge bank (stacked s-sparse recovery kernels) over a dedup'd random
@@ -118,11 +142,15 @@ WINDOW_RATIO = 0.25
 
 
 def effective_cores() -> int:
-    """CPUs this process may actually use (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
+    """CPUs this process may actually use (affinity-aware).
+
+    Delegates to the engine's single source of truth
+    (:func:`repro.engine.effective_cores`) so benchmark artifacts and
+    pipeline run reports can never disagree about the host.
+    """
+    from repro.engine import effective_cores as engine_effective_cores
+
+    return engine_effective_cores()
 
 
 def sharded_gate_applies() -> bool:
@@ -155,10 +183,20 @@ def contenders(records: int = RECORDS):
     ]
 
 
-def measure_rates(stream, columnar, repeats: int = 3):
-    """Best-of-N per-item and engine (batch) rates for every contender."""
+def measure_rates(stream, columnar, repeats: int = 3, only=None):
+    """Best-of-N per-item and engine (batch) rates for every contender.
+
+    ``only`` optionally restricts the pass: a contender runs when any
+    of the given case-insensitive substrings matches its name (``None``
+    runs everything) — what ``scripts/bench_quick.py --only`` uses to
+    re-measure one structure without paying for the rest.
+    """
     item_rates, batch_rates = {}, {}
     for name, factory in contenders(stream.m):
+        if only and not any(
+            pattern.lower() in name.lower() for pattern in only
+        ):
+            continue
         best_item = best_batch = float("inf")
         for _ in range(repeats):
             algorithm = factory()
@@ -257,9 +295,15 @@ def measure_exact_bank_rates(
     The per-item loop pays the full per-level recovery bookkeeping per
     update, so it is timed over a short prefix; the batch path pushes
     the whole stream through the engine.  Both rates are per update.
-    The batch bank must end the pass with at least one live sampler
-    (asserted), so a kernel regression cannot hide behind a fast but
-    broken pass.
+
+    Batch ingest is *deferred*: the bank buffers and cross-chunk-nets
+    update columns during ``process``, and the fused bank-wide kernel
+    consolidates on the first read.  The timed region is therefore the
+    stream's in-band cost (what a pipeline sees between chunks) —
+    consolidation is forced by the ``sample_all()`` immediately after
+    it, which must find a live sampler (asserted), so a kernel
+    regression can neither hide behind the buffering nor behind a fast
+    but broken pass.
     """
     best_item = best_batch = float("inf")
     item_count = min(item_updates, len(columnar))
@@ -324,6 +368,44 @@ def measure_window_rates(columnar, span: int = WINDOW_SPAN, repeats: int = 1):
             )
         rates[name] = len(columnar) / best
     return rates
+
+
+def measure_probe_rates(
+    columnar, span: int = WINDOW_SPAN, probe_every: int = CHUNK
+) -> float:
+    """Mid-stream probe latency: cached sliding ``query()`` calls/s.
+
+    Drives Algorithm 2 under the sliding policy chunk by chunk —
+    exactly the Pipeline's ``probe_every`` hook — and times only the
+    ``query()`` calls at each probe point (two per point: the second
+    is the pure cache-hit a monitoring dashboard polling an idle
+    stream would see).  With the suffix-merge cache a probe is one
+    clone plus one merge of the in-progress bucket; without it every
+    probe re-folds all retained buckets.
+    """
+    wrapper = WindowedProcessor(
+        Alg2WindowFactory(N, D, ALPHA),
+        SlidingPolicy(span, bucket_ratio=WINDOW_RATIO),
+        seed=3,
+    )
+    position, next_probe = 0, probe_every
+    probes, spent = 0, 0.0
+    # Probes quantize to chunk ends, so cap the chunk at the probe
+    # interval — otherwise a coarse chunking would skip probe points.
+    for a, b, sign in columnar.chunks(min(CHUNK, probe_every)):
+        wrapper.process_batch(a, b, sign)
+        position += len(a)
+        if position >= next_probe:
+            start = time.perf_counter()
+            answer = wrapper.query()
+            answer = wrapper.query()
+            spent += time.perf_counter() - start
+            probes += 2
+            assert answer is not None, "mid-stream probe produced no answer"
+            while next_probe <= position:
+                next_probe += probe_every
+    assert probes > 0, "stream too short for a single probe"
+    return probes / spent if spent > 0 else float("inf")
 
 
 def make_sharded_file(

@@ -46,15 +46,23 @@ sharded pass drops below 1.5x single-core.  Independently of those
 ``--smoke`` (the ci.yml gate), disable with ``--no-floors``.
 
 Run:  PYTHONPATH=src python scripts/bench_quick.py [--records N]
+          [--only STRUCTURE ...]
           [--star-updates N | --skip-star] [--skip-exact-bank]
           [--sharded-updates N | --skip-sharded]
           [--skip-windowed] [--smoke] [--profile] [--out PATH]
 
 ``--smoke`` shrinks every workload and disables the speedup gates — the
 CI-sized sanity pass that still exercises all three pipelines.
+``--only <structure>`` (repeatable) runs only the passes whose name
+contains the given case-insensitive substring — the iteration loop when
+tuning one structure: ``--only "exact bank"`` re-measures just the ℓ₀
+bank, ``--only sliding --only probes`` just the windowed + probe
+passes.  Floors and speedup gates apply only to what actually ran.
 ``--profile`` runs the single-core measurement passes (Zipf contenders,
-star detection, exact bank) under cProfile and prints the top 20
-functions by cumulative time — the first stop when a floor trips.
+star detection, exact bank) under cProfile, prints the top 20
+functions by cumulative time, and writes the full report next to the
+artifact (``--profile-out``; ci.yml uploads it from the smoke job) —
+the first stop when a floor trips.
 """
 
 from __future__ import annotations
@@ -74,6 +82,7 @@ from bench_throughput import (  # noqa: E402 (needs the path tweak above)
     ALPHA,
     CHUNK,
     D,
+    FLOOR_PROBES_PER_S,
     FLOOR_UPDATES_PER_S,
     N,
     REQUIRED_ON,
@@ -97,10 +106,12 @@ from bench_throughput import (  # noqa: E402 (needs the path tweak above)
     make_sharded_file,
     make_star_cover,
     make_stream,
+    measure_probe_rates,
     measure_rates,
     measure_sharded_rates,
     measure_star_rates,
     measure_window_rates,
+    WINDOW_FLOOR_UPDATES_PER_S,
     WINDOW_RATIO,
     WINDOW_SPAN,
 )
@@ -209,6 +220,13 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--records", type=int, default=30000)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--only", action="append", metavar="STRUCTURE",
+        help="run only passes whose name contains this case-insensitive "
+             "substring (repeatable).  Matches the Zipf contender names "
+             "(e.g. 'CountMin', 'Algorithm 2') and the pass names "
+             "'star', 'exact bank', 'windowed', 'probes', 'pipeline', "
+             "'sharded'.  Floors/gates apply only to what ran.")
     parser.add_argument("--star-updates", type=int, default=1_000_000)
     parser.add_argument("--skip-star", action="store_true",
                         help="skip the end-to-end star detection pass")
@@ -218,6 +236,11 @@ def main() -> int:
                         help="run the single-core measurement passes "
                              "under cProfile and print the top 20 "
                              "functions by cumulative time")
+    parser.add_argument(
+        "--profile-out", type=Path, default=None,
+        help="where to write the full cProfile report when --profile "
+             "is on (default: BENCH_profile.txt next to --out; ci.yml "
+             "uploads it as an artifact from the smoke job)")
     parser.add_argument("--sharded-updates", type=int, default=1_000_000)
     parser.add_argument("--skip-sharded", action="store_true",
                         help="skip the multi-core sharded pass")
@@ -239,6 +262,16 @@ def main() -> int:
         args.star_updates = min(args.star_updates, 50_000)
         args.sharded_updates = min(args.sharded_updates, 50_000)
         args.repeats = 1
+
+    def wants(*names: str) -> bool:
+        """True when the pass survives the ``--only`` filter."""
+        if not args.only:
+            return True
+        return any(
+            pattern.lower() in name.lower()
+            for pattern in args.only
+            for name in names
+        )
 
     cores = effective_cores()
     host = {
@@ -273,7 +306,7 @@ def main() -> int:
     stream = make_stream(args.records)
     columnar = ColumnarEdgeStream.from_edge_stream(stream)
     item_rates, batch_rates = profiled(
-        measure_rates, stream, columnar, args.repeats
+        measure_rates, stream, columnar, args.repeats, only=args.only
     )
     results = {
         name: {
@@ -305,7 +338,10 @@ def main() -> int:
         "results": results,
     }
 
-    if not args.skip_star:
+    run_star = not args.skip_star and wants(
+        "star", "StarDetection (end-to-end)"
+    )
+    if run_star:
         cover = make_star_cover(n_updates=args.star_updates)
         star_item, star_batch = profiled(measure_star_rates, cover)
         star_row = {
@@ -326,7 +362,10 @@ def main() -> int:
         }
         results["StarDetection (end-to-end)"] = dict(star_row)
 
-    if not args.skip_exact_bank:
+    run_exact_bank = not args.skip_exact_bank and wants(
+        "exact bank", "exact-bank", "Algorithm 3 (FEwW, exact bank)"
+    )
+    if run_exact_bank:
         bank_columnar = make_exact_bank_stream(args.records)
         bank_item, bank_batch = profiled(
             measure_exact_bank_rates, bank_columnar
@@ -350,7 +389,7 @@ def main() -> int:
         results["Algorithm 3 (FEwW, exact bank)"] = dict(bank_row)
 
     window_rates = None
-    if not args.skip_windowed:
+    if not args.skip_windowed and wants("windowed", "tumbling", "sliding"):
         # Smoke runs shrink the stream, so shrink the window with it to
         # keep several buckets in play.
         span = min(WINDOW_SPAN, max(64, args.records // 8))
@@ -372,15 +411,38 @@ def main() -> int:
             ],
         }
 
+    # Probe-latency pass: cached sliding query() calls per second at
+    # chunk-quantized probe points (the Pipeline probe_every hook).
+    probe_rate = None
+    if not args.skip_windowed and wants("probes", "probe latency"):
+        probe_span = min(WINDOW_SPAN, max(64, args.records // 8))
+        probe_every = max(256, min(CHUNK, args.records // 8))
+        probe_rate = measure_probe_rates(
+            columnar, span=probe_span, probe_every=probe_every
+        )
+        artifact["probes"] = {
+            "config": {
+                "n": N,
+                "records": args.records,
+                "window": probe_span,
+                "bucket_ratio": WINDOW_RATIO,
+                "probe_every": probe_every,
+            },
+            "host": host,
+            "probes_per_s": probe_rate,
+        }
+
     # Spec-driven pass: the same workload family through a JSON job
     # spec (Pipeline.from_dict), so the artifact records that the
     # declarative front door sustains engine rates.
-    pipeline_span = min(WINDOW_SPAN, max(64, args.records // 8))
-    pipeline_row = measure_pipeline(args.records, pipeline_span)
-    artifact["pipeline"] = {"host": host, **pipeline_row}
+    pipeline_row = None
+    if wants("pipeline", "spec"):
+        pipeline_span = min(WINDOW_SPAN, max(64, args.records // 8))
+        pipeline_row = measure_pipeline(args.records, pipeline_span)
+        artifact["pipeline"] = {"host": host, **pipeline_row}
 
     sharded_rates = None
-    if not args.skip_sharded:
+    if not args.skip_sharded and wants("sharded"):
         with tempfile.TemporaryDirectory() as tmp:
             path = make_sharded_file(
                 Path(tmp) / "sharded.npz", n_updates=args.sharded_updates
@@ -454,9 +516,14 @@ def main() -> int:
               f"{artifact['windowed']['config']['window']}):")
         for name, rate in window_rates.items():
             print(f"  {name:10s} {rate / 1e3:10.1f} k-upd/s")
-    print(f"\nspec-driven pipeline (sliding window over "
-          f"{pipeline_row['updates']} zipf updates): "
-          f"{pipeline_row['updates_per_s'] / 1e3:10.1f} k-upd/s")
+    if probe_rate is not None:
+        print(f"\nprobe latency (cached sliding query() at "
+              f"{artifact['probes']['config']['probe_every']}-update "
+              f"probe points): {probe_rate:10.1f} probes/s")
+    if pipeline_row is not None:
+        print(f"\nspec-driven pipeline (sliding window over "
+              f"{pipeline_row['updates']} zipf updates): "
+              f"{pipeline_row['updates_per_s'] / 1e3:10.1f} k-upd/s")
     if sharded_rates is not None:
         print(f"\nsharded Algorithm 2 ({args.sharded_updates} updates, "
               f"mmap v2 file, {cores} effective core(s)):")
@@ -473,6 +540,14 @@ def main() -> int:
               "(zipf contenders + star + exact-bank passes)")
         pstats.Stats(profiler, stream=sys.stdout) \
             .sort_stats("cumulative").print_stats(20)
+        # Full report to disk so CI can keep it as an artifact (the
+        # smoke job uploads it) — the terminal shows the top 20, the
+        # file keeps everything a regression hunt needs.
+        profile_out = args.profile_out or out.with_name("BENCH_profile.txt")
+        with open(profile_out, "w") as handle:
+            pstats.Stats(profiler, stream=handle) \
+                .sort_stats("cumulative").print_stats()
+        print(f"full profile written to {profile_out}")
 
     # Absolute floors apply in every mode, smoke included — ci.yml's
     # smoke step is what gates them on every push.
@@ -484,6 +559,18 @@ def main() -> int:
             if name in results
             and results[name]["batch_updates_per_s"] < floor
         ]
+        if window_rates is not None:
+            below.extend(
+                f"windowed/{policy} ({window_rates[policy] / 1e3:.0f} "
+                f"< {floor / 1e3:.0f} k-upd/s)"
+                for policy, floor in WINDOW_FLOOR_UPDATES_PER_S.items()
+                if policy in window_rates and window_rates[policy] < floor
+            )
+        if probe_rate is not None and probe_rate < FLOOR_PROBES_PER_S:
+            below.append(
+                f"probe latency ({probe_rate:.0f} < "
+                f"{FLOOR_PROBES_PER_S} probes/s)"
+            )
         if below:
             print(
                 "FAIL: batch throughput below the absolute floor for: "
@@ -500,15 +587,16 @@ def main() -> int:
     failed = [
         name
         for name in REQUIRED_ON
-        if results[name]["batch_speedup"] < REQUIRED_SPEEDUP
+        if name in results
+        and results[name]["batch_speedup"] < REQUIRED_SPEEDUP
     ]
-    if not args.skip_star:
+    if run_star:
         star_speedup = results["StarDetection (end-to-end)"]["batch_speedup"]
         if star_speedup < REQUIRED_STAR_SPEEDUP:
             failed.append(
                 f"StarDetection (end-to-end, {REQUIRED_STAR_SPEEDUP}x bar)"
             )
-    if not args.skip_exact_bank:
+    if run_exact_bank:
         bank_speedup = results["Algorithm 3 (FEwW, exact bank)"][
             "batch_speedup"
         ]

@@ -710,6 +710,9 @@ def command_bench(args: argparse.Namespace) -> int:
         return 2
     history = _bench_history(artifact)[-max(args.last, 1):]
     labels = [_bench_entry_label(entry) for entry in history]
+    dirty_runs = sum(
+        1 for entry in history if (entry.get("git") or {}).get("dirty")
+    )
     structures: List[str] = []
     for entry in history:
         for name in (entry.get("results") or {}):
@@ -717,6 +720,12 @@ def command_bench(args: argparse.Namespace) -> int:
                 structures.append(name)
     print(f"throughput trend over {len(history)} run(s) "
           f"(batch k-upd/s, oldest -> latest):")
+    if dirty_runs:
+        # Dirty-tree rates are not attributable to their commit label —
+        # whatever was uncommitted at bench time is invisible to git.
+        print(f"  note: {dirty_runs} run(s) marked '+' were benched on a "
+              f"dirty working tree (uncommitted changes; rates may not "
+              f"match the labelled commit)")
     width = max((len(name) for name in structures), default=8)
     print(f"  {'structure':{width}s}  " + "  ".join(
         f"{label:>12s}" for label in labels))
@@ -762,6 +771,20 @@ def command_bench(args: argparse.Namespace) -> int:
         print("windowed Algorithm 2 (batch k-upd/s by policy):")
         for policy in sorted(windowed_rows):
             print(f"  {policy:{width}s}  " + "  ".join(windowed_rows[policy]))
+    # Probe-latency trend: cached sliding query() calls per second at
+    # the Pipeline's probe points (the suffix-merge cache's metric).
+    probe_cells = []
+    have_probes = False
+    for entry in history:
+        rate = (entry.get("probes") or {}).get("probes_per_s")
+        if rate is None:
+            probe_cells.append(f"{'-':>12s}")
+        else:
+            have_probes = True
+            probe_cells.append(f"{rate:12.1f}")
+    if have_probes:
+        print("probe latency (cached sliding query() probes/s):")
+        print(f"  {'probes':{width}s}  " + "  ".join(probe_cells))
     # Sharded scaling trend: only worker counts the host could actually
     # scale to — entries flagged gated: false are timesharing numbers,
     # not scaling results, and are excluded from the trend.

@@ -40,6 +40,51 @@ from repro.streams.edge import INSERT, StreamItem
 from repro.streams.stream import EdgeStream
 
 
+def collect_witnesses(requests, composite, order, b: np.ndarray) -> None:
+    """One fused numpy pass serving many runs' witness collection.
+
+    ``requests`` holds ``(run, active, needs, low_keys, high_keys)``
+    tuples (see :meth:`DegResSampling._witness_requests`); ``composite``
+    is the chunk's ascending group-major/position-minor key
+    ``a[order] * n_items + order`` and ``order`` the stable argsort of
+    ``a``.  The rank of ``low_keys[i]`` in ``composite`` is the absolute
+    index of the vertex's first in-window occurrence and the rank of
+    ``high_keys[i]`` is where its group ends, so two bulk searchsorteds
+    cover window clipping, occurrence counting and absence
+    (``low == high``) for every run at once.  Results are dispatched
+    back per run in request order — bit-identical to each run running
+    the pass alone, since the searches are independent and each run's
+    slice of the gather lists its own in-window occurrences ascending.
+    """
+    all_lows: List[int] = []
+    all_highs: List[int] = []
+    all_needs: List[int] = []
+    for _, active, needs, low_keys, high_keys in requests:
+        all_lows += low_keys
+        all_highs += high_keys
+        all_needs += needs
+    n_active = len(all_needs)
+    packed = np.array(all_lows + all_highs + all_needs, dtype=np.int64)
+    bounds = np.searchsorted(composite, packed[: 2 * n_active])
+    lows = bounds[:n_active]
+    counts = np.minimum(bounds[n_active:] - lows, packed[2 * n_active :])
+    total = int(counts.sum())
+    if total == 0:
+        return
+    # Ragged gather: flat indices of each vertex's first ``counts[i]``
+    # in-window occurrences, concatenated in request order.
+    resets = np.cumsum(counts) - counts
+    offsets = np.repeat(lows - resets, counts) + np.arange(total, dtype=np.int64)
+    collected = b[order[offsets]].tolist()
+    counts_list = counts.tolist()
+    cursor = 0
+    position = 0
+    for run, active, _, _, _ in requests:
+        segment = counts_list[position : position + len(active)]
+        cursor = run._store_witnesses(active, segment, collected, cursor)
+        position += len(active)
+
+
 class DegResSampling:
     """One run of the paper's Algorithm 1.
 
@@ -168,81 +213,135 @@ class DegResSampling:
         n_items = len(a)
         if n_items == 0:
             return
-        # Replay crossings in stream order, tracking residency windows.
-        # window[v] = first position from which v may collect vectorized;
-        # vertices resident before the chunk collect from position 0.
         if crossings is None:
             crossings = np.flatnonzero(degree_after == self.d1)
-        windows: Dict[int, int] = {v: 0 for v in self._resident}
+        windows = self._replay_crossings(a, b, crossings)
+        if not windows:
+            return
+        requests = self._witness_requests(windows, n_items)
+        if not requests[0]:
+            return
+        composite = None
+        if grouping is None:
+            order, _, _ = group_slices(a)
+        elif len(grouping) == 5:
+            order, composite = grouping[0], grouping[4]
+        else:
+            order = grouping[0]
+        if composite is None:
+            composite = a[order] * np.int64(n_items) + order
+        collect_witnesses([(self,) + requests], composite, order, b)
+
+    def _replay_crossings(
+        self, a: np.ndarray, b: np.ndarray, crossings: np.ndarray
+    ) -> Dict[int, int]:
+        """Replay reservoir maintenance for a chunk; return residency windows.
+
+        ``windows[v]`` is the first chunk position from which resident
+        vertex ``v`` may collect witnesses (0 for vertices resident
+        before the chunk; admission position + 1 for vertices admitted
+        inside it — the crossing item itself is stored at admission).
+        """
+        windows: Dict[int, int] = dict.fromkeys(self._resident, 0)
         if len(crossings):
-            # Inlined :meth:`_cross` replay: same branch conditions in
-            # the same order, so the RNG trajectory — and with it the
-            # reservoir state — stays bit-identical to the per-item
-            # path.  Hoisting the numpy indexing (one gather + tolist
-            # instead of per-crossing scalar indexing) and the
+            # Inlined :meth:`_cross` replay: same branch conditions and
+            # the same RNG bit consumption, so the trajectory — and with
+            # it the reservoir state — stays bit-identical to the
+            # per-item path.  Hoisting the numpy indexing (one gather +
+            # tolist instead of per-crossing scalar indexing) and the
             # attribute/method lookups makes the rare-but-hot crossing
             # loop several times cheaper; Star Detection replays this
             # loop for every rung of its guess ladder.
             reservoir, resident = self._reservoir, self._resident
             seen = self._candidates_seen
             s = self.s
-            rng_random = self._rng.random
-            rng_randrange = self._rng.randrange
-            for position, vertex, witness in zip(
-                crossings.tolist(),
-                a[crossings].tolist(),
-                b[crossings].tolist(),
-            ):
-                seen += 1
-                if len(reservoir) < s:
-                    pass
-                elif rng_random() < s / seen:
-                    slot = rng_randrange(len(resident))
-                    evicted = resident[slot]
-                    last = resident.pop()
-                    if slot < len(resident):
-                        resident[slot] = last
-                    del reservoir[evicted]
-                    windows.pop(evicted, None)
-                else:
-                    continue
-                # Admitted: the crossing item itself is the vertex's
-                # first chance to collect (d2 >= 1, fresh list =>
-                # always appends).
-                reservoir[vertex] = [witness]
-                resident.append(vertex)
-                windows[vertex] = position + 1
+            positions = crossings.tolist()
+            cross_vertices = a[crossings].tolist()
+            cross_witnesses = b[crossings].tolist()
+            # Phase 1 — free admissions.  A vertex crosses ``d1`` at
+            # most once ever (degrees are monotone), so the crossing
+            # vertices are distinct and the first ``s - len(reservoir)``
+            # of them admit unconditionally, consuming no randomness.
+            take = 0
+            room = s - len(reservoir)
+            if room > 0:
+                take = min(room, len(positions))
+                for position, vertex, witness in zip(
+                    positions[:take],
+                    cross_vertices[:take],
+                    cross_witnesses[:take],
+                ):
+                    reservoir[vertex] = [witness]
+                    resident.append(vertex)
+                    windows[vertex] = position + 1
+                seen += take
+            # Phase 2 — the reservoir is (and stays) full: one
+            # ``random()`` per candidate, plus — on admission — the
+            # exact ``getrandbits`` draws ``randrange(s)`` would make
+            # (``_randbelow_with_getrandbits``, inlined: the reservoir
+            # and resident list both hold exactly ``s`` entries here).
+            if take < len(positions):
+                rng_random = self._rng.random
+                rng_getrandbits = self._rng.getrandbits
+                slot_bits = s.bit_length()
+                for position, vertex, witness in zip(
+                    positions[take:],
+                    cross_vertices[take:],
+                    cross_witnesses[take:],
+                ):
+                    seen += 1
+                    if rng_random() < s / seen:
+                        while True:
+                            slot = rng_getrandbits(slot_bits)
+                            if slot < s:
+                                break
+                        evicted = resident[slot]
+                        last = resident.pop()
+                        if slot < len(resident):
+                            resident[slot] = last
+                        del reservoir[evicted]
+                        windows.pop(evicted, None)
+                        # Admitted: the crossing item itself is the
+                        # vertex's first chance to collect (d2 >= 1,
+                        # fresh list => always appends).
+                        reservoir[vertex] = [witness]
+                        resident.append(vertex)
+                        windows[vertex] = position + 1
             self._candidates_seen = seen
-        if not windows:
-            return
+        return windows
+
+    def _witness_requests(self, windows: Dict[int, int], n_items: int):
+        """Collection requests for one chunk as flat Python lists.
+
+        Returns ``(active, needs, low_keys, high_keys)``: the resident
+        vertices still short of ``d2`` witnesses, how many each may take,
+        and their composite-key search targets (see
+        :func:`collect_witnesses`).  Building the integer keys here keeps
+        the numpy side to two bulk calls regardless of how many runs
+        share the pass.
+        """
         reservoir, d2 = self._reservoir, self.d2
-        active = [
-            (vertex, window_start)
-            for vertex, window_start in windows.items()
-            if len(reservoir[vertex]) < d2
-        ]
-        if not active:
-            return
-        if grouping is None:
-            order, starts, ends = group_slices(a)
-            group_vertices = a[order[starts]]
-        else:
-            order, starts, ends, group_vertices = grouping
-        groups = np.searchsorted(
-            group_vertices, np.fromiter((v for v, _ in active), dtype=np.int64)
-        )
-        n_groups = len(group_vertices)
-        for (vertex, window_start), group in zip(active, groups.tolist()):
-            if group == n_groups or int(group_vertices[group]) != vertex:
-                continue  # vertex does not occur in this chunk
-            positions = order[starts[group] : ends[group]]  # ascending
-            if window_start > 0:
-                lo = int(np.searchsorted(positions, window_start))
-                if lo:
-                    positions = positions[lo:]
-            if len(positions):
-                witnesses = reservoir[vertex]
-                witnesses.extend(b[positions[: d2 - len(witnesses)]].tolist())
+        active: List[int] = []
+        needs: List[int] = []
+        low_keys: List[int] = []
+        high_keys: List[int] = []
+        for vertex, window_start in windows.items():
+            remaining = d2 - len(reservoir[vertex])
+            if remaining > 0:
+                active.append(vertex)
+                needs.append(remaining)
+                low_keys.append(vertex * n_items + window_start)
+                high_keys.append((vertex + 1) * n_items)
+        return active, needs, low_keys, high_keys
+
+    def _store_witnesses(self, active, counts, collected, cursor: int) -> int:
+        """Append each active vertex's slice of the shared gather."""
+        reservoir = self._reservoir
+        for vertex, count in zip(active, counts):
+            if count:
+                reservoir[vertex].extend(collected[cursor : cursor + count])
+                cursor += count
+        return cursor
 
     def process_item(self, item: StreamItem) -> None:
         """Standalone-mode entry point for a single stream item."""
@@ -288,6 +387,29 @@ class DegResSampling:
     # ------------------------------------------------------------------
     # Mergeable-summary layer.
     # ------------------------------------------------------------------
+
+    def clone(self) -> "DegResSampling":
+        """An independent duplicate of the run's full state.
+
+        Equivalent to ``copy.deepcopy`` — the RNG state is carried over,
+        so clone and original draw identical trajectories — but built
+        with direct container copies instead of the generic graph walk.
+        Window policies clone bucket summaries on every suffix fold and
+        mid-stream probe, so this is query-hot.
+        """
+        dup = object.__new__(DegResSampling)
+        dup.n, dup.d1, dup.d2, dup.s = self.n, self.d1, self.d2, self.s
+        rng = random.Random.__new__(random.Random)
+        rng.setstate(self._rng.getstate())
+        dup._rng = rng
+        dup._degrees = None if self._degrees is None else self._degrees.clone()
+        dup._reservoir = {
+            vertex: list(witnesses)
+            for vertex, witnesses in self._reservoir.items()
+        }
+        dup._resident = list(self._resident)
+        dup._candidates_seen = self._candidates_seen
+        return dup
 
     def merge(self, other: "DegResSampling") -> "DegResSampling":
         """Combine two runs over vertex-disjoint sub-streams.

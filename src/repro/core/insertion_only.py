@@ -24,7 +24,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.deg_res_sampling import DegResSampling
+from repro.core.deg_res_sampling import DegResSampling, collect_witnesses
 from repro.core.neighbourhood import AlgorithmFailed, Neighbourhood
 from repro.sketch.exact import DegreeCounter
 from repro.spacemeter import SpaceBreakdown
@@ -182,7 +182,8 @@ class InsertionOnlyFEwW:
         degree_after = self._degrees.increment_batch(
             a, grouping=(order, starts, ends)
         )
-        run_grouping = (order, starts, ends, a[order[starts]])
+        composite = a[order] * np.int64(len(a)) + order
+        run_grouping = (order, starts, ends, a[order[starts]], composite)
         self.observe_batch(a, b, degree_after, grouping=run_grouping)
 
     def observe_batch(
@@ -198,21 +199,41 @@ class InsertionOnlyFEwW:
 
         Externally-driven counterpart of :meth:`process_batch`: the
         caller owns the shared degree counter and passes the
-        post-increment degree column plus the four-element run grouping
-        ``(order, starts, ends, group_vertices)``.  ``crossings``
-        optionally maps each distinct ``d1`` threshold to the ascending
-        chunk positions where ``degree_after`` equals it, letting Star
-        Detection extract every rung's crossings from one shared scan.
-        ``a``/``b`` must already be contiguous ``int64`` and non-empty.
+        post-increment degree column plus the run grouping
+        ``(order, starts, ends, group_vertices[, composite])``.
+        ``crossings`` optionally maps each distinct ``d1`` threshold to
+        the ascending chunk positions where ``degree_after`` equals it,
+        letting Star Detection extract every rung's crossings from one
+        shared scan.  ``a``/``b`` must already be contiguous ``int64``
+        and non-empty.
+
+        The α runs' witness-collection tails are fused: each run replays
+        its own (rare) crossings in Python, then a single
+        :func:`~repro.core.deg_res_sampling.collect_witnesses` pass
+        serves every run's occurrence searches and gathers at once.
+        State per run is bit-identical to fanning the chunk run by run.
         """
+        n_items = len(a)
+        requests = []
         for run in self.runs:
-            run.observe_batch(
-                a,
-                b,
-                degree_after,
-                grouping=grouping,
-                crossings=None if crossings is None else crossings.get(run.d1),
+            run_crossings = (
+                np.flatnonzero(degree_after == run.d1)
+                if crossings is None
+                else crossings.get(run.d1)
             )
+            windows = run._replay_crossings(a, b, run_crossings)
+            if not windows:
+                continue
+            request = run._witness_requests(windows, n_items)
+            if request[0]:
+                requests.append((run,) + request)
+        if not requests:
+            return
+        order = grouping[0]
+        composite = grouping[4] if len(grouping) == 5 else None
+        if composite is None:
+            composite = a[order] * np.int64(n_items) + order
+        collect_witnesses(requests, composite, order, b)
 
     def process(self, stream: EdgeStream) -> "InsertionOnlyFEwW":
         """Consume an entire stream; returns self for chaining."""
@@ -223,6 +244,21 @@ class InsertionOnlyFEwW:
     # ------------------------------------------------------------------
     # Mergeable-summary layer.
     # ------------------------------------------------------------------
+
+    def clone(self) -> "InsertionOnlyFEwW":
+        """An independent duplicate of the full Algorithm 2 state.
+
+        Equivalent to ``copy.deepcopy`` (the shared degree table, every
+        run's reservoir, and all RNG states carry over) without the
+        generic graph walk — the window-policy fold/probe fast path.
+        """
+        dup = object.__new__(InsertionOnlyFEwW)
+        dup.n, dup.d, dup.alpha = self.n, self.d, self.alpha
+        dup.s, dup.d2 = self.s, self.d2
+        dup._degrees = None if self._degrees is None else self._degrees.clone()
+        dup.runs = [run.clone() for run in self.runs]
+        dup._seed_entropy = self._seed_entropy
+        return dup
 
     def merge(self, other: "InsertionOnlyFEwW") -> "InsertionOnlyFEwW":
         """Combine two Algorithm 2 states over vertex-disjoint sub-streams.

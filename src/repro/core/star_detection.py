@@ -294,7 +294,8 @@ class StarDetection:
             grouping = group_slices(a)
             order, starts, ends = grouping
             degree_after = self._degrees.increment_batch(a, grouping=grouping)
-            run_grouping = (order, starts, ends, a[order[starts]])
+            composite = a[order] * np.int64(len(a)) + order
+            run_grouping = (order, starts, ends, a[order[starts]], composite)
             # One pass over the chunk finds every rung's crossings: a
             # position crosses threshold t iff degree_after == t, and
             # the LUT marks exactly the ladder's thresholds.  Slicing

@@ -42,6 +42,7 @@ from repro.engine.runner import FanoutRunner, as_chunks, run_fanout
 from repro.engine.sharded import (
     ShardedRunner,
     ShardedWorkerError,
+    effective_cores,
     fork_available,
     run_sharded,
     vertex_shard,
@@ -84,6 +85,7 @@ __all__ = [
     "as_chunks",
     "combined_routing",
     "derive_bucket_seed",
+    "effective_cores",
     "ensure_mergeable",
     "ensure_stream_processor",
     "fork_available",

@@ -73,6 +73,7 @@ are exercised deterministically via
 
 from __future__ import annotations
 
+import os
 import queue as queue_module
 import secrets
 import time
@@ -166,6 +167,21 @@ def _fork_context():
 def fork_available() -> bool:
     """True when the process backend can actually run in parallel here."""
     return _fork_context() is not None
+
+
+def effective_cores() -> int:
+    """CPUs this process may actually use (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; a containerised or
+    taskset-pinned run may own far fewer.  Every place that records a
+    core count alongside performance numbers — run reports, benchmark
+    artifacts, scaling gates — uses this helper, so recorded rates can
+    always be read against the parallelism that was really available.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def _describe_error(exc: BaseException) -> Tuple[str, bool, str, bool]:

@@ -73,6 +73,41 @@ def derive_bucket_seed(master_seed: int, bucket_index: int) -> int:
     return (master_seed * _SEED_MULTIPLIER + bucket_index) & 0xFFFFFFFF
 
 
+def clone_summary(instance: Any) -> Any:
+    """Duplicate a processor/summary for a merge fold or a probe.
+
+    Prefers the structure-provided ``clone()`` fast path — a
+    bit-identical state duplication without the generic deepcopy graph
+    walk — and falls back to ``copy.deepcopy`` for structures that do
+    not provide one.  Window policies clone bucket summaries on every
+    suffix fold and mid-stream probe, so this is on the query hot path.
+    """
+    clone = getattr(instance, "clone", None)
+    if callable(clone):
+        return clone()
+    return copy.deepcopy(instance)
+
+
+class SuffixCacheList(list):
+    """Retention list that carries a lazily built suffix-merge cache.
+
+    ``suffix`` maps a start index to the left-fold merge of the buckets
+    from that index to the end of the list (``(((b_i ∘ b_{i+1}) ∘ …) ∘
+    b_last``).  The cache is pure derived data: it is dropped on pickle
+    and deepcopy (``__reduce__``), and the owning policy clears it
+    whenever the underlying bucket list changes (close/merge).
+    """
+
+    __slots__ = ("suffix",)
+
+    def __init__(self, iterable=()) -> None:
+        super().__init__(iterable)
+        self.suffix: Dict[int, Any] = {}
+
+    def __reduce__(self):
+        return (type(self), (list(self),))
+
+
 @dataclass(frozen=True)
 class WindowRecord:
     """One closed bucket's recorded output (``value`` is whatever the
@@ -285,8 +320,8 @@ class SlidingPolicy(WindowPolicy):
         bucket = self.bucket
         return -(-self.window // bucket) + 1
 
-    def new_state(self) -> List[Bucket]:
-        return []
+    def new_state(self) -> SuffixCacheList:
+        return SuffixCacheList()
 
     def is_empty(self, state: List[Bucket]) -> bool:
         return not state
@@ -294,38 +329,79 @@ class SlidingPolicy(WindowPolicy):
     def close(self, state, bucket: Bucket, make_record) -> None:
         state.append(bucket)
         del state[: -self.retained]
+        cache = getattr(state, "suffix", None)
+        if cache is not None:
+            cache.clear()
 
     def merge(self, state, other):
         state.extend(other)
         state.sort(key=lambda bucket: bucket.index)
         del state[: -self.retained]
+        cache = getattr(state, "suffix", None)
+        if cache is not None:
+            cache.clear()
         return state
 
-    def result(self, state, make_record) -> Optional[SlidingWindowAnswer]:
-        if not state:
+    def _suffix_fold(self, state, start: int) -> Any:
+        """A caller-owned left-fold merge of ``state[start:]``.
+
+        Buckets stay live for repeat queries: merge consumes its
+        operands, so the fold runs over clones.  When the state carries
+        a suffix cache (see :class:`SuffixCacheList`) the fold is built
+        once per (start, bucket-list) pair and re-cloned on later
+        probes, making repeated queries O(1) merges instead of
+        O(retained) — the cache only empties when a bucket closes.
+        """
+        if start >= len(state):
             return None
-        needed: List[Bucket] = []
-        covered = 0
-        for bucket in reversed(state):
-            needed.append(bucket)
-            covered += bucket.count
-            if covered >= self.window:
-                break
-        needed.reverse()
-        # Buckets stay live for repeat queries: merge consumes its
-        # operands, so the merge runs over deep copies.
-        merged = copy.deepcopy(needed[0].instance)
-        for bucket in needed[1:]:
-            merged = merged.merge(copy.deepcopy(bucket.instance))
+        cache = getattr(state, "suffix", None)
+        if cache is None:
+            merged = clone_summary(state[start].instance)
+            for bucket in state[start + 1 :]:
+                merged = merged.merge(clone_summary(bucket.instance))
+            return merged
+        fold = cache.get(start)
+        if fold is None:
+            fold = clone_summary(state[start].instance)
+            for bucket in state[start + 1 :]:
+                fold = fold.merge(clone_summary(bucket.instance))
+            cache[start] = fold
+        return clone_summary(fold)
+
+    def _answer(
+        self, state, partial: Optional[Bucket]
+    ) -> Optional[SlidingWindowAnswer]:
+        """The smooth-histogram answer over the trailing buckets (plus
+        the in-progress one on the query path): scan backwards until the
+        covered span reaches the window, then fold that suffix."""
+        n_state = len(state)
+        if n_state == 0 and partial is None:
+            return None
+        covered = partial.count if partial is not None else 0
+        start = n_state
+        if covered < self.window:
+            while start > 0:
+                start -= 1
+                covered += state[start].count
+                if covered >= self.window:
+                    break
+        merged = self._suffix_fold(state, start)
+        if merged is None:
+            merged = clone_summary(partial.instance)
+        elif partial is not None:
+            merged = merged.merge(clone_summary(partial.instance))
         return SlidingWindowAnswer(
             window=self.window,
             bucket=self.bucket,
-            start_update=needed[0].start,
-            end_update=state[-1].end,
-            n_buckets=len(needed),
+            start_update=state[start].start if start < n_state else partial.start,
+            end_update=partial.end if partial is not None else state[-1].end,
+            n_buckets=(n_state - start) + (1 if partial is not None else 0),
             processor=merged,
             value=merged.finalize(),
         )
+
+    def result(self, state, make_record) -> Optional[SlidingWindowAnswer]:
+        return self._answer(state, None)
 
     def query(self, state, partial, make_record):
         """Query-at-any-point: the smooth-histogram answer over the
@@ -333,9 +409,7 @@ class SlidingPolicy(WindowPolicy):
         span always ends at the current update (the end-of-stream
         ``result`` path sees the same union once ``flush`` closes the
         last bucket)."""
-        if partial is not None:
-            state = list(state) + [partial]
-        return self.result(state, make_record)
+        return self._answer(state, partial)
 
 
 @dataclass(frozen=True)
@@ -364,12 +438,19 @@ class DecayPolicy(WindowPolicy):
         return self.bucket_size
 
     def new_state(self) -> Dict[str, Any]:
-        return {"recent": [], "tail": None, "tail_start": 0, "tail_end": 0}
+        return {
+            "recent": [],
+            "tail": None,
+            "tail_start": 0,
+            "tail_end": 0,
+            "_records": {},
+        }
 
     def is_empty(self, state) -> bool:
         return not state["recent"] and state["tail"] is None
 
     def _fold(self, state, bucket: Bucket) -> None:
+        state.pop("_tail_record", None)
         if state["tail"] is None:
             state["tail"] = bucket.instance
             state["tail_start"] = bucket.start
@@ -379,10 +460,19 @@ class DecayPolicy(WindowPolicy):
             state["tail_start"] = min(state["tail_start"], bucket.start)
             state["tail_end"] = max(state["tail_end"], bucket.end)
 
+    def _prune_records(self, state) -> None:
+        """Drop memoized records whose bucket left ``recent`` (folded
+        into the tail) or was only a transient in-progress probe."""
+        cache = state.setdefault("_records", {})
+        live = {(bucket.index, bucket.end) for bucket in state["recent"]}
+        for key in [key for key in cache if key not in live]:
+            del cache[key]
+
     def close(self, state, bucket: Bucket, make_record) -> None:
         state["recent"].append(bucket)
         while len(state["recent"]) > self.keep:
             self._fold(state, state["recent"].pop(0))
+        self._prune_records(state)
 
     def merge(self, state, other):
         if other["tail"] is not None:
@@ -394,6 +484,7 @@ class DecayPolicy(WindowPolicy):
         state["recent"].sort(key=lambda bucket: bucket.index)
         while len(state["recent"]) > self.keep:
             self._fold(state, state["recent"].pop(0))
+        self._prune_records(state)
         return state
 
     def query(self, state, partial, make_record):
@@ -406,17 +497,42 @@ class DecayPolicy(WindowPolicy):
         return self.result(state, make_record)
 
     def result(self, state, make_record) -> DecayAnswer:
+        # Closed buckets receive no further updates, so their records
+        # are memoized per (index, end) — a probe only re-finalizes the
+        # in-progress bucket and whatever closed since the last probe.
+        # The tail value is keyed by its covered span, which only moves
+        # when a bucket folds.  (``query`` hands in a shallow dict copy
+        # sharing these caches, so probes populate them too.)
         tail = state["tail"]
-        return DecayAnswer(
-            recent=[
-                make_record(
+        cache = state.get("_records")
+        recent = []
+        for bucket in state["recent"]:
+            record = None
+            key = (bucket.index, bucket.end)
+            if cache is not None:
+                record = cache.get(key)
+            if record is None:
+                record = make_record(
                     bucket.index, bucket.start, bucket.end,
                     bucket.instance.finalize(),
                 )
-                for bucket in state["recent"]
-            ],
+                if cache is not None:
+                    cache[key] = record
+            recent.append(record)
+        if tail is None:
+            tail_value = None
+        else:
+            span = (state["tail_start"], state["tail_end"])
+            memo = state.get("_tail_record")
+            if memo is not None and memo[0] == span:
+                tail_value = memo[1]
+            else:
+                tail_value = tail.finalize()
+                state["_tail_record"] = (span, tail_value)
+        return DecayAnswer(
+            recent=recent,
             tail_processor=tail,
-            tail_value=None if tail is None else tail.finalize(),
+            tail_value=tail_value,
             tail_start_update=state["tail_start"],
             tail_end_update=state["tail_end"],
         )
@@ -628,10 +744,12 @@ class WindowedProcessor:
         the wrapper keeps streaming afterwards, so callers can probe as
         often as they like (monitoring dashboards, the Pipeline's
         ``probe_every`` hook).  The in-progress bucket is handed to the
-        policy as a deep copy — for the smooth-histogram sliding policy
-        that makes this exact query-at-any-point: the answer covers the
-        trailing span ending at the update fed last.  Tumbling keeps
-        its historical semantics (completed windows only).
+        policy as an independent copy (the structure-provided ``clone()``
+        fast path when available, else a deep copy) — for the
+        smooth-histogram sliding policy that makes this exact
+        query-at-any-point: the answer covers the trailing span ending
+        at the update fed last.  Tumbling keeps its historical
+        semantics (completed windows only).
         """
         partial = None
         if self._updates > 0:
@@ -640,7 +758,7 @@ class WindowedProcessor:
                 self._bucket_index,
                 start,
                 start + self._updates,
-                copy.deepcopy(self._current),
+                clone_summary(self._current),
             )
         return self.policy.query(self._state, partial, self._make_record)
 
@@ -706,6 +824,24 @@ class WindowedProcessor:
             shard._current = shard._fresh_instance()
             shards.append(shard)
         return shards
+
+    def __getstate__(self):
+        """Pickle/deepcopy without query caches.
+
+        Policy state dicts hold memoized records under ``_``-prefixed
+        keys (and sliding lists drop their suffix cache via
+        :class:`SuffixCacheList`); both are pure derived data that
+        should not ride along in checkpoint payloads or shard IPC.
+        """
+        state = dict(self.__dict__)
+        policy_state = state.get("_state")
+        if isinstance(policy_state, dict):
+            state["_state"] = {
+                key: value
+                for key, value in policy_state.items()
+                if not key.startswith("_")
+            }
+        return state
 
     # ------------------------------------------------------------------
     # Introspection.

@@ -47,7 +47,11 @@ from repro.engine.checkpoint import CheckpointStore
 from repro.engine.faults import FaultPlan
 from repro.engine.protocol import combined_routing, shard_routing_of
 from repro.engine.runner import FANOUT_TAG, FanoutRunner, as_chunks
-from repro.engine.sharded import RUN_TAG, ShardedRunner
+from repro.engine.sharded import (
+    RUN_TAG,
+    ShardedRunner,
+    effective_cores as engine_effective_cores,
+)
 from repro.engine.windows import (
     DecayPolicy,
     SlidingPolicy,
@@ -459,6 +463,7 @@ class Pipeline:
             workers=execution.workers,
             chunk_size=chunk_size,
             source=opened.describe(),
+            effective_cores=engine_effective_cores(),
             routing=routing,
             window=spec.window.to_dict() if spec.window is not None else None,
             resumed=bool(resume),

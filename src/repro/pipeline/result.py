@@ -121,6 +121,10 @@ class RunReport:
     workers: int
     chunk_size: int
     source: Dict[str, Any]
+    #: CPUs the run could actually use (affinity-aware, see
+    #: :func:`repro.engine.effective_cores`) — recorded so rates and
+    #: worker counts are always read against the real parallelism.
+    effective_cores: Optional[int] = None
     routing: Optional[Any] = None
     window: Optional[Dict[str, Any]] = None
     resumed: bool = False

@@ -67,7 +67,12 @@ class DegreeCounter:
         ranks = np.arange(len(a), dtype=np.int64) - np.repeat(starts, ends - starts)
         ordinals = np.empty(len(a), dtype=np.int64)
         ordinals[order] = ranks
-        np.add.at(self._degrees, a, 1)
+        if self.n <= 4 * len(a):
+            # bincount-and-add beats np.add.at's per-element dispatch
+            # whenever the table isn't much larger than the batch.
+            self._degrees += np.bincount(a, minlength=self.n)
+        else:
+            np.add.at(self._degrees, a, 1)
         return before + ordinals + 1
 
     def degree(self, a: int) -> int:
@@ -83,6 +88,14 @@ class DegreeCounter:
     def max_degree(self) -> int:
         """Largest current degree."""
         return int(self._degrees.max())
+
+    def clone(self) -> "DegreeCounter":
+        """An independent copy — one array copy, no deepcopy graph walk
+        (window policies clone summaries on every probe/suffix fold)."""
+        dup = object.__new__(DegreeCounter)
+        dup.n = self.n
+        dup._degrees = self._degrees.copy()
+        return dup
 
     def merge(self, other: "DegreeCounter") -> "DegreeCounter":
         """Element-wise sum of two counters over disjoint sub-streams.

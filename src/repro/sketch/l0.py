@@ -41,7 +41,7 @@ from __future__ import annotations
 import copy
 import math
 import random
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -64,6 +64,20 @@ from repro.sketch.ssparse import (
     power_table_windows,
     scatter_cell_updates,
 )
+
+
+#: Exact-mode banks buffer update columns and consolidate them with one
+#: fused bank-wide kernel pass once this many coordinates are pending
+#: (or at the next query/merge/pickle).  Mirrors ExactSupport's deferred
+#: netting: linearity makes the final state independent of when the
+#: buffered updates land.
+_BANK_FLUSH_PENDING = 1 << 18
+#: Netted coordinates are absorbed in slices of this size so the fused
+#: kernel's expanded (sampler, item, level) entry arrays stay small.
+_BANK_COORD_CHUNK = 1 << 16
+#: Entry-axis slice size inside one fused pass — bounds the transient
+#: (entries, n_rows) matrices to a few MB.
+_BANK_ENTRY_CHUNK = 1 << 16
 
 
 def l0_sampler_space_words(dim: int, delta: float) -> int:
@@ -136,6 +150,13 @@ class L0Sampler:
         # Lazily-built windowed fingerprint power tables, stacked over
         # all levels (pure cache derived from _r; not charged).
         self._power_tables: Optional[np.ndarray] = None
+        # Sample memo: sample() is a pure function of the stacked
+        # planes, so the result is served from cache until an update or
+        # merge dirties the sampler (probe-heavy pipelines re-query
+        # unchanged samplers constantly).
+        self._dirty = True
+        self._sample_cached = False
+        self._sample_memo: Optional[int] = None
 
     def _ensure_power_tables(self) -> Optional[np.ndarray]:
         """Build the stacked ``(windows, 256, L, R, B)`` tables when small."""
@@ -170,6 +191,11 @@ class L0Sampler:
         recovery._power_tables = (
             None if self._power_tables is None else self._power_tables[:, :, level]
         )
+        # The view is transient, so its decode memo never survives; the
+        # durable memo lives on the sampler (see sample()).
+        recovery._dirty = True
+        recovery._decode_cached = False
+        recovery._decode_cache = None
         return recovery
 
     @property
@@ -192,6 +218,7 @@ class L0Sampler:
 
     def update(self, index: int, delta: int) -> None:
         """Apply ``vector[index] += delta``."""
+        self._dirty = True
         deepest = self._level_of(index)
         for level in range(deepest + 1):
             self._recovery(level).update(index, delta)
@@ -232,6 +259,7 @@ class L0Sampler:
             raise ValueError(f"index {int(bad)} out of range [0, {self.dim})")
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+        self._dirty = True
         if levels is None:
             levels = self._levels_of_batch(indices)
         power_tables = self._ensure_power_tables()
@@ -327,10 +355,22 @@ class L0Sampler:
                 "cannot merge 1-sparse cells with different dimensions or "
                 "fingerprint bases; split both from the same seeded structure"
             )
+        self._dirty = True
         self._weight += other._weight
         self._dot += other._dot
-        self._fingerprint = _fold61(self._fingerprint + other._fingerprint)
+        # In place: when this sampler belongs to an exact-mode bank its
+        # planes are views into the bank's stacked 4-D accumulators;
+        # rebinding would silently detach them.
+        self._fingerprint[:] = _fold61(self._fingerprint + other._fingerprint)
         return self
+
+    def __getstate__(self):
+        # Power tables are a pure cache derived from ``_r``; dropping
+        # them keeps pickles/deepcopies small and avoids materialising
+        # per-sampler copies of bank-shared tables.
+        state = dict(self.__dict__)
+        state["_power_tables"] = None
+        return state
 
     def sample(self) -> Optional[int]:
         """Return a near-uniform support coordinate, or None on failure.
@@ -339,14 +379,24 @@ class L0Sampler:
         recovery decodes to a non-empty set, returns the coordinate with
         the smallest tiebreak hash.  Returns None when every level fails
         or the vector is empty.
+
+        The result is a pure function of the stacked planes, so it is
+        memoized until the next update or merge dirties the sampler.
         """
+        if not self._dirty and self._sample_cached:
+            return self._sample_memo
+        result: Optional[int] = None
         for level in range(self.n_levels - 1, -1, -1):
             decoded = self._recovery(level).decode()
             if decoded is None:
                 continue
             if decoded:
-                return min(decoded, key=self._tiebreak)
-        return None
+                result = min(decoded, key=self._tiebreak)
+                break
+        self._sample_memo = result
+        self._sample_cached = True
+        self._dirty = False
+        return result
 
     def space_words(self) -> int:
         """Actual words retained: recoveries plus the two hashes."""
@@ -401,11 +451,49 @@ class L0SamplerBank:
             )
             self._support: Optional[ExactSupport] = None
             self._draw_rng: Optional[random.Random] = None
+            # Buffered (indices, deltas, already-netted) update columns,
+            # consolidated by _flush_updates (see _BANK_FLUSH_PENDING).
+            self._pending: List[Tuple[np.ndarray, np.ndarray, bool]] = []
+            self._pending_len = 0
+            self._stack_planes()
         else:
             self._samplers = []
             self._level_stack = None
             self._support = ExactSupport(dim)
             self._draw_rng = random.Random(rng.getrandbits(64))
+
+    def _stack_planes(self) -> None:
+        """Stack all samplers' accumulator planes into bank 4-D arrays.
+
+        The bank-wide fused kernel scatters every sampler's
+        contributions in one pass, which needs all accumulators
+        contiguous: ``(sampler, level, row, bucket)`` arrays for the
+        weight/dot/fingerprint planes and ``(sampler * level, row)``
+        matrices for the row-hash coefficients.  Each sampler's arrays
+        are then re-pointed at views of the stacked planes, so the
+        per-sampler scalar path, decoding and merging all read and write
+        the very same memory — no dual bookkeeping, no divergence.
+        Called from ``__init__`` and again after unpickling/deepcopy
+        (copying a numpy view materialises an independent array, which
+        would silently break the aliasing).
+        """
+        if not self._samplers:
+            self._bank_weight = self._bank_dot = self._bank_fingerprint = None
+            self._bank_r = self._bank_row_a = self._bank_row_b = None
+            return
+        samplers = self._samplers
+        self._bank_weight = np.stack([s._weight for s in samplers])
+        self._bank_dot = np.stack([s._dot for s in samplers])
+        self._bank_fingerprint = np.stack([s._fingerprint for s in samplers])
+        self._bank_r = np.stack([s._r for s in samplers])
+        for i, sampler in enumerate(samplers):
+            sampler._weight = self._bank_weight[i]
+            sampler._dot = self._bank_dot[i]
+            sampler._fingerprint = self._bank_fingerprint[i]
+            sampler._r = self._bank_r[i]
+        n_rows = samplers[0]._n_rows
+        self._bank_row_a = np.stack([s._row_a for s in samplers]).reshape(-1, n_rows)
+        self._bank_row_b = np.stack([s._row_b for s in samplers]).reshape(-1, n_rows)
 
     def update(self, index: int, delta: int) -> None:
         """Fan ``vector[index] += delta`` out to every sampler."""
@@ -428,12 +516,16 @@ class L0SamplerBank:
         tracker a plain sum), so collapsing a chunk's repeated or
         cancelling updates changes nothing about the final state.  Fast
         mode defers everything to the support tracker's buffered batch
-        path; exact mode nets per coordinate before fanning out, unless
-        the caller already did (``netted=True`` promises ``indices`` are
-        unique with per-coordinate net ``deltas`` — Algorithm 3 nets a
-        whole chunk for all its banks in one pass).  The exact fan-out
-        computes every sampler's level assignment with one stacked hash
-        evaluation before each sampler's fused scatter.
+        path.  Exact mode buffers the update columns and consolidates
+        them lazily (at :data:`_BANK_FLUSH_PENDING` pending coordinates,
+        or at the next query/merge/pickle): consolidation nets every
+        buffered chunk per coordinate in one pass and absorbs the net
+        updates with the bank-wide fused kernel (:meth:`_apply_batch`).
+        ``netted=True`` promises ``indices`` are already unique with
+        per-coordinate net ``deltas`` (Algorithm 3 nets a whole chunk
+        for all its banks in one pass), which lets a lone buffered chunk
+        skip re-netting.  Linearity makes the final state bit-identical
+        to eager item-by-item fan-out.
         """
         if len(indices) == 0:
             return
@@ -442,26 +534,174 @@ class L0SamplerBank:
             assert self._support is not None
             self._support.update_batch(indices, deltas)
             return
-        if netted:
-            unique, net = indices, np.asarray(deltas, dtype=np.int64)
-        else:
-            unique, inverse = np.unique(indices, return_inverse=True)
-            net = np.zeros(len(unique), dtype=np.int64)
-            np.add.at(net, inverse, deltas)
-            live = net != 0
-            if not live.any():
-                return
-            unique, net = unique[live], net[live]
         if not self._samplers:
             return
+        if int(indices.min()) < 0 or int(indices.max()) >= self.dim:
+            bad = indices[(indices < 0) | (indices >= self.dim)][0]
+            raise ValueError(f"index {int(bad)} out of range [0, {self.dim})")
+        # Copy both columns: callers (shared-memory transports, reused
+        # chunk buffers) may overwrite them after this call returns.
+        self._pending.append(
+            (
+                np.array(indices, dtype=np.int64),
+                np.array(np.asarray(deltas), dtype=np.int64),
+                bool(netted),
+            )
+        )
+        self._pending_len += len(indices)
+        if self._pending_len >= _BANK_FLUSH_PENDING:
+            self._flush_updates()
+
+    def _flush_updates(self) -> None:
+        """Net every buffered batch and absorb it with the fused kernel."""
+        if not self._pending:
+            return
+        pending, self._pending, self._pending_len = self._pending, [], 0
+        if len(pending) == 1 and pending[0][2]:
+            unique, net = pending[0][0], pending[0][1]
+        else:
+            coords = np.concatenate([batch[0] for batch in pending])
+            deltas = np.concatenate([batch[1] for batch in pending])
+            unique, inverse = np.unique(coords, return_inverse=True)
+            net = np.zeros(len(unique), dtype=np.int64)
+            np.add.at(net, inverse, deltas)
+        live = net != 0
+        if not live.any():
+            return
+        if not live.all():
+            unique, net = unique[live], net[live]
+        # The fused kernel writes the stacked planes directly, bypassing
+        # the samplers' own mutators — invalidate their sample memos.
+        for sampler in self._samplers:
+            sampler._dirty = True
+        for start in range(0, len(unique), _BANK_COORD_CHUNK):
+            stop = start + _BANK_COORD_CHUNK
+            self._apply_batch(unique[start:stop], net[start:stop])
+
+    def _apply_batch(self, unique: np.ndarray, net: np.ndarray) -> None:
+        """Absorb netted updates into every sampler in one fused pass.
+
+        The whole bank is treated as one accumulator indexed by
+        ``(sampler, level, row, bucket)``: level assignment for all
+        samplers is one stacked hash evaluation; the ``(sampler, item)``
+        grid expands to one entry per surviving ``(sampler, item,
+        level)`` carrying the bank-flat plane index ``sampler * L +
+        level``; buckets are evaluated with one broadcast Horner pass
+        over the bank-stacked row coefficients; and all contributions
+        land in the 4-D planes through ONE limb-split bincount scatter
+        per entry slice.  Fingerprint power products are gathered from
+        each sampler's own windowed table — the entry order is
+        sampler-major, so each sampler's segment of an entry slice is
+        contiguous and its (small, cache-resident) table is walked once.
+        Every plane update is an exact int64 add or a canonical mod-p
+        fold — both commutative and associative — so the final state is
+        bit-identical to fanning the same updates out sampler by sampler
+        (and item by item).
+        """
+        template = self._samplers[0]
+        n_samplers = len(self._samplers)
+        n_levels = template.n_levels
+        n_rows = template._n_rows
+        n_buckets = template._n_buckets
         assert self._level_stack is not None
         values = self._level_stack.batch_rows(unique)
         levels = np.zeros(values.shape, dtype=np.int64)
-        for level in range(1, self._samplers[0].n_levels):
+        for level in range(1, n_levels):
             survives = (levels == level - 1) & (values % (1 << level) == 0)
             levels[survives] = level
-        for sampler, sampler_levels in zip(self._samplers, levels):
-            sampler.update_batch(unique, net, levels=sampler_levels)
+        counts = (levels + 1).reshape(-1)
+        starts = np.cumsum(counts) - counts
+        n_entries = int(starts[-1] + counts[-1])
+        x = np.repeat(np.tile(unique, n_samplers), counts)
+        d = np.repeat(np.tile(net, n_samplers), counts)
+        lab = np.arange(n_entries, dtype=np.int64) - np.repeat(starts, counts)
+        pair = (
+            np.repeat(
+                np.repeat(np.arange(n_samplers, dtype=np.int64), len(unique)),
+                counts,
+            )
+            * n_levels
+            + lab
+        )
+        # Entries are sampler-major; bounds[i] is sampler i's first entry.
+        per_sampler = counts.reshape(n_samplers, -1).sum(axis=1)
+        bounds = np.concatenate(
+            ([0], np.cumsum(per_sampler))
+        ).astype(np.int64)
+        rows = np.arange(n_rows, dtype=np.int64)[np.newaxis, :]
+        magnitudes = np.abs(d)
+        unit = bool(magnitudes.max() == 1) and bool(magnitudes.min() == 1)
+        weight_flat = self._bank_weight.reshape(-1)
+        dot_flat = self._bank_dot.reshape(-1)
+        fingerprint_flat = self._bank_fingerprint.reshape(-1)
+        for begin in range(0, n_entries, _BANK_ENTRY_CHUNK):
+            end = min(begin + _BANK_ENTRY_CHUNK, n_entries)
+            ex, ed, epair = x[begin:end], d[begin:end], pair[begin:end]
+            field = _fold61(
+                mulmod_p61(
+                    self._bank_row_a[epair],
+                    _fold61(ex.astype(np.uint64))[:, np.newaxis],
+                )
+                + self._bank_row_b[epair]
+            )
+            buckets = (field % np.uint64(n_buckets)).astype(np.int64)
+            addr = (epair[:, np.newaxis] * n_rows + rows) * n_buckets + buckets
+            powers = np.empty((end - begin, n_rows), dtype=np.uint64)
+            first = int(np.searchsorted(bounds, begin, side="right")) - 1
+            last = int(np.searchsorted(bounds, end, side="left"))
+            for sampler_index in range(first, last):
+                lo = max(begin, int(bounds[sampler_index])) - begin
+                hi = min(end, int(bounds[sampler_index + 1])) - begin
+                if lo >= hi:
+                    continue
+                sampler = self._samplers[sampler_index]
+                tables = sampler._ensure_power_tables()
+                sx = ex[lo:hi]
+                slab = epair[lo:hi, np.newaxis] - sampler_index * n_levels
+                sbuckets = buckets[lo:hi]
+                if tables is not None:
+                    segment = tables[
+                        0, (sx & _WINDOW_MASK)[:, np.newaxis],
+                        slab, rows, sbuckets,
+                    ]
+                    for window in range(1, tables.shape[0]):
+                        shifted = (
+                            sx >> np.int64(window * _WINDOW_BITS)
+                        ) & _WINDOW_MASK
+                        segment = mulmod_p61(
+                            segment,
+                            tables[
+                                window, shifted[:, np.newaxis],
+                                slab, rows, sbuckets,
+                            ],
+                        )
+                else:
+                    segment = powmod_p61(
+                        sampler._r[slab, rows, sbuckets],
+                        sx.astype(np.uint64)[:, np.newaxis],
+                    )
+                powers[lo:hi] = segment
+            if unit:
+                contrib = np.where(
+                    (ed > 0)[:, np.newaxis],
+                    powers,
+                    np.uint64(PRIME_61) - powers,
+                )
+            else:
+                contrib = mulmod_p61(
+                    powers,
+                    np.remainder(ed, PRIME_61).astype(np.uint64)[:, np.newaxis],
+                )
+            shape = addr.shape
+            scatter_cell_updates(
+                weight_flat,
+                dot_flat,
+                fingerprint_flat,
+                addr.ravel(),
+                np.broadcast_to(ed[:, np.newaxis], shape).ravel(),
+                np.broadcast_to((ex * ed)[:, np.newaxis], shape).ravel(),
+                contrib.ravel(),
+            )
 
     def merge(self, other: "L0SamplerBank") -> "L0SamplerBank":
         """Merge two banks over disjoint sub-streams of one vector.
@@ -483,6 +723,8 @@ class L0SamplerBank:
                 f"count={other.count}, mode={other.mode})"
             )
         if self.mode == "exact":
+            self._flush_updates()
+            other._flush_updates()
             for mine, theirs in zip(self._samplers, other._samplers):
                 mine.merge(theirs)
         else:
@@ -493,6 +735,7 @@ class L0SamplerBank:
     def sample_all(self) -> List[Optional[int]]:
         """Query every sampler; entries are None on (simulated) failure."""
         if self.mode == "exact":
+            self._flush_updates()
             return [sampler.sample() for sampler in self._samplers]
         assert self._support is not None and self._draw_rng is not None
         support = self._support.support()
@@ -509,8 +752,38 @@ class L0SamplerBank:
     def space_words(self) -> int:
         """Exact mode: sum of real structure sizes.  Fast mode: paper formula."""
         if self.mode == "exact":
+            # Buffered input columns are transient ingest state, not
+            # structure; consolidate before accounting.
+            self._flush_updates()
             return sum(sampler.space_words() for sampler in self._samplers)
         return self.count * l0_sampler_space_words(self.dim, self.delta)
+
+    def __deepcopy__(self, memo) -> "L0SamplerBank":
+        dup = object.__new__(L0SamplerBank)
+        memo[id(self)] = dup
+        dup.__dict__.update(copy.deepcopy(self.__getstate__(), memo))
+        if dup.mode == "exact":
+            dup._stack_planes()
+        return dup
+
+    def __getstate__(self):
+        # Consolidate buffered updates, then drop the bank-stacked
+        # planes/tables: copying or pickling a numpy view materialises a
+        # standalone array, which would silently detach the samplers
+        # from the bank accumulators.  ``__setstate__`` (and
+        # ``__deepcopy__``) re-stack from the samplers' copied planes.
+        if self.mode == "exact":
+            self._flush_updates()
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith("_bank_")
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        if self.mode == "exact":
+            self._stack_planes()
 
 
 class L0EdgeBank:

@@ -82,19 +82,32 @@ def build_power_tables(r: np.ndarray, dim: int) -> np.ndarray:
     ``[w, v]`` holds ``r ** (v * 256**w) mod p`` element-wise, so any
     ``r ** index`` with ``index < dim`` is the product of one lookup per
     window — ``windows - 1`` modular multiplies per element instead of a
-    ``2 * bit_length(index)``-round square-and-multiply chain.  Built
-    with exact GF(p) arithmetic, so lookups are bit-identical to
-    ``pow(int(r), index, PRIME_61)``.
+    ``2 * bit_length(index)``-round square-and-multiply chain.
+
+    Each window fills by log-doubling: once exponents ``[0, filled)``
+    exist, ``table[filled + j] = table[j] * base^filled`` extends them
+    in one vectorized multiply, so a window costs ~16 :func:`mulmod_p61`
+    calls instead of 255 sequential ones — the dominant cost of a bank's
+    first fused chunk.  Every entry is the canonical residue
+    ``r^exponent mod p`` (``mulmod_p61`` is exact and always reduces),
+    so the tables are bit-identical to the sequential product chain and
+    to ``pow(int(r), index, PRIME_61)``.
     """
     n_windows = power_table_windows(dim)
     tables = np.empty((n_windows, _WINDOW_SIZE) + r.shape, dtype=np.uint64)
     base = np.asarray(r, dtype=np.uint64)
     for window in range(n_windows):
-        tables[window, 0] = np.uint64(1)
-        for value in range(1, _WINDOW_SIZE):
-            tables[window, value] = mulmod_p61(tables[window, value - 1], base)
+        table = tables[window]
+        table[0] = np.uint64(1)
+        table[1] = base
+        filled = 2
+        while filled < _WINDOW_SIZE:
+            take = min(filled, _WINDOW_SIZE - filled)
+            step = mulmod_p61(table[filled - 1], base)
+            table[filled : filled + take] = mulmod_p61(table[:take], step)
+            filled += take
         if window + 1 < n_windows:
-            base = mulmod_p61(tables[window, _WINDOW_SIZE - 1], base)
+            base = mulmod_p61(table[_WINDOW_SIZE - 1], base)
     return tables
 
 
@@ -225,6 +238,12 @@ class SSparseRecovery:
         # _r — not charged to space_words, like a hash stack's stacked
         # coefficient matrix).
         self._power_tables: Optional[np.ndarray] = None
+        # Decode memo: valid while no update/merge has dirtied the
+        # planes since the last decode (probe-heavy pipelines decode
+        # unchanged structures repeatedly).
+        self._dirty = True
+        self._decode_cached = False
+        self._decode_cache: Optional[Dict[int, int]] = None
 
     def _ensure_power_tables(self) -> Optional[np.ndarray]:
         """Build the fingerprint power tables when affordably small."""
@@ -243,6 +262,7 @@ class SSparseRecovery:
         """Apply ``vector[index] += delta``."""
         if not 0 <= index < self.dim:
             raise ValueError(f"index {index} out of range [0, {self.dim})")
+        self._dirty = True
         for row, hash_function in enumerate(self._hashes):
             bucket = hash_function(index)
             self._weight[row, bucket] += delta
@@ -316,6 +336,7 @@ class SSparseRecovery:
             raise ValueError(f"index {int(bad)} out of range [0, {self.dim})")
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+        self._dirty = True
         addr, weight_values, dot_values, contrib = self.batch_contributions(
             indices, deltas
         )
@@ -355,10 +376,22 @@ class SSparseRecovery:
                 "cannot merge 1-sparse cells with different dimensions or "
                 "fingerprint bases; split both from the same seeded structure"
             )
+        self._dirty = True
         self._weight += other._weight
         self._dot += other._dot
-        self._fingerprint = _fold61(self._fingerprint + other._fingerprint)
+        # In place: the planes may be views into a bank's stacked 4-D
+        # accumulators (or a sampler's 3-D ones); rebinding would detach
+        # them.
+        self._fingerprint[:] = _fold61(self._fingerprint + other._fingerprint)
         return self
+
+    def __getstate__(self):
+        # The windowed power tables are a pure cache derived from ``_r``;
+        # dropping them keeps pickles/deepcopies small and avoids
+        # materialising per-structure copies of bank-shared tables.
+        state = dict(self.__dict__)
+        state["_power_tables"] = None
+        return state
 
     def _nonzero_cells(
         self,
@@ -377,26 +410,61 @@ class SSparseRecovery:
         least one cell held a collision that no other row resolved, i.e.
         recovery failed (either true sparsity exceeded ``s`` or the
         structure was unlucky — probability <= ``delta``).
+
+        Decoding is a pure function of the accumulator planes, so the
+        result is memoized and served until the next update or merge
+        dirties the structure (callers get an independent dict copy).
+        The non-zero-cell scan and degree-1 classification are
+        vectorized; only the rare peeling fallback walks cells one by
+        one.
         """
+        if not self._dirty and self._decode_cached:
+            return None if self._decode_cache is None else dict(self._decode_cache)
+        result = self._decode_impl()
+        self._decode_cache = result
+        self._decode_cached = True
+        self._dirty = False
+        return None if result is None else dict(result)
+
+    def _decode_impl(self) -> Optional[Dict[int, int]]:
+        """One uncached decode pass (see :meth:`decode`).
+
+        Classifies every non-zero cell with vectorized arithmetic that
+        mirrors :func:`_decode_cell` exactly: NumPy's int64 floored
+        ``//``/``%`` match Python's for negative weights, and the
+        candidate fingerprint ``(weight * r^index) mod p`` is formed
+        from the canonical residue of ``weight`` — so the recovered
+        set, its insertion order (ascending flat cell address) and the
+        collision verdict are all bit-identical to the per-cell loop.
+        """
+        live = self._nonzero_cells(self._weight, self._dot, self._fingerprint)
         recovered: Dict[int, int] = {}
-        saw_collision = False
-        weight = self._weight.reshape(-1)
-        dot = self._dot.reshape(-1)
-        fingerprint = self._fingerprint.reshape(-1)
-        r = self._r.reshape(-1)
-        for cell in self._nonzero_cells(self._weight, self._dot, self._fingerprint):
-            result = _decode_cell(
-                int(weight[cell]),
-                int(dot[cell]),
-                int(fingerprint[cell]),
-                int(r[cell]),
-                self.dim,
+        if len(live) == 0:
+            return recovered
+        weight = self._weight.reshape(-1)[live]
+        dot = self._dot.reshape(-1)[live]
+        fingerprint = self._fingerprint.reshape(-1)[live]
+        nonzero = weight != 0
+        index = np.zeros(len(live), dtype=np.int64)
+        candidate = np.zeros(len(live), dtype=bool)
+        index[nonzero] = dot[nonzero] // weight[nonzero]
+        candidate[nonzero] = dot[nonzero] % weight[nonzero] == 0
+        candidate &= (index >= 0) & (index < self.dim)
+        one_sparse = np.zeros(len(live), dtype=bool)
+        if candidate.any():
+            expected = mulmod_p61(
+                np.remainder(weight[candidate], PRIME_61).astype(np.uint64),
+                powmod_p61(
+                    self._r.reshape(-1)[live[candidate]],
+                    index[candidate].astype(np.uint64),
+                ),
             )
-            if result.state is CellState.ONE_SPARSE:
-                recovered[result.index] = result.value
-            elif result.state is CellState.COLLISION:
-                saw_collision = True
-        if not saw_collision:
+            one_sparse[candidate] = expected == fingerprint[candidate]
+        for cell_index, cell_value in zip(
+            index[one_sparse].tolist(), weight[one_sparse].tolist()
+        ):
+            recovered[cell_index] = cell_value
+        if bool(one_sparse.all()):
             return recovered
         # Collisions may be resolvable: peel recovered coordinates and
         # re-check.  We verify by re-simulating cell contents.

@@ -343,6 +343,7 @@ class TestExactBankFusion:
         for index, delta in zip(indices.tolist(), deltas.tolist()):
             by_item.update(index, delta)
         by_batch.update_batch(indices, deltas)
+        by_batch._flush_updates()  # batch ingest is deferred until a read
         for mine, theirs in zip(by_item._samplers, by_batch._samplers):
             assert np.array_equal(mine._weight, theirs._weight)
             assert np.array_equal(mine._dot, theirs._dot)
@@ -359,6 +360,8 @@ class TestExactBankFusion:
         np.add.at(net, inverse, deltas)
         live = net != 0
         netted.update_batch(unique[live], net[live], netted=True)
+        netted._flush_updates()
+        unnetted._flush_updates()
         for mine, theirs in zip(netted._samplers, unnetted._samplers):
             assert np.array_equal(mine._weight, theirs._weight)
             assert np.array_equal(mine._fingerprint, theirs._fingerprint)
