@@ -1,0 +1,173 @@
+"""Determinism lints: RNG must flow from a seed, never ambient state.
+
+Checkpoint/resume bit-identity, sharded merge equivalence and the
+per-shard decorrelation scheme all assume every random draw in
+``src/repro`` is reproducible from an explicit seed (a seeded
+:class:`random.Random`, a :class:`numpy.random.Generator` from
+``default_rng(seed)``, or a :class:`numpy.random.SeedSequence` child).
+These rules reject every ambient entropy source:
+
+* ``determinism/global-random`` — module-global :mod:`random` calls
+  (``random.shuffle``, ``random.randint``, ...) that draw from the
+  hidden interpreter-wide state.
+* ``determinism/legacy-np-random`` — legacy ``numpy.random.<fn>``
+  global-state calls (``np.random.rand``, ``np.random.seed``, ...).
+  Constructing seeded objects (``default_rng``, ``SeedSequence``,
+  ``RandomState(seed)``, bit generators) is fine.
+* ``determinism/unseeded-rng`` — ``random.Random()`` /
+  ``default_rng()`` / ``SeedSequence()`` called with *no* arguments,
+  which silently fall back to OS entropy.
+* ``determinism/wall-clock`` — ``time.time()`` and friends: wall-clock
+  reads make replayed runs diverge (monotonic/perf_counter timing for
+  timeouts and benchmarks is allowed).
+* ``determinism/os-entropy`` — ``os.urandom``, the :mod:`secrets`
+  module, ``random.SystemRandom``.
+* ``determinism/uuid`` — ``uuid.uuid1``/``uuid4`` (host state resp.
+  OS entropy).
+
+``DETERMINISM_ALLOWLIST`` exempts whole files (repo-relative posix
+paths) that legitimately need ambient entropy; today it is empty —
+prefer a line pragma with a reason so the exemption is visible at the
+call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.source import ModuleSource
+
+__all__ = ["DETERMINISM_ALLOWLIST", "check_determinism"]
+
+#: Repo-relative posix paths exempt from every determinism rule.
+DETERMINISM_ALLOWLIST: FrozenSet[str] = frozenset()
+
+#: Module-global functions of :mod:`random` (state-carrying API).
+_GLOBAL_RANDOM: FrozenSet[str] = frozenset(
+    f"random.{name}"
+    for name in (
+        "seed", "getstate", "setstate", "random", "uniform", "triangular",
+        "randint", "randrange", "randbytes", "getrandbits", "choice",
+        "choices", "shuffle", "sample", "binomialvariate", "betavariate",
+        "expovariate", "gammavariate", "gauss", "lognormvariate",
+        "normalvariate", "vonmisesvariate", "paretovariate",
+        "weibullvariate",
+    )
+)
+
+#: numpy.random names that build explicit, seedable objects.
+_NP_RANDOM_OK: FrozenSet[str] = frozenset(
+    {
+        "default_rng", "Generator", "SeedSequence", "BitGenerator",
+        "RandomState", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+    }
+)
+
+#: Zero-argument constructors that fall back to OS entropy.
+_SEEDABLE_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+    }
+)
+
+_WALL_CLOCK: FrozenSet[str] = frozenset({"time.time", "time.time_ns"})
+
+_DATETIME_NOW: FrozenSet[str] = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+_OS_ENTROPY: FrozenSet[str] = frozenset(
+    {"os.urandom", "random.SystemRandom"}
+)
+
+_UUID: FrozenSet[str] = frozenset({"uuid.uuid1", "uuid.uuid4"})
+
+_HINTS: Dict[str, str] = {
+    "determinism/global-random": (
+        "draw from a seeded random.Random(seed) instance (or one derived "
+        "from a SeedSequence) instead of the interpreter-global state"
+    ),
+    "determinism/legacy-np-random": (
+        "use numpy.random.default_rng(seed) / SeedSequence children "
+        "instead of the legacy numpy.random global state"
+    ),
+    "determinism/unseeded-rng": (
+        "pass an explicit seed (or a SeedSequence child); zero-argument "
+        "constructors read OS entropy and break replay"
+    ),
+    "determinism/wall-clock": (
+        "wall-clock reads diverge under checkpoint/resume; use "
+        "time.monotonic()/perf_counter() for intervals, or thread a "
+        "timestamp in from the caller"
+    ),
+    "determinism/os-entropy": (
+        "OS entropy is unreplayable; derive randomness from the run seed"
+    ),
+    "determinism/uuid": (
+        "uuid1/uuid4 depend on host state; derive ids from the run seed "
+        "or a counter"
+    ),
+}
+
+
+def _classify(canonical: str, node: ast.Call) -> Tuple[str, str]:
+    """(rule, problem) for one canonical call name, or ``("", "")``."""
+    if canonical in _SEEDABLE_CONSTRUCTORS and not node.args and not node.keywords:
+        return (
+            "determinism/unseeded-rng",
+            f"{canonical}() called without a seed",
+        )
+    if canonical in _GLOBAL_RANDOM:
+        return (
+            "determinism/global-random",
+            f"call to module-global {canonical}()",
+        )
+    if canonical.startswith("numpy.random."):
+        tail = canonical[len("numpy.random."):]
+        root = tail.split(".", 1)[0]
+        if root not in _NP_RANDOM_OK:
+            return (
+                "determinism/legacy-np-random",
+                f"legacy global-state call {canonical}()",
+            )
+    if canonical in _WALL_CLOCK or canonical in _DATETIME_NOW:
+        return ("determinism/wall-clock", f"wall-clock read {canonical}()")
+    if canonical in _OS_ENTROPY or canonical.startswith("secrets."):
+        return ("determinism/os-entropy", f"OS entropy source {canonical}()")
+    if canonical in _UUID:
+        return ("determinism/uuid", f"host-state id {canonical}()")
+    return ("", "")
+
+
+def check_determinism(source: ModuleSource) -> List[Diagnostic]:
+    """All determinism findings of one module (pre-suppression)."""
+    if source.display_path in DETERMINISM_ALLOWLIST:
+        return []
+    findings: List[Diagnostic] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        canonical = source.resolve_call(node)
+        if canonical is None:
+            continue
+        rule, problem = _classify(canonical, node)
+        if rule:
+            findings.append(
+                Diagnostic(
+                    rule=rule,
+                    path=source.display_path,
+                    line=node.lineno,
+                    problem=problem,
+                    hint=_HINTS[rule],
+                )
+            )
+    return findings

@@ -1,0 +1,243 @@
+"""The diagnostics core shared by every analysis rule.
+
+Every rule — static AST lints and the runtime contract auditor alike —
+reports through one row shape (:class:`Diagnostic`: rule id, file:line,
+problem, hint), the CoreDiag posture `validate_spec` already takes for
+Pipeline specs: collect the *complete* minimal set of violations in one
+pass and present them together, never crash on the first.
+
+Suppression is pragma-based and every pragma must carry a reason::
+
+    # repro: allow-scalar-loop decrement-all is order-dependent
+    for item, witness in zip(a.tolist(), b.tolist()):
+        ...
+
+A pragma suppresses matching diagnostics on its own line; a pragma
+trailing a statement covers that statement, and a pragma on a
+comment-only line covers the first code line below the comment block
+(the reason may continue over following comment lines).  The pragma
+name is either the full rule id (``hotpath/scalar-loop``) or just the
+part after the family slash (``scalar-loop``).  A pragma without a reason is itself an error
+(``pragma/missing-reason``); a pragma that suppressed nothing is an
+advisory (``pragma/unused``) so stale suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional
+
+__all__ = [
+    "Diagnostic",
+    "Pragma",
+    "PragmaIndex",
+    "render_json",
+    "render_text",
+]
+
+#: Rule id of the mandatory-reason pragma check.
+RULE_PRAGMA_MISSING_REASON = "pragma/missing-reason"
+
+#: Rule id of the stale-suppression pragma check.
+RULE_PRAGMA_UNUSED = "pragma/unused"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow-(?P<name>[A-Za-z0-9_/-]+)(?:\s+(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, what rule, what is wrong, how to fix it.
+
+    ``advisory`` findings (stale pragmas, ...) do not fail a default
+    ``repro analyze`` run but do fail ``--strict`` — the CI gate.
+    """
+
+    rule: str
+    path: str
+    line: int
+    problem: str
+    hint: str
+    advisory: bool = False
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def sort_key(self) -> Any:
+        return (self.path, self.line, self.rule, self.problem)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "problem": self.problem,
+            "hint": self.hint,
+            "advisory": self.advisory,
+        }
+
+
+@dataclass
+class Pragma:
+    """One ``# repro: allow-<name> <reason>`` comment.
+
+    ``covers`` is the set of source lines the pragma suppresses: its
+    own line, plus either the statement it trails or — when it sits in
+    a comment block — the first code line below that block.
+    """
+
+    line: int
+    name: str
+    reason: str
+    covers: FrozenSet[int] = frozenset()
+    used: bool = False
+
+    def matches(self, rule: str) -> bool:
+        if self.name == rule:
+            return True
+        _, _, suffix = rule.partition("/")
+        return bool(suffix) and self.name == suffix
+
+
+def _covered_lines(line: int, source_lines: List[str]) -> FrozenSet[int]:
+    """The lines a pragma at ``line`` (1-indexed) suppresses."""
+    covered = {line}
+    stripped = (
+        source_lines[line - 1].strip() if line <= len(source_lines) else ""
+    )
+    if stripped and not stripped.startswith("#"):
+        return frozenset(covered)  # trailing pragma: the statement line
+    cursor = line + 1
+    while cursor <= len(source_lines):
+        text = source_lines[cursor - 1].strip()
+        if text and not text.startswith("#"):
+            covered.add(cursor)  # first code line below the comment block
+            break
+        cursor += 1
+    return frozenset(covered)
+
+
+class PragmaIndex:
+    """All suppression pragmas of one source file, by covered line."""
+
+    def __init__(self, pragmas: List[Pragma]) -> None:
+        self._by_line: Dict[int, List[Pragma]] = {}
+        self._all = list(pragmas)
+        for pragma in pragmas:
+            for covered in pragma.covers or {pragma.line}:
+                self._by_line.setdefault(covered, []).append(pragma)
+
+    @classmethod
+    def from_source(cls, text: str) -> "PragmaIndex":
+        pragmas: List[Pragma] = []
+        source_lines = text.splitlines()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return cls([])
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            line = token.start[0]
+            pragmas.append(
+                Pragma(
+                    line=line,
+                    name=match.group("name"),
+                    reason=match.group("reason") or "",
+                    covers=_covered_lines(line, source_lines),
+                )
+            )
+        return cls(pragmas)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """True (and mark the pragma used) when ``rule``@``line`` is
+        covered by a matching pragma."""
+        for pragma in self._by_line.get(line, ()):
+            if pragma.matches(rule):
+                pragma.used = True
+                return True
+        return False
+
+    def hygiene_diagnostics(self, path: str) -> List[Diagnostic]:
+        """Pragma problems: missing reasons (errors), unused (advisory)."""
+        findings: List[Diagnostic] = []
+        for pragma in self._all:
+            if not pragma.reason:
+                findings.append(
+                    Diagnostic(
+                        rule=RULE_PRAGMA_MISSING_REASON,
+                        path=path,
+                        line=pragma.line,
+                        problem=(
+                            f"pragma 'allow-{pragma.name}' has no reason"
+                        ),
+                        hint=(
+                            "every suppression must say why: "
+                            f"'# repro: allow-{pragma.name} <reason>'"
+                        ),
+                    )
+                )
+            if not pragma.used:
+                findings.append(
+                    Diagnostic(
+                        rule=RULE_PRAGMA_UNUSED,
+                        path=path,
+                        line=pragma.line,
+                        problem=(
+                            f"pragma 'allow-{pragma.name}' suppressed "
+                            f"nothing"
+                        ),
+                        hint="delete the stale pragma (or fix its name)",
+                        advisory=True,
+                    )
+                )
+        return findings
+
+
+def render_text(diagnostics: List[Diagnostic]) -> str:
+    """Human-readable report, one ``path:line: [rule] problem`` block
+    per finding with an indented hint line."""
+    if not diagnostics:
+        return "repro analyze: no findings"
+    lines: List[str] = []
+    errors = 0
+    for diagnostic in sorted(diagnostics, key=Diagnostic.sort_key):
+        tag = "note" if diagnostic.advisory else "error"
+        lines.append(
+            f"{diagnostic.location}: {tag}: [{diagnostic.rule}] "
+            f"{diagnostic.problem}"
+        )
+        lines.append(f"    hint: {diagnostic.hint}")
+        errors += 0 if diagnostic.advisory else 1
+    advisories = len(diagnostics) - errors
+    lines.append(
+        f"repro analyze: {errors} error(s), {advisories} advisory note(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    diagnostics: List[Diagnostic], files_scanned: Optional[int] = None
+) -> Dict[str, Any]:
+    """The machine-readable report (``repro analyze --json``)."""
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    errors = sum(1 for diagnostic in ordered if not diagnostic.advisory)
+    report: Dict[str, Any] = {
+        "version": 1,
+        "diagnostics": [diagnostic.to_dict() for diagnostic in ordered],
+        "summary": {
+            "errors": errors,
+            "advisories": len(ordered) - errors,
+        },
+    }
+    if files_scanned is not None:
+        report["summary"]["files_scanned"] = files_scanned
+    return report

@@ -1,0 +1,247 @@
+"""Protocol-conformance lints over the processor registry.
+
+Every name in :data:`repro.pipeline.registry.PROCESSORS` promises the
+engine a :class:`~repro.engine.protocol.StreamProcessor` — and, when
+its registry metadata says ``mergeable``, the full mergeable-summary
+surface (``split``/``merge``/``shard_routing``) that sharded execution
+and sliding/decay windows fold over.  The runtime only discovers a
+broken promise mid-run (``ensure_stream_processor`` raises inside a
+worker); these checks surface the same contract at lint time, against
+the *class* behind each registry entry:
+
+* ``protocol/missing-method`` — the class lacks a callable
+  ``process_batch`` or ``finalize``.
+* ``protocol/metadata-mismatch`` — the registry metadata contradicts
+  the class: ``mergeable=True`` without ``split``/``merge``/
+  ``shard_routing``, ``mergeable=False`` on a class that implements
+  the pair, or a declared ``routing`` that disagrees with the class's
+  own ``shard_routing`` attribute.
+* ``protocol/signature-arity`` — the methods exist but cannot be
+  called the way the engine calls them (``process_batch(a, b, sign)``,
+  ``finalize()``, ``split(n_shards)``, ``merge(other)``).
+
+Diagnostics anchor at the class definition line of the implementing
+file, so suppression pragmas (rare — prefer fixing the metadata) live
+next to the class.  Entries whose factory is not a class cannot be
+checked structurally and are left to the runtime auditor
+(:mod:`repro.analysis.audit`), which instantiates every entry anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from pathlib import Path
+from typing import Any, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["check_protocol"]
+
+_MISSING = object()
+
+#: method name -> number of required arguments after ``self``.
+_REQUIRED_ARITY: Tuple[Tuple[str, int], ...] = (
+    ("process_batch", 2),
+    ("finalize", 0),
+)
+
+_MERGEABLE_ARITY: Tuple[Tuple[str, int], ...] = (
+    ("split", 1),
+    ("merge", 1),
+)
+
+
+def _class_location(cls: type, root: Optional[Path]) -> Tuple[str, int]:
+    try:
+        file = inspect.getsourcefile(cls)
+        _, line = inspect.getsourcelines(cls)
+    except (OSError, TypeError):
+        return f"<{cls.__name__}>", 0
+    if file is None:
+        return f"<{cls.__name__}>", 0
+    path = Path(file)
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix(), line
+        except ValueError:
+            pass
+    return path.as_posix(), line
+
+
+def _required_arity_ok(cls: type, method: str, required: int) -> Optional[str]:
+    """None when callable with the engine's calling convention, else a
+    problem string."""
+    function = inspect.getattr_static(cls, method, _MISSING)
+    if function is _MISSING or not callable(function):
+        return None  # presence is reported separately
+    try:
+        signature = inspect.signature(getattr(cls, method))
+    except (ValueError, TypeError):
+        return None
+    parameters = [
+        parameter
+        for parameter in signature.parameters.values()
+        if parameter.name != "self"
+    ]
+    if any(
+        parameter.kind is inspect.Parameter.VAR_POSITIONAL
+        for parameter in parameters
+    ):
+        return None
+    positional = [
+        parameter
+        for parameter in parameters
+        if parameter.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    ]
+    required_count = sum(
+        1
+        for parameter in parameters
+        if parameter.default is inspect.Parameter.empty
+        and parameter.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    )
+    if required_count > required:
+        return (
+            f"{method} requires {required_count} argument(s); the engine "
+            f"passes {required}"
+        )
+    if len(positional) < required:
+        return (
+            f"{method} accepts only {len(positional)} positional "
+            f"argument(s); the engine passes {required}"
+        )
+    return None
+
+
+def _assigns_shard_routing(cls: type) -> bool:
+    """True when some method of the class source assigns
+    ``self.shard_routing`` (instance-level routing, e.g. chosen from a
+    constructor parameter)."""
+    try:
+        tree = ast.parse(inspect.getsource(cls))
+    except (OSError, TypeError, SyntaxError):
+        return False
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "shard_routing"
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return True
+    return False
+
+
+def check_protocol(
+    registry: Optional[Any] = None, root: Optional[Path] = None
+) -> List[Diagnostic]:
+    """Structural findings for every class-backed registry entry."""
+    if registry is None:
+        from repro.pipeline.registry import PROCESSORS
+
+        registry = PROCESSORS
+    findings: List[Diagnostic] = []
+    for entry in registry.entries():
+        cls = entry.resolved_class
+        if cls is None:
+            continue
+        path, line = _class_location(cls, root)
+
+        def report(rule: str, problem: str, hint: str) -> None:
+            findings.append(
+                Diagnostic(
+                    rule=rule,
+                    path=path,
+                    line=line,
+                    problem=f"processor {entry.name!r} ({cls.__name__}): "
+                    f"{problem}",
+                    hint=hint,
+                )
+            )
+
+        missing = [
+            method
+            for method, _ in _REQUIRED_ARITY
+            if not callable(inspect.getattr_static(cls, method, None))
+        ]
+        for method in missing:
+            report(
+                "protocol/missing-method",
+                f"no callable {method}()",
+                "every registered processor implements the StreamProcessor "
+                "surface (engine/protocol.py): process_batch(a, b, sign) "
+                "and finalize()",
+            )
+        for method, required in _REQUIRED_ARITY:
+            problem = _required_arity_ok(cls, method, required)
+            if problem is not None:
+                report(
+                    "protocol/signature-arity",
+                    problem,
+                    "match the engine calling convention: "
+                    "process_batch(self, a, b, sign=None), finalize(self)",
+                )
+
+        has_split = callable(inspect.getattr_static(cls, "split", None))
+        has_merge = callable(inspect.getattr_static(cls, "merge", None))
+        routing_attr = inspect.getattr_static(cls, "shard_routing", _MISSING)
+        has_routing = routing_attr is not _MISSING or _assigns_shard_routing(
+            cls
+        )
+        if entry.mergeable:
+            for name, present in (
+                ("split", has_split),
+                ("merge", has_merge),
+                ("shard_routing", has_routing),
+            ):
+                if not present:
+                    report(
+                        "protocol/metadata-mismatch",
+                        f"registered mergeable=True but the class defines "
+                        f"no {name}",
+                        "implement the mergeable-summary surface "
+                        "(split/merge/shard_routing) or register the "
+                        "entry with mergeable=False",
+                    )
+            for method, required in _MERGEABLE_ARITY:
+                problem = _required_arity_ok(cls, method, required)
+                if problem is not None:
+                    report(
+                        "protocol/signature-arity",
+                        problem,
+                        "match the mergeable-summary calling convention: "
+                        "split(self, n_shards), merge(self, other)",
+                    )
+        elif has_split and has_merge:
+            report(
+                "protocol/metadata-mismatch",
+                "registered mergeable=False but the class implements "
+                "split and merge",
+                "declare mergeable=True so sharded backends and "
+                "sliding/decay windows can use the class",
+            )
+        if (
+            entry.routing is not None
+            and isinstance(routing_attr, str)
+            and routing_attr != entry.routing
+        ):
+            report(
+                "protocol/metadata-mismatch",
+                f"registered routing={entry.routing!r} but the class "
+                f"declares shard_routing={routing_attr!r}",
+                "align the registry metadata with the class attribute; "
+                "ShardedRunner partitions the stream by this value",
+            )
+    return findings

@@ -1,0 +1,186 @@
+"""Drive the analyzer: discover files, run rules, apply suppression.
+
+:func:`analyze` is the one entry point behind ``repro analyze``:
+
+* static pass — every ``*.py`` under the requested paths goes through
+  the three AST rule families (determinism, fork safety, hot-path
+  shape) plus per-file pragma hygiene;
+* registry pass — protocol-conformance checks over the live
+  :data:`~repro.pipeline.registry.PROCESSORS` entries, and (unless
+  disabled) the runtime contract auditor;
+* suppression — a finding whose file carries a matching
+  ``# repro: allow-…`` pragma (same line or the line above) is
+  dropped; registry findings suppress through the pragma index of the
+  *implementing* file when that file is part of the scan.
+
+``--diff <rev>`` mode (:func:`changed_files`) restricts the static
+pass to files changed since ``<rev>`` (committed or not), giving large
+refactors fast incremental feedback; the registry passes are skipped
+there because they are whole-registry properties, not per-file ones.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.determinism import check_determinism
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.forksafe import check_forksafe
+from repro.analysis.hotpath import check_hotpath
+from repro.analysis.protocol import check_protocol
+from repro.analysis.source import ModuleSource
+
+__all__ = ["AnalysisReport", "analyze", "changed_files", "iter_python_files"]
+
+_STATIC_CHECKS = (check_determinism, check_forksafe, check_hotpath)
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one ``repro analyze`` run found."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if not d.advisory]
+
+    @property
+    def advisories(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.advisory]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean, 1 findings (advisories only fail under strict)."""
+        if self.errors:
+            return 1
+        if strict and self.diagnostics:
+            return 1
+        return 0
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``*.py`` file under ``paths`` (files or directories)."""
+    files: List[Path] = []
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def changed_files(rev: str, repo_dir: Path) -> Set[Path]:
+    """Absolute paths of files changed since ``rev`` (plus untracked)."""
+    toplevel = Path(
+        subprocess.run(
+            ["git", "-C", str(repo_dir), "rev-parse", "--show-toplevel"],
+            check=True,
+            capture_output=True,
+            text=True,
+        ).stdout.strip()
+    )
+    changed = subprocess.run(
+        ["git", "-C", str(repo_dir), "diff", "--name-only", rev, "--"],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout.splitlines()
+    untracked = subprocess.run(
+        [
+            "git", "-C", str(repo_dir),
+            "ls-files", "--others", "--exclude-standard",
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout.splitlines()
+    return {
+        (toplevel / name).resolve()
+        for name in (*changed, *untracked)
+        if name
+    }
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def analyze(
+    paths: Sequence[Path],
+    *,
+    root: Optional[Path] = None,
+    audit: bool = True,
+    registry: Optional[Any] = None,
+    diff_rev: Optional[str] = None,
+) -> AnalysisReport:
+    """Run the full analysis over ``paths``; see the module docstring."""
+    report = AnalysisReport()
+    files = iter_python_files(paths)
+    if diff_rev is not None:
+        repo_dir = root if root is not None else Path.cwd()
+        changed = changed_files(diff_rev, repo_dir)
+        files = [f for f in files if f.resolve() in changed]
+
+    sources: Dict[Path, ModuleSource] = {}
+    for file in files:
+        display = _display_path(file, root)
+        try:
+            source = ModuleSource.load(file, display)
+        except SyntaxError as error:
+            report.diagnostics.append(
+                Diagnostic(
+                    rule="parse/syntax-error",
+                    path=display,
+                    line=error.lineno or 0,
+                    problem=f"file does not parse: {error.msg}",
+                    hint="fix the syntax error; no other rule ran here",
+                )
+            )
+            continue
+        sources[file.resolve()] = source
+        report.files_scanned += 1
+        for check in _STATIC_CHECKS:
+            for diagnostic in check(source):
+                if not source.pragmas.suppresses(
+                    diagnostic.rule, diagnostic.line
+                ):
+                    report.diagnostics.append(diagnostic)
+
+    if diff_rev is None:
+        registry_findings = check_protocol(registry, root=root)
+        if audit:
+            from repro.analysis.audit import audit_registry
+
+            registry_findings += audit_registry(registry, root=root)
+        by_display = {
+            source.display_path: source for source in sources.values()
+        }
+        for diagnostic in registry_findings:
+            source_for = by_display.get(diagnostic.path)
+            if source_for is not None and source_for.pragmas.suppresses(
+                diagnostic.rule, diagnostic.line
+            ):
+                continue
+            report.diagnostics.append(diagnostic)
+
+    for source in sources.values():
+        report.diagnostics.extend(
+            source.pragmas.hygiene_diagnostics(source.display_path)
+        )
+    report.diagnostics.sort(key=Diagnostic.sort_key)
+    return report

@@ -1,0 +1,102 @@
+"""Parsed view of one source file: AST, pragmas, import aliases.
+
+The lint rules match *canonical dotted names* (``numpy.random.rand``,
+``random.shuffle``, ``multiprocessing.shared_memory.SharedMemory``)
+rather than surface spellings, so ``import numpy as np``, ``from numpy
+import random as npr`` and ``from random import shuffle`` all resolve
+to the same canonical name before a rule ever sees them.  Resolution is
+intentionally conservative: a name that is not traceable to an import
+(a local variable, an attribute of an instance, a call result) resolves
+to ``None`` and no name-based rule fires on it — a seeded
+``rng.shuffle(...)`` bound method must never be confused with the
+module-global ``random.shuffle(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.diagnostics import PragmaIndex
+
+__all__ = ["ModuleSource", "dotted_name"]
+
+#: Bare builtins the fork-safety rules care about (``open`` captures an
+#: OS file handle).
+_BUILTIN_CANONICAL = {"open": "builtins.open"}
+
+
+def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Local binding -> canonical dotted prefix, from every import
+    statement in the module (any nesting level)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname is not None:
+                    aliases[item.asname] = item.name
+                else:
+                    # ``import numpy.random`` binds the root ``numpy``.
+                    root = item.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative import: never stdlib random/numpy
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                bound = item.asname or item.name
+                aliases[bound] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]``; None when the
+    chain is not rooted at a plain name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+class ModuleSource:
+    """One analyzed file: display path, text, AST, pragmas, aliases."""
+
+    def __init__(self, path: Path, display_path: str, text: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.text = text
+        self.tree: ast.Module = ast.parse(text, filename=str(path))
+        self.pragmas = PragmaIndex.from_source(text)
+        self.aliases = _collect_aliases(self.tree)
+
+    @classmethod
+    def load(cls, path: Path, display_path: str) -> "ModuleSource":
+        return cls(path, display_path, path.read_text())
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of an expression, or None.
+
+        ``np.random.rand`` -> ``numpy.random.rand`` under ``import
+        numpy as np``; a bare ``open`` resolves through the builtin
+        table unless the module rebound the name.
+        """
+        parts = dotted_name(node)
+        if parts is None:
+            return None
+        root, rest = parts[0], parts[1:]
+        canonical_root = self.aliases.get(root)
+        if canonical_root is None:
+            if not rest and root in _BUILTIN_CANONICAL:
+                return _BUILTIN_CANONICAL[root]
+            return None
+        return ".".join([canonical_root, *rest])
+
+    def resolve_call(self, node: ast.Call) -> Optional[str]:
+        return self.resolve(node.func)

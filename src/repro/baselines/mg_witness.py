@@ -80,6 +80,8 @@ class MisraGriesWithWitnesses:
         """
         if sign is not None and np.any(sign != INSERT):
             raise ValueError("Misra-Gries supports insertion-only streams")
+        # repro: allow-scalar-loop decrement-all couples every counter
+        # to every arrival; no order-free collapse exists (see docstring)
         for a_item, b_item in zip(a.tolist(), b.tolist()):
             self._arrival(a_item, b_item)
 

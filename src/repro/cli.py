@@ -29,6 +29,10 @@ Subcommands:
 * ``bench report`` — print the per-structure throughput trend across
   the ``BENCH_throughput.json`` run history written by
   ``scripts/bench_quick.py``;
+* ``analyze`` — run the static invariant linter + registry contract
+  auditor over the package sources (``--strict`` is the CI gate,
+  ``--json`` the machine-readable report, ``--diff REV`` restricts to
+  files changed since a revision; see :mod:`repro.analysis`);
 * ``figures`` — print the paper's three figures as executable
   constructions (delegates to the same code the tests assert on).
 
@@ -50,6 +54,8 @@ Examples::
     python -m repro persist convert zipf.npz zipf.txt
     python -m repro bounds --n 4096 --d 128 --alpha 2
     python -m repro bench report --artifact BENCH_throughput.json
+    python -m repro analyze --strict
+    python -m repro analyze --diff HEAD~1 --json
     python -m repro figures
 """
 
@@ -250,6 +256,34 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--last", type=int, default=8, metavar="N",
         help="show at most the last N history entries (default 8)",
+    )
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="static invariant linter + registry contract auditor",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", type=Path, metavar="PATH",
+        help="files or directories to lint (default: the installed "
+             "repro package sources)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable report instead of text",
+    )
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) on advisory notes too — the CI gate",
+    )
+    analyze.add_argument(
+        "--diff", metavar="REV", default=None,
+        help="only report findings in files changed since REV "
+             "(committed or not); skips the registry passes for fast "
+             "incremental feedback",
+    )
+    analyze.add_argument(
+        "--no-audit", action="store_true",
+        help="skip the runtime contract auditor (static rules only)",
     )
 
     subparsers.add_parser("figures", help="print the paper's Figures 1-3")
@@ -817,6 +851,56 @@ def command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_analyze(args: argparse.Namespace) -> int:
+    """``repro analyze``: run the invariant linter + contract auditor.
+
+    Exit codes: 0 clean, 1 findings (advisory notes only fail under
+    ``--strict``), 2 usage/environment error (bad path, bad ``--diff``
+    revision).
+    """
+    import subprocess
+
+    from repro.analysis import analyze as run_analysis
+    from repro.analysis import render_json, render_text
+
+    package_dir = Path(__file__).resolve().parent
+    paths = [Path(p) for p in args.paths] or [package_dir]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    # Repo root for display paths and --diff: the directory holding
+    # src/ when running from a checkout, else the package parent.
+    root = (
+        package_dir.parent.parent
+        if package_dir.parent.name == "src"
+        else package_dir.parent
+    )
+    try:
+        report = run_analysis(
+            paths,
+            root=root,
+            audit=not args.no_audit,
+            diff_rev=args.diff,
+        )
+    except subprocess.CalledProcessError as error:
+        stderr = (error.stderr or "").strip()
+        print(
+            f"error: git failed resolving --diff {args.diff!r}"
+            + (f": {stderr}" if stderr else ""),
+            file=sys.stderr,
+        )
+        return 2
+    if args.as_json:
+        print(json.dumps(render_json(
+            report.diagnostics, files_scanned=report.files_scanned
+        ), indent=2))
+    else:
+        print(render_text(report.diagnostics))
+        print(f"({report.files_scanned} file(s) scanned)")
+    return report.exit_code(strict=args.strict)
+
+
 def command_figures(_: argparse.Namespace) -> int:
     from repro.comm.figures import render_figures
 
@@ -836,6 +920,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return command_bounds(args)
     if args.command == "bench":
         return command_bench(args)
+    if args.command == "analyze":
+        return command_analyze(args)
     if args.command == "figures":
         return command_figures(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -786,6 +786,9 @@ class ShardedRunner:
         snapshots only refine the starting points this manifest already
         guarantees.
         """
+        # repro: allow-os-entropy run-identity nonce, not algorithmic
+        # randomness: stale-snapshot isolation needs it unique across
+        # runs, and it never influences any answer
         self._run_id = secrets.token_hex(8)
         meta = {
             "run_id": self._run_id,

@@ -30,7 +30,9 @@ class RegistryError(PipelineError, ValueError):
 class UnknownNameError(RegistryError):
     """An unregistered name was requested; carries close-match hints."""
 
-    def __init__(self, message: str, name: str, suggestions: Sequence[str] = ()):
+    def __init__(
+        self, message: str, name: str, suggestions: Sequence[str] = ()
+    ) -> None:
         super().__init__(message)
         self.name = name
         self.suggestions = tuple(suggestions)
@@ -67,7 +69,7 @@ class PipelineValidationError(SpecError):
     edited from the message should build on the next attempt.
     """
 
-    def __init__(self, diagnostics: Sequence[Diagnostic]):
+    def __init__(self, diagnostics: Sequence[Diagnostic]) -> None:
         self.diagnostics: List[Diagnostic] = list(diagnostics)
         lines = "\n".join(f"  - {diagnostic}" for diagnostic in self.diagnostics)
         count = len(self.diagnostics)

@@ -137,6 +137,16 @@ class Entry:
     def build(self, supplied: Mapping[str, Any]) -> Any:
         return self.factory(**self.bind(supplied))
 
+    @property
+    def resolved_class(self) -> Optional[type]:
+        """The class behind :attr:`factory` when it *is* a class.
+
+        ``None`` for function factories — structural tools (the
+        ``repro analyze`` protocol lints) can only reason about class
+        entries; the runtime contract auditor covers the rest.
+        """
+        return self.factory if isinstance(self.factory, type) else None
+
 
 class Registry:
     """A name -> :class:`Entry` mapping with helpful failure modes."""
@@ -159,6 +169,12 @@ class Registry:
 
     def names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._entries))
+
+    def entries(self) -> Tuple[Entry, ...]:
+        """Every registered :class:`Entry`, in name order — the metadata
+        accessor ``repro analyze``'s protocol lints and contract auditor
+        iterate."""
+        return tuple(self._entries[name] for name in self.names())
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries
@@ -442,7 +458,7 @@ _WORKLOAD_PARAMS = (
 )
 
 
-def _workload_star(n, m, d, alpha, seed):
+def _workload_star(n: int, m: int, d: int, alpha: int, seed: int) -> Any:
     from repro.streams.generators import GeneratorConfig, planted_star_graph
 
     return planted_star_graph(
@@ -452,7 +468,7 @@ def _workload_star(n, m, d, alpha, seed):
     )
 
 
-def _workload_cascade(n, m, d, alpha, seed):
+def _workload_cascade(n: int, m: int, d: int, alpha: int, seed: int) -> Any:
     from repro.streams.generators import GeneratorConfig, degree_cascade_graph
 
     return degree_cascade_graph(
@@ -460,7 +476,7 @@ def _workload_cascade(n, m, d, alpha, seed):
     )
 
 
-def _workload_adversarial(n, m, d, alpha, seed):
+def _workload_adversarial(n: int, m: int, d: int, alpha: int, seed: int) -> Any:
     from repro.streams.generators import (
         GeneratorConfig,
         adversarial_interleaved_stream,
@@ -474,7 +490,7 @@ def _workload_adversarial(n, m, d, alpha, seed):
     )
 
 
-def _workload_zipf(n, m, d, alpha, seed):
+def _workload_zipf(n: int, m: int, d: int, alpha: int, seed: int) -> Any:
     from repro.streams.generators import GeneratorConfig, zipf_frequency_stream
 
     return zipf_frequency_stream(
@@ -482,7 +498,7 @@ def _workload_zipf(n, m, d, alpha, seed):
     )
 
 
-def _workload_churn(n, m, d, alpha, seed):
+def _workload_churn(n: int, m: int, d: int, alpha: int, seed: int) -> Any:
     from repro.streams.generators import GeneratorConfig, deletion_churn_stream
 
     return deletion_churn_stream(
@@ -492,7 +508,7 @@ def _workload_churn(n, m, d, alpha, seed):
     )
 
 
-def _workload_random(n, m, edges, seed):
+def _workload_random(n: int, m: int, edges: int, seed: int) -> Any:
     from repro.streams.generators import GeneratorConfig, random_bipartite_graph
 
     return random_bipartite_graph(GeneratorConfig(n=n, m=m, seed=seed), edges)

@@ -31,7 +31,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.engine.checkpoint import DEFAULT_CHECKPOINT_EVERY
 from repro.engine.sharded import ON_FAILURE_POLICIES
@@ -57,7 +57,12 @@ def _field_default(spec_field: dataclasses.Field) -> Any:
     return _MISSING
 
 
-def _compact_dict(spec: Any, *, always=(), skip=()) -> Dict[str, Any]:
+def _compact_dict(
+    spec: Any,
+    *,
+    always: Sequence[str] = (),
+    skip: Sequence[str] = (),
+) -> Dict[str, Any]:
     """Dataclass -> dict, omitting fields that still hold their default
     (keeps JSON specs minimal while round-tripping exactly)."""
     out: Dict[str, Any] = {}
@@ -71,7 +76,9 @@ def _compact_dict(spec: Any, *, always=(), skip=()) -> Dict[str, Any]:
     return out
 
 
-def _check_keys(data: Mapping[str, Any], cls, *, skip=()) -> None:
+def _check_keys(
+    data: Mapping[str, Any], cls: type, *, skip: Sequence[str] = ()
+) -> None:
     if not isinstance(data, Mapping):
         raise SpecError(
             f"{cls.__name__} spec must be a mapping, got "
@@ -90,7 +97,9 @@ def _check_keys(data: Mapping[str, Any], cls, *, skip=()) -> None:
         )
 
 
-def _build_spec(cls, data: Mapping[str, Any], *, skip=()):
+def _build_spec(
+    cls: type, data: Mapping[str, Any], *, skip: Sequence[str] = ()
+) -> Any:
     """Construct a spec dataclass from untrusted dict data.
 
     Key and required-field problems surface as :class:`SpecError`
@@ -453,7 +462,11 @@ _SCALAR_FIELDS = {
 def _scalar_type_diagnostics(spec: PipelineSpec) -> List[Diagnostic]:
     out: List[Diagnostic] = []
 
-    def check(prefix: str, obj: Any, rules) -> None:
+    def check(
+        prefix: str,
+        obj: Any,
+        rules: Sequence[Tuple[str, Any]],
+    ) -> None:
         for name, expected in rules:
             value = getattr(obj, name)
             ok = isinstance(value, expected)

@@ -189,6 +189,10 @@ class BloomDedup:
     ) -> None:
         admit = self._filter.admit
         admitted = 0
+        # repro: allow-scalar-loop first-arrival admission is
+        # order-dependent: admit() mutates the filter per pair, so a
+        # chunk cannot be collapsed without changing which duplicate
+        # of a pair is the one admitted
         for pair_a, pair_b in zip(
             np.asarray(a, dtype=np.int64).tolist(),
             np.asarray(b, dtype=np.int64).tolist(),

@@ -1,0 +1,66 @@
+"""Shared helpers for the analyzer tests (exposed as fixtures, since
+the test tree is package-less)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+from types import ModuleType
+from typing import Callable
+
+import pytest
+
+from repro.analysis import ModuleSource
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _load_source(name: str) -> ModuleSource:
+    """Fixture file as the analyzer sees it (display path = file name)."""
+    path = FIXTURES / f"{name}.py"
+    return ModuleSource.load(path, f"{name}.py")
+
+
+def _marked_line(source: ModuleSource, mark: str) -> int:
+    """1-indexed line carrying ``# MARK: <mark>`` — the tests' way of
+    asserting exact diagnostic lines without hardcoding integers."""
+    needle = f"# MARK: {mark}"
+    for lineno, text in enumerate(source.text.splitlines(), start=1):
+        if text.rstrip().endswith(needle):
+            return lineno
+    raise AssertionError(f"no '{needle}' in {source.display_path}")
+
+
+def _import_fixture(name: str) -> ModuleType:
+    """Import a fixture module under a stable name so pickle can
+    resolve its classes by module path."""
+    module_name = f"repro_analysis_fixture_{name}"
+    if module_name in sys.modules:
+        return sys.modules[module_name]
+    spec = importlib.util.spec_from_file_location(
+        module_name, FIXTURES / f"{name}.py"
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def load_source() -> Callable[[str], ModuleSource]:
+    return _load_source
+
+
+@pytest.fixture()
+def marked_line() -> Callable[[ModuleSource, str], int]:
+    return _marked_line
+
+
+@pytest.fixture()
+def import_fixture() -> Callable[[str], ModuleType]:
+    return _import_fixture
+
+
+@pytest.fixture()
+def fixtures_dir() -> Path:
+    return FIXTURES

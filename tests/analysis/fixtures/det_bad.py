@@ -1,0 +1,41 @@
+"""Known-bad determinism fixture: every rule in the family fires once.
+
+Each violating line carries a ``MARK:`` comment the tests use to
+assert the analyzer anchors the diagnostic at exactly that line.
+"""
+
+import os
+import random
+import time
+import uuid
+
+import numpy as np
+from numpy import random as npr
+
+
+def shuffle_items(items):
+    random.shuffle(items)  # MARK: global-random
+
+
+def noise(count):
+    return np.random.rand(count)  # MARK: legacy-np-random
+
+
+def aliased_noise(count):
+    return npr.standard_normal(count)  # MARK: legacy-np-random-alias
+
+
+def stamp():
+    return time.time()  # MARK: wall-clock
+
+
+def token():
+    return os.urandom(8)  # MARK: os-entropy
+
+
+def identifier():
+    return uuid.uuid4()  # MARK: uuid
+
+
+def fresh_rng():
+    return random.Random()  # MARK: unseeded-rng

@@ -1,0 +1,30 @@
+"""Known-good determinism fixture: seeded/explicit randomness only."""
+
+import random
+import time
+
+import numpy as np
+from numpy import random as npr
+
+
+def shuffle_items(items, seed):
+    rng = random.Random(seed)
+    rng.shuffle(items)  # bound method of a seeded instance: fine
+    return items
+
+
+def noise(count, seed):
+    return np.random.default_rng(seed).standard_normal(count)
+
+
+def aliased(seed):
+    return npr.SeedSequence(seed).spawn(2)
+
+
+def replicate():
+    # attribute of the Random *class*, not a module-global draw
+    return random.Random.__new__(random.Random)
+
+
+def interval(start):
+    return time.monotonic() - start  # monotonic timing is allowed

@@ -1,0 +1,44 @@
+"""Known-bad fork-safety fixture.
+
+``Summary`` crosses the fork boundary (it has ``process_batch`` and a
+``split``/``merge`` pair), so storing lambdas, local defs and OS
+resources on ``self`` must all flag; the module-level ``SharedMemory``
+creation flags regardless of class.
+"""
+
+import threading
+from multiprocessing import shared_memory
+
+
+class Summary:
+    def __init__(self, k):
+        self.k = k
+        self.score = lambda x: x + 1  # MARK: lambda-attribute
+
+    def configure(self):
+        def helper(x):
+            return x * 2
+
+        self.transform = helper  # MARK: local-def-attribute
+
+    def attach_log(self, path):
+        self.log = open(path)  # MARK: resource-attribute-open
+
+    def attach_lock(self):
+        self.lock = threading.Lock()  # MARK: resource-attribute-lock
+
+    def process_batch(self, a, b, sign=None):
+        pass
+
+    def finalize(self):
+        return self
+
+    def split(self, n_shards):
+        return [Summary(self.k) for _ in range(n_shards)]
+
+    def merge(self, other):
+        return self
+
+
+def rogue_segment(size):
+    return shared_memory.SharedMemory(create=True, size=size)  # MARK: shm

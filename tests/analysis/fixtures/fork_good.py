@@ -1,0 +1,41 @@
+"""Known-good fork-safety fixture.
+
+``Driver`` never crosses the fork boundary (no engine surface), so it
+may hold handles and locks; ``Summary`` stores only module-level
+callables and plain data.
+"""
+
+import threading
+
+
+def _module_score(x):
+    return x + 1
+
+
+class Driver:
+    """Parent-side orchestrator: resources on self are fine here."""
+
+    def __init__(self, path):
+        self.log = open(path)
+        self.lock = threading.Lock()
+
+    def run(self):
+        return None
+
+
+class Summary:
+    def __init__(self, k):
+        self.k = k
+        self.score = _module_score  # importable by qualified name
+
+    def process_batch(self, a, b, sign=None):
+        pass
+
+    def finalize(self):
+        return self
+
+    def split(self, n_shards):
+        return [Summary(self.k) for _ in range(n_shards)]
+
+    def merge(self, other):
+        return self

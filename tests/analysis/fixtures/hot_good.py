@@ -1,0 +1,41 @@
+"""Known-good hot-path fixture: collapsed/derived iteration only."""
+
+import numpy as np
+
+
+class NettedWalker:
+    """Loops over np.unique keys (sub-linear in chunk) and self state."""
+
+    def __init__(self):
+        self.runs = [object(), object()]
+
+    def process_batch(self, a, b, sign=None):
+        items, counts = np.unique(a, return_counts=True)
+        for item, count in zip(items.tolist(), counts.tolist()):
+            self.apply(item, count)
+        for run in self.runs:
+            self.touch(run)
+
+    def apply(self, item, count):
+        pass
+
+    def touch(self, run):
+        pass
+
+    def finalize(self):
+        return None
+
+
+class AnnotatedWalker:
+    """Order-dependent by construction: pragma carries the reason."""
+
+    def process_batch(self, a, b, sign=None):
+        # repro: allow-scalar-loop admission order decides which copy wins
+        for item, witness in zip(a.tolist(), b.tolist()):
+            self.admit(item, witness)
+
+    def admit(self, item, witness):
+        pass
+
+    def finalize(self):
+        return None

@@ -1,0 +1,30 @@
+"""Pragma-semantics fixture: suppression forms and hygiene failures."""
+
+import random
+
+
+def trailing_form(items):
+    random.shuffle(items)  # repro: allow-global-random trailing with reason
+
+
+def block_form(items):
+    # repro: allow-global-random the reason starts here and the block
+    # continues over a second comment line before the code
+    random.shuffle(items)
+
+
+def full_rule_id_form(items):
+    # repro: allow-determinism/global-random full id works too
+    random.shuffle(items)
+
+
+def missing_reason(items):
+    random.shuffle(items)  # repro: allow-global-random
+
+
+def unsuppressed(items):
+    random.shuffle(items)  # MARK: unsuppressed
+
+
+# repro: allow-scalar-loop nothing below ever fires this rule
+UNUSED_PRAGMA_ANCHOR = None

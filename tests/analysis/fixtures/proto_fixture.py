@@ -1,0 +1,90 @@
+"""Registry-contract fixture classes.
+
+Imported (via ``sys.modules`` registration, so pickle can resolve
+them) by the protocol-lint and contract-auditor tests, which register
+them in a throwaway registry with deliberately wrong metadata.
+"""
+
+import threading
+from typing import List, Optional
+
+
+class GoodSummary:
+    """Fully conformant mergeable processor."""
+
+    shard_routing = "any"
+
+    def __init__(self, k: int = 4) -> None:
+        self.k = k
+        self.total = 0
+
+    def process_batch(self, a, b, sign=None) -> None:
+        self.total += len(a)
+
+    def finalize(self) -> "GoodSummary":
+        return self
+
+    def split(self, n_shards: int) -> List["GoodSummary"]:
+        return [type(self)(self.k) for _ in range(n_shards)]
+
+    def merge(self, other: "GoodSummary") -> "GoodSummary":
+        self.total += other.total
+        return self
+
+
+class NoBatch:
+    """Missing the engine surface entirely."""
+
+    def finalize(self) -> None:
+        return None
+
+
+class BadArity(GoodSummary):
+    """split/merge exist but cannot be called the way the engine calls
+    them."""
+
+    def split(self) -> List["BadArity"]:  # type: ignore[override]
+        return [self]
+
+    def merge(self, other, strategy) -> "BadArity":  # type: ignore[override]
+        return self
+
+
+class SecretlyMergeable(GoodSummary):
+    """Conformant class; tests register it with mergeable=False."""
+
+
+class NotActuallyMergeable:
+    """No split/merge; tests register it with mergeable=True."""
+
+    def process_batch(self, a, b, sign=None) -> None:
+        pass
+
+    def finalize(self) -> None:
+        return None
+
+
+class RoutingClash(GoodSummary):
+    """Class says "any"; tests register it with routing="vertex"."""
+
+
+class UnpicklableSummary(GoodSummary):
+    """Pickle round-trip fails: a thread lock rides on the instance."""
+
+    def __init__(self, k: int = 4) -> None:
+        super().__init__(k)
+        self.lock: Optional[threading.Lock] = None
+
+    def process_batch(self, a, b, sign=None) -> None:
+        # the lock appears once the summary has processed data — the
+        # shape the runtime auditor must catch and the static rules
+        # cannot (the assignment is reached, not declared)
+        self.lock = threading.Lock()
+        super().process_batch(a, b, sign)
+
+
+class BrokenSplit(GoodSummary):
+    """split(1) violates the identity contract (wrong count)."""
+
+    def split(self, n_shards: int) -> List["GoodSummary"]:
+        return [GoodSummary(self.k) for _ in range(n_shards + 1)]

@@ -1,0 +1,38 @@
+"""Determinism rule family: exact rule ids and line numbers."""
+
+from repro.analysis import check_determinism
+
+
+class TestDeterminismBad:
+    def test_exact_rule_and_line_set(self, load_source, marked_line):
+        source = load_source("det_bad")
+        findings = check_determinism(source)
+        expected = {
+            ("determinism/global-random", marked_line(source, "global-random")),
+            (
+                "determinism/legacy-np-random",
+                marked_line(source, "legacy-np-random"),
+            ),
+            (
+                "determinism/legacy-np-random",
+                marked_line(source, "legacy-np-random-alias"),
+            ),
+            ("determinism/wall-clock", marked_line(source, "wall-clock")),
+            ("determinism/os-entropy", marked_line(source, "os-entropy")),
+            ("determinism/uuid", marked_line(source, "uuid")),
+            ("determinism/unseeded-rng", marked_line(source, "unseeded-rng")),
+        }
+        assert {(f.rule, f.line) for f in findings} == expected
+
+    def test_every_finding_names_the_fixture_and_has_a_hint(self, load_source):
+        findings = check_determinism(load_source("det_bad"))
+        assert findings
+        for finding in findings:
+            assert finding.path == "det_bad.py"
+            assert finding.hint
+            assert not finding.advisory
+
+
+class TestDeterminismGood:
+    def test_clean(self, load_source):
+        assert check_determinism(load_source("det_good")) == []

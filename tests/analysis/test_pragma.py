@@ -1,0 +1,102 @@
+"""Pragma semantics: suppression forms, mandatory reasons, hygiene."""
+
+from repro.analysis import PragmaIndex, analyze
+from repro.pipeline.registry import Registry
+
+
+def _line_of(source, needle, *, at_end=False):
+    for lineno, text in enumerate(source.text.splitlines(), start=1):
+        if (text.rstrip().endswith(needle)) if at_end else (needle in text):
+            return lineno
+    raise AssertionError(f"no {needle!r} in {source.display_path}")
+
+
+class TestSuppressionForms:
+    def _report(self, fixtures_dir):
+        return analyze(
+            [fixtures_dir / "pragma_cases.py"],
+            root=fixtures_dir,
+            registry=Registry("processor"),
+            audit=False,
+        )
+
+    def test_trailing_block_and_full_id_forms_all_suppress(
+        self, load_source, fixtures_dir
+    ):
+        source = load_source("pragma_cases")
+        report = self._report(fixtures_dir)
+        suppressed_lines = {
+            _line_of(source, "def trailing_form"),
+            _line_of(source, "def block_form"),
+            _line_of(source, "def full_rule_id_form"),
+        }
+        flagged = {
+            d.line
+            for d in report.diagnostics
+            if d.rule == "determinism/global-random"
+        }
+        # nothing inside the three suppressed functions fires ...
+        for start in suppressed_lines:
+            assert not any(start <= line <= start + 3 for line in flagged)
+        # ... while the unsuppressed call still does
+        unsuppressed = _line_of(source, "# MARK: unsuppressed")
+        assert unsuppressed in flagged
+
+    def test_missing_reason_is_an_error_at_the_pragma_line(
+        self, load_source, fixtures_dir
+    ):
+        source = load_source("pragma_cases")
+        report = self._report(fixtures_dir)
+        expected_line = _line_of(source, "allow-global-random", at_end=True)
+        missing = [
+            d
+            for d in report.diagnostics
+            if d.rule == "pragma/missing-reason"
+        ]
+        assert [d.line for d in missing] == [expected_line]
+        assert not missing[0].advisory  # reasons are mandatory, not advice
+
+    def test_unused_pragma_is_an_advisory_at_the_pragma_line(
+        self, load_source, fixtures_dir
+    ):
+        source = load_source("pragma_cases")
+        report = self._report(fixtures_dir)
+        expected_line = _line_of(source, "allow-scalar-loop nothing below")
+        unused = [
+            d for d in report.diagnostics if d.rule == "pragma/unused"
+        ]
+        assert [d.line for d in unused] == [expected_line]
+        assert unused[0].advisory
+
+    def test_strict_exit_code_counts_advisories(self, fixtures_dir):
+        report = self._report(fixtures_dir)
+        assert report.exit_code(strict=False) == 1  # real errors present
+        assert report.exit_code(strict=True) == 1
+
+
+class TestPragmaIndex:
+    def test_suffix_and_full_rule_id_both_match(self):
+        index = PragmaIndex.from_source(
+            "x = 1  # repro: allow-scalar-loop why not\n"
+        )
+        assert index.suppresses("hotpath/scalar-loop", 1)
+        index = PragmaIndex.from_source(
+            "x = 1  # repro: allow-hotpath/scalar-loop why not\n"
+        )
+        assert index.suppresses("hotpath/scalar-loop", 1)
+
+    def test_wrong_family_does_not_match(self):
+        index = PragmaIndex.from_source(
+            "x = 1  # repro: allow-wall-clock why not\n"
+        )
+        assert not index.suppresses("hotpath/scalar-loop", 1)
+
+    def test_comment_block_reaches_over_blank_comment_lines(self):
+        source = (
+            "# repro: allow-scalar-loop the reason\n"
+            "# continues on this line\n"
+            "for x in y:\n"
+            "    pass\n"
+        )
+        index = PragmaIndex.from_source(source)
+        assert index.suppresses("hotpath/scalar-loop", 3)

@@ -1,0 +1,94 @@
+"""Protocol-conformance lints against deliberately broken registries."""
+
+import pytest
+
+from repro.analysis import check_protocol
+from repro.pipeline.registry import Entry, Param, Registry
+
+
+def _rules_for(findings, name):
+    return sorted(
+        f.rule for f in findings if f"processor {name!r}" in f.problem
+    )
+
+
+@pytest.fixture()
+def broken_registry(import_fixture):
+    module = import_fixture("proto_fixture")
+    registry = Registry("processor")
+
+    def add(name, cls, *, mergeable, routing=None):
+        registry.register(
+            Entry(
+                name=name,
+                factory=cls,
+                params=(Param("k", int, 4),),
+                kind="test",
+                routing=routing,
+                mergeable=mergeable,
+            )
+        )
+
+    add("good", module.GoodSummary, mergeable=True, routing="any")
+    add("no-batch", module.NoBatch, mergeable=False)
+    add("bad-arity", module.BadArity, mergeable=True, routing="any")
+    add("secretly", module.SecretlyMergeable, mergeable=False)
+    add("not-actually", module.NotActuallyMergeable, mergeable=True)
+    add("routing-clash", module.RoutingClash, mergeable=True, routing="vertex")
+    return registry
+
+
+class TestBrokenRegistry:
+    def test_conformant_entry_is_clean(self, broken_registry):
+        findings = check_protocol(broken_registry)
+        assert _rules_for(findings, "good") == []
+
+    def test_missing_engine_surface(self, broken_registry):
+        findings = check_protocol(broken_registry)
+        assert _rules_for(findings, "no-batch") == ["protocol/missing-method"]
+        problems = [f.problem for f in findings if "no-batch" in f.problem]
+        assert any("process_batch" in p for p in problems)
+
+    def test_split_merge_arity(self, broken_registry):
+        findings = check_protocol(broken_registry)
+        assert _rules_for(findings, "bad-arity") == [
+            "protocol/signature-arity",
+            "protocol/signature-arity",
+        ]
+        problems = [f.problem for f in findings if "bad-arity" in f.problem]
+        assert any("split" in p for p in problems)
+        assert any("merge" in p for p in problems)
+
+    def test_mergeable_false_on_mergeable_class(self, broken_registry):
+        findings = check_protocol(broken_registry)
+        assert _rules_for(findings, "secretly") == [
+            "protocol/metadata-mismatch"
+        ]
+
+    def test_mergeable_true_without_the_surface(self, broken_registry):
+        findings = check_protocol(broken_registry)
+        # split, merge and shard_routing are each reported
+        assert _rules_for(findings, "not-actually") == [
+            "protocol/metadata-mismatch"
+        ] * 3
+
+    def test_routing_metadata_contradicts_class(self, broken_registry):
+        findings = check_protocol(broken_registry)
+        assert _rules_for(findings, "routing-clash") == [
+            "protocol/metadata-mismatch"
+        ]
+
+    def test_findings_anchor_at_the_implementing_file(
+        self, broken_registry, fixtures_dir
+    ):
+        findings = check_protocol(broken_registry, root=fixtures_dir)
+        assert findings
+        for finding in findings:
+            assert finding.path == "proto_fixture.py"
+            assert finding.line > 0
+            assert finding.hint
+
+
+class TestShippedRegistry:
+    def test_processors_registry_is_conformant(self):
+        assert check_protocol() == []

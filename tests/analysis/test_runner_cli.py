@@ -1,0 +1,160 @@
+"""Runner + CLI surface: --json schema, exit codes, --diff, acceptance."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze, render_json
+from repro.cli import main
+from repro.pipeline.registry import Registry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+class TestJsonSchema:
+    def test_shape_and_sorting(self, fixtures_dir):
+        report = analyze(
+            [fixtures_dir / "det_bad.py", fixtures_dir / "hot_bad.py"],
+            root=fixtures_dir,
+            registry=Registry("processor"),
+            audit=False,
+        )
+        payload = render_json(
+            report.diagnostics, files_scanned=report.files_scanned
+        )
+        assert payload["version"] == 1
+        assert payload["summary"]["files_scanned"] == 2
+        assert payload["summary"]["errors"] == len(report.errors)
+        assert payload["summary"]["advisories"] == len(report.advisories)
+        rows = payload["diagnostics"]
+        assert rows, "fixtures must produce findings"
+        for row in rows:
+            assert set(row) == {
+                "rule", "path", "line", "problem", "hint", "advisory",
+            }
+            assert isinstance(row["line"], int)
+            assert isinstance(row["advisory"], bool)
+        assert rows == sorted(
+            rows, key=lambda r: (r["path"], r["line"], r["rule"], r["problem"])
+        )
+        json.dumps(payload)  # round-trippable without custom encoders
+
+
+class TestSyntaxError:
+    def test_unparsable_file_reports_and_continues(self, tmp_path):
+        bad = tmp_path / "busted.py"
+        bad.write_text("def broken(:\n")
+        report = analyze(
+            [bad],
+            root=tmp_path,
+            registry=Registry("processor"),
+            audit=False,
+        )
+        assert [(d.rule, d.path) for d in report.diagnostics] == [
+            ("parse/syntax-error", "busted.py")
+        ]
+        assert report.files_scanned == 0
+
+
+class TestCli:
+    def test_clean_tree_strict_exits_zero(self, capsys):
+        """Acceptance gate: the shipped tree has no findings."""
+        assert main(["analyze", "--strict", str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_findings_exit_one_and_json_parses(self, capsys, fixtures_dir):
+        code = main(
+            ["analyze", "--json", "--no-audit",
+             str(fixtures_dir / "det_bad.py")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        rules = {row["rule"] for row in payload["diagnostics"]}
+        assert "determinism/global-random" in rules
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["analyze", "definitely/not/a/path.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_bad_diff_revision_exits_two(self, capsys):
+        code = main(["analyze", "--diff", "not-a-revision", str(SRC)])
+        assert code == 2
+        assert "--diff" in capsys.readouterr().err
+
+
+class TestDiffMode:
+    @pytest.fixture()
+    def temp_repo(self, tmp_path):
+        def git(*argv):
+            subprocess.run(
+                ["git", "-C", str(tmp_path), *argv],
+                check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "t@example.invalid")
+        git("config", "user.name", "t")
+        (tmp_path / "old.py").write_text(
+            "import random\nrandom.shuffle([])\n"
+        )
+        git("add", "old.py")
+        git("commit", "-q", "-m", "seed")
+        (tmp_path / "new.py").write_text(
+            "import random\nrandom.random()\n"
+        )
+        return tmp_path
+
+    def test_only_changed_files_are_reported(self, temp_repo):
+        report = analyze(
+            [temp_repo],
+            root=temp_repo,
+            diff_rev="HEAD",
+            registry=Registry("processor"),
+            audit=False,
+        )
+        # old.py is dirty too but unchanged since HEAD; only the new
+        # (untracked) file is in scope
+        assert {d.path for d in report.diagnostics} == {"new.py"}
+        assert report.files_scanned == 1
+
+    def test_committed_changes_count_against_older_revs(self, temp_repo):
+        subprocess.run(
+            ["git", "-C", str(temp_repo), "add", "new.py"],
+            check=True,
+            capture_output=True,
+        )
+        subprocess.run(
+            ["git", "-C", str(temp_repo), "commit", "-q", "-m", "more"],
+            check=True,
+            capture_output=True,
+        )
+        report = analyze(
+            [temp_repo],
+            root=temp_repo,
+            diff_rev="HEAD~1",
+            registry=Registry("processor"),
+            audit=False,
+        )
+        assert {d.path for d in report.diagnostics} == {"new.py"}
+
+
+class TestInterpreterEntryPoint:
+    def test_python_dash_m_repro_analyze(self):
+        """The CI invocation, end to end in a subprocess."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", "--strict"],
+            cwd=REPO_ROOT,
+            env={
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+            },
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
